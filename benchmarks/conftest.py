@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The composite measurement (five workloads, §2.2) is simulated once per
+session and shared by every table benchmark; each benchmark then times
+its own data-reduction step and prints the regenerated table next to the
+paper's published values.
+
+Environment knobs:
+    REPRO_BENCH_INSTRUCTIONS   measured instructions per workload
+                               (default 60000)
+    REPRO_BENCH_SEED           workload generation seed (default 1984)
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.experiments import standard_composite
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 60000))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", 1984))
+
+
+@pytest.fixture(scope="session")
+def composite_measurement():
+    """The five-workload composite, simulated once per session."""
+    return standard_composite(instructions=BENCH_INSTRUCTIONS,
+                              seed=BENCH_SEED)
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table (shown with pytest -s / captured o/w)."""
+    print()
+    print(text)

@@ -1,0 +1,151 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation reruns one workload with one implementation parameter
+changed and checks the predicted direction of the effect — these are the
+"where performance may be improved, and where it may not" observations
+of §5, made quantitative.
+"""
+
+import pytest
+
+from repro.analysis import Measurement, section4, table8
+from repro.cpu.machine import VAX780
+from repro.osim.executive import Executive
+from repro.params import VAX780 as STOCK
+from repro.ucode.rows import Column
+from repro.workloads.profiles import TIMESHARING_RESEARCH
+
+ABLATION_INSTRUCTIONS = 15000
+
+
+def run_config(params, seed=1984, instructions=ABLATION_INSTRUCTIONS):
+    machine = VAX780(params)
+    executive = Executive(machine, TIMESHARING_RESEARCH, seed=seed)
+    executive.boot()
+    executive.run(instructions)
+    return Measurement.capture("ablation", machine)
+
+
+@pytest.fixture(scope="module")
+def stock_measurement():
+    return run_config(STOCK)
+
+
+def test_bench_ablation_cache_size(benchmark, stock_measurement):
+    """Halving the cache raises miss rate and CPI; doubling lowers both."""
+    small = benchmark.pedantic(
+        run_config, args=(STOCK.with_overrides(cache_bytes=2 * 1024),),
+        rounds=1, iterations=1)
+    large = run_config(STOCK.with_overrides(cache_bytes=32 * 1024))
+
+    stock_misses = section4(stock_measurement) \
+        .cache_read_misses_per_instruction
+    small_misses = section4(small).cache_read_misses_per_instruction
+    large_misses = section4(large).cache_read_misses_per_instruction
+    print(f"\ncache 2KB misses/instr {small_misses:.3f}  "
+          f"8KB {stock_misses:.3f}  32KB {large_misses:.3f}")
+    assert small_misses > stock_misses > large_misses
+
+    cpi_small = table8(small).cycles_per_instruction
+    cpi_stock = table8(stock_measurement).cycles_per_instruction
+    cpi_large = table8(large).cycles_per_instruction
+    print(f"CPI: 2KB {cpi_small:.2f}  8KB {cpi_stock:.2f}  "
+          f"32KB {cpi_large:.2f}")
+    assert cpi_small > cpi_large
+
+
+def test_bench_ablation_tb_size(benchmark, stock_measurement):
+    """A smaller TB misses more; the paper's flush-interval concern."""
+    small = benchmark.pedantic(
+        run_config, args=(STOCK.with_overrides(tb_entries=32),),
+        rounds=1, iterations=1)
+    stock_tb = section4(stock_measurement).tb_misses_per_instruction
+    small_tb = section4(small).tb_misses_per_instruction
+    print(f"\nTB misses/instr: 32-entry {small_tb:.4f}  "
+          f"128-entry {stock_tb:.4f}")
+    assert small_tb > stock_tb
+
+
+def test_bench_ablation_write_buffer_depth(benchmark, stock_measurement):
+    """A deeper write buffer removes most write stalls (§5 blames the
+    one-longword buffer for the CALLS stall)."""
+    deep = benchmark.pedantic(
+        run_config, args=(STOCK.with_overrides(write_buffer_depth=4),),
+        rounds=1, iterations=1)
+    stock_ws = table8(stock_measurement).column_totals[Column.WSTALL]
+    deep_ws = table8(deep).column_totals[Column.WSTALL]
+    print(f"\nW-stall cycles/instr: depth 1 {stock_ws:.3f}  "
+          f"depth 4 {deep_ws:.3f}")
+    assert deep_ws < stock_ws
+
+
+def test_bench_ablation_read_miss_penalty(benchmark, stock_measurement):
+    """Doubling memory latency inflates R-stall roughly proportionally."""
+    slow = benchmark.pedantic(
+        run_config, args=(STOCK.with_overrides(read_miss_penalty=12),),
+        rounds=1, iterations=1)
+    stock_rs = table8(stock_measurement).column_totals[Column.RSTALL]
+    slow_rs = table8(slow).column_totals[Column.RSTALL]
+    print(f"\nR-stall cycles/instr: 6-cycle {stock_rs:.3f}  "
+          f"12-cycle {slow_rs:.3f}")
+    assert slow_rs > 1.5 * stock_rs
+
+
+def test_bench_ablation_microcode_patches(benchmark, stock_measurement):
+    """Removing the field-installed patches removes their abort cycles
+    (the paper's Aborts row charges one cycle per executed patch)."""
+    clean = benchmark.pedantic(
+        run_config, args=(STOCK.with_overrides(patched_families=()),),
+        rounds=1, iterations=1)
+    from repro.ucode.rows import Row
+    stock_aborts = table8(stock_measurement).row_totals[Row.ABORTS]
+    clean_aborts = table8(clean).row_totals[Row.ABORTS]
+    print(f"\nAborts cycles/instr: patched {stock_aborts:.3f}  "
+          f"clean {clean_aborts:.3f}")
+    assert clean_aborts < stock_aborts
+
+
+def test_bench_ablation_larger_ib(benchmark, stock_measurement):
+    """A 16-byte IB cannot hurt IB stalls (it mostly helps branch-free
+    stretches; branch refills still pay the redirect latency)."""
+    wide = benchmark.pedantic(
+        run_config, args=(STOCK.with_overrides(ib_bytes=16),),
+        rounds=1, iterations=1)
+    stock_ib = table8(stock_measurement).column_totals[Column.IBSTALL]
+    wide_ib = table8(wide).column_totals[Column.IBSTALL]
+    print(f"\nIB-stall cycles/instr: 8-byte {stock_ib:.3f}  "
+          f"16-byte {wide_ib:.3f}")
+    assert wide_ib <= stock_ib * 1.1
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Raw simulator speed: instructions simulated per second."""
+    def short_run():
+        machine = VAX780()
+        executive = Executive(machine, TIMESHARING_RESEARCH, seed=7)
+        executive.boot()
+        executive.run(4000)
+        return machine
+
+    machine = benchmark.pedantic(short_run, rounds=2, iterations=1)
+    assert machine.tracer.instructions >= 4000
+
+
+def test_bench_ablation_overlapped_decode(benchmark, stock_measurement):
+    """§5: "saving the non-overlapped I-Decode cycle could save one cycle
+    on each non-PC-changing instruction. (The later VAX model 11/750 did
+    exactly this.)"  The saving equals one cycle times the non-PC-changing
+    fraction (~60-75% of instructions)."""
+    overlapped = benchmark.pedantic(
+        run_config, args=(STOCK.with_overrides(overlapped_decode=True),),
+        rounds=1, iterations=1)
+    # Overlapped dispatches are event counts, not cycles (see
+    # machine.step), so compare wall-clock cycles per instruction.
+    stock_cpi = stock_measurement.cycles \
+        / stock_measurement.tracer.instructions
+    fast_cpi = overlapped.cycles / overlapped.tracer.instructions
+    saving = stock_cpi - fast_cpi
+    print(f"\nCPI: non-overlapped {stock_cpi:.2f}  "
+          f"overlapped (11/750-style) {fast_cpi:.2f}  "
+          f"saving {saving:.2f} cycles/instr")
+    assert 0.3 < saving < 1.3

@@ -1,0 +1,74 @@
+"""Benchmark regenerating Table 8 — the paper's centrepiece.
+
+The complete cycles-per-average-instruction decomposition: where every
+200 ns of the average VAX instruction goes, across 14 activity rows and
+6 cycle-kind columns.
+"""
+
+from repro.analysis import table8
+from repro.report import paper
+from repro.report.compare import within_factor, within_slack
+from repro.report.format import render_table8
+from repro.ucode.rows import Column, Row
+from benchmarks.conftest import emit
+
+
+def test_bench_table8_cycles_per_instruction(benchmark,
+                                             composite_measurement):
+    result = benchmark(table8, composite_measurement)
+    emit(render_table8(result))
+
+    # Headline: CPI of the same order as the paper's 10.6.
+    assert within_factor(result.cycles_per_instruction,
+                         paper.CYCLES_PER_INSTRUCTION, 1.8)
+
+    # The Decode row's compute is exactly one cycle per instruction
+    # (§2.1: the single non-overlapped I-Decode cycle).
+    assert within_slack(result.cells[(Row.DECODE, Column.COMPUTE)],
+                        1.000, 0.01)
+
+    # Row shape: Decode + specifier processing is the largest block.
+    front_end = (result.row_totals[Row.DECODE]
+                 + result.row_totals[Row.SPEC1]
+                 + result.row_totals[Row.SPEC26]
+                 + result.row_totals[Row.BDISP])
+    share = front_end / result.cycles_per_instruction
+    assert 0.25 < share < 0.65  # paper: "almost half"
+
+    # CALL/RET contributes the most of any execute row despite its low
+    # frequency (§5's headline observation).
+    exec_rows = (Row.EX_SIMPLE, Row.EX_FIELD, Row.EX_FLOAT,
+                 Row.EX_CALLRET, Row.EX_SYSTEM, Row.EX_CHARACTER,
+                 Row.EX_DECIMAL)
+    heaviest = max(exec_rows, key=lambda r: result.row_totals[r])
+    assert heaviest in (Row.EX_CALLRET, Row.EX_SIMPLE)
+    assert result.row_totals[Row.EX_CALLRET] > \
+        0.5 * result.row_totals[Row.EX_SIMPLE]
+
+    # Column shape: compute dominates; each stall class is within a
+    # factor of the paper's.
+    cols = result.column_totals
+    assert cols[Column.COMPUTE] == max(cols.values())
+    assert within_factor(cols[Column.READ],
+                         paper.TABLE8_COLUMN_TOTALS["Read"], 1.6)
+    assert within_factor(cols[Column.WRITE],
+                         paper.TABLE8_COLUMN_TOTALS["Write"], 1.8)
+    assert within_factor(cols[Column.IBSTALL],
+                         paper.TABLE8_COLUMN_TOTALS["IB-Stall"], 1.8)
+    assert within_factor(cols[Column.WSTALL],
+                         paper.TABLE8_COLUMN_TOTALS["W-Stall"], 2.5)
+    assert within_factor(cols[Column.RSTALL],
+                         paper.TABLE8_COLUMN_TOTALS["R-Stall"], 3.0)
+
+    # Overheads exist and are minor: memory management, interrupts and
+    # aborts together stay under 2 cycles.
+    overhead = (result.row_totals[Row.MEM_MGMT]
+                + result.row_totals[Row.INT_EXCEPT]
+                + result.row_totals[Row.ABORTS])
+    assert 0.1 < overhead < 2.0
+
+    # The SIMPLE group, 84% of executions, uses only ~10% of the time
+    # in its execute phase (§5).
+    simple_share = result.row_totals[Row.EX_SIMPLE] \
+        / result.cycles_per_instruction
+    assert simple_share < 0.25

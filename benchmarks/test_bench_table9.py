@@ -1,0 +1,46 @@
+"""Benchmark regenerating Table 9: per-group execute cost (unweighted)."""
+
+from repro.analysis import table9
+from repro.arch.groups import OpcodeGroup
+from repro.report import paper
+from repro.report.compare import within_factor
+from repro.report.format import render_table9
+from benchmarks.conftest import emit
+
+
+def test_bench_table9_within_group_cycles(benchmark,
+                                          composite_measurement):
+    result = benchmark(table9, composite_measurement)
+    emit(render_table9(result))
+
+    totals = result.totals
+
+    # "The computation associated with the average simple instruction is
+    # quite simple: a little over one cycle" (§5).
+    assert 0.8 < totals[OpcodeGroup.SIMPLE] < 2.0
+
+    # "The range of cycle time requirements ... covers two orders of
+    # magnitude" (§5).
+    heavy = max(totals[OpcodeGroup.CHARACTER],
+                totals[OpcodeGroup.DECIMAL])
+    assert heavy / totals[OpcodeGroup.SIMPLE] > 50
+
+    # Orderings the paper reports.
+    assert totals[OpcodeGroup.CHARACTER] > totals[OpcodeGroup.CALLRET]
+    assert totals[OpcodeGroup.CALLRET] > totals[OpcodeGroup.FLOAT]
+    assert totals[OpcodeGroup.CALLRET] > totals[OpcodeGroup.SIMPLE]
+
+    # Magnitudes within a factor of the paper's means.
+    assert within_factor(totals[OpcodeGroup.SIMPLE],
+                         paper.TABLE9_TOTALS["Simple"], 1.6)
+    assert within_factor(totals[OpcodeGroup.CALLRET],
+                         paper.TABLE9_TOTALS["Call/Ret"], 1.8)
+    assert within_factor(totals[OpcodeGroup.CHARACTER],
+                         paper.TABLE9_TOTALS["Character"], 2.0)
+    assert within_factor(totals[OpcodeGroup.FIELD],
+                         paper.TABLE9_TOTALS["Field"], 2.0)
+    assert within_factor(totals[OpcodeGroup.FLOAT],
+                         paper.TABLE9_TOTALS["Float"], 2.0)
+    if result.group_instructions[OpcodeGroup.DECIMAL]:
+        assert within_factor(totals[OpcodeGroup.DECIMAL],
+                             paper.TABLE9_TOTALS["Decimal"], 2.2)

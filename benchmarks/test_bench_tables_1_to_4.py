@@ -1,0 +1,87 @@
+"""Benchmarks regenerating Tables 1-4 from the composite µPC histogram.
+
+Each benchmark times the paper's data-reduction step (raw histogram ->
+published table) and asserts the reproduction's shape targets.
+"""
+
+import pytest
+
+from repro.analysis import table1, table2, table3, table4
+from repro.arch.groups import GROUP_ORDER, OpcodeGroup
+from repro.report import paper
+from repro.report.compare import same_ordering, within_factor, within_slack
+from repro.report.format import (render_table1, render_table2,
+                                 render_table3, render_table4)
+from benchmarks.conftest import emit
+
+
+def test_bench_table1_opcode_group_frequency(benchmark,
+                                             composite_measurement):
+    result = benchmark(table1, composite_measurement)
+    emit(render_table1(result))
+
+    freq = {g.value: result.frequency_percent[g] for g in GROUP_ORDER}
+    # Ordering: Simple dominates and the rare groups stay rare.
+    assert freq["Simple"] == max(freq.values())
+    assert within_slack(freq["Simple"], paper.TABLE1_FREQUENCY["Simple"],
+                        8.0)
+    for group in ("Field", "Float", "Call/Ret", "System"):
+        assert within_factor(freq[group], paper.TABLE1_FREQUENCY[group],
+                             2.5), group
+    assert freq["Character"] < 2.5
+    assert freq["Decimal"] < 1.0
+
+
+def test_bench_table2_pc_changing_instructions(benchmark,
+                                               composite_measurement):
+    result = benchmark(table2, composite_measurement)
+    emit(render_table2(result))
+
+    assert within_factor(result.total_percent, paper.TABLE2_TOTAL[0], 1.8)
+    assert within_slack(result.total_taken_percent, paper.TABLE2_TOTAL[1],
+                        15.0)
+    by_label = {row.label: row for row in result.rows}
+    # The always-taken classes really are always taken.
+    for label in ("Subroutine call and return", "Case branch (CASEx)",
+                  "Procedure call and return", "System branches (REI)"):
+        row = by_label[label]
+        if row.executed:
+            assert row.percent_taken == pytest.approx(100.0)
+    # Loop branches approach the paper's ~10-iteration behaviour.
+    assert by_label["Loop branches"].percent_taken > 75
+
+
+def test_bench_table3_specifier_counts(benchmark, composite_measurement):
+    result = benchmark(table3, composite_measurement)
+    emit(render_table3(result))
+
+    assert within_factor(result.first_specifiers,
+                         paper.TABLE3["first_specifiers"], 1.35)
+    assert within_factor(result.other_specifiers,
+                         paper.TABLE3["other_specifiers"], 1.35)
+    assert within_factor(result.branch_displacements,
+                         paper.TABLE3["branch_displacements"], 1.8)
+
+
+def test_bench_table4_specifier_distribution(benchmark,
+                                             composite_measurement):
+    result = benchmark(table4, composite_measurement)
+    emit(render_table4(result))
+
+    total = result.total_percent
+    # Register mode is the most common mode overall (§3.2) ...
+    assert total["Register"] == max(total.values())
+    assert within_slack(total["Register"], 41.0, 12.0)
+    # ... register is commoner after the first specifier than in it ...
+    assert result.spec26_percent["Register"] > \
+        result.spec1_percent["Register"]
+    # ... displacement is the most common memory mode ...
+    memory_modes = ("Displacement", "Register deferred", "Autoincrement",
+                    "Autodecrement", "Disp. deferred", "Absolute",
+                    "Autoinc. deferred")
+    assert total["Displacement"] == max(total[m] for m in memory_modes)
+    # ... short literals far outnumber immediates (§3.2) ...
+    assert total["Short literal"] > 3 * total["Immediate"]
+    # ... and indexing is surprisingly common (§3.2: 6.3 %).
+    assert within_factor(result.indexed_percent,
+                         paper.TABLE4_INDEXED_PERCENT, 2.0)

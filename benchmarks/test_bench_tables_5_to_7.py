@@ -1,0 +1,58 @@
+"""Benchmarks regenerating Tables 5-7."""
+
+from repro.analysis import table5, table6, table7
+from repro.report import paper
+from repro.report.compare import within_factor
+from repro.report.format import render_table5, render_table6, render_table7
+from benchmarks.conftest import emit
+
+
+def test_bench_table5_reads_writes(benchmark, composite_measurement):
+    result = benchmark(table5, composite_measurement)
+    emit(render_table5(result))
+
+    assert within_factor(result.total_reads, paper.TABLE5_TOTAL_READS, 1.6)
+    assert within_factor(result.total_writes, paper.TABLE5_TOTAL_WRITES,
+                         1.8)
+    # Reads outnumber writes about two to one (§3.3.1).
+    ratio = result.total_reads / result.total_writes
+    assert 1.2 < ratio < 3.5
+    # Spec 1 reads dominate Spec 2-6 reads, as in the paper.
+    assert result.rows["Spec 1"][0] > result.rows["Spec 2-6"][0]
+    # The CALL/RET group makes the largest execute-row contribution to
+    # both reads and writes ("the greatest portion", §3.3.1).
+    exec_rows = {k: v for k, v in result.rows.items()
+                 if k not in ("Spec 1", "Spec 2-6", "Other")}
+    callret_reads = result.rows["Call/Ret"][0]
+    callret_writes = result.rows["Call/Ret"][1]
+    assert callret_reads == max(r for r, _ in exec_rows.values())
+    assert callret_writes == max(w for _, w in exec_rows.values())
+
+
+def test_bench_table6_instruction_size(benchmark, composite_measurement):
+    result = benchmark(table6, composite_measurement)
+    emit(render_table6(result))
+
+    assert within_factor(result.total_bytes, paper.TABLE6["total_bytes"],
+                         1.25)
+    assert within_factor(result.avg_specifier_size,
+                         paper.TABLE6["avg_specifier_size"], 1.35)
+    assert within_factor(result.specifiers_per_instruction,
+                         paper.TABLE6["specifiers_per_instruction"], 1.3)
+
+
+def test_bench_table7_headways(benchmark, composite_measurement):
+    result = benchmark(table7, composite_measurement)
+    emit(render_table7(result))
+
+    ref = paper.TABLE7
+    assert within_factor(result.interrupt_headway, ref["interrupts"], 2.5)
+    assert within_factor(result.software_interrupt_request_headway,
+                         ref["software_interrupt_requests"], 2.5)
+    assert within_factor(result.context_switch_headway,
+                         ref["context_switches"], 2.5)
+    # Ordering: software requests are rarer than interrupts, context
+    # switches rarer still.
+    assert result.interrupt_headway < \
+        result.software_interrupt_request_headway < \
+        result.context_switch_headway * 1.2

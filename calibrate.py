@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Calibration harness: composite vs paper, every quantity on one page.
+
+Not part of the library — a development tool for tuning profiles/costs.
+"""
+import sys
+import time
+
+from repro.analysis import (Measurement, section4, table1, table2, table3,
+                            table4, table5, table6, table7, table8, table9)
+from repro.workloads.experiments import standard_composite
+
+N = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+
+t0 = time.time()
+meas = standard_composite(instructions=N)
+print(f"[composite of 5 x {N} instructions in {time.time()-t0:.1f}s]\n")
+
+t1 = table1(meas)
+PAPER1 = {"Simple": 83.60, "Field": 6.92, "Float": 3.62, "Call/Ret": 3.22,
+          "System": 2.11, "Character": 0.43, "Decimal": 0.03}
+print("TABLE 1 (group %)          measured   paper")
+for g, p in t1.frequency_percent.items():
+    print(f"  {g.value:12s} {p:10.2f} {PAPER1[g.value]:8.2f}")
+
+t2 = table2(meas)
+PAPER2 = {"Simple cond., plus BRB, BRW": (19.3, 56), "Loop branches": (4.1, 91),
+          "Low-bit tests": (2.0, 41), "Subroutine call and return": (4.5, 100),
+          "Unconditional (JMP)": (0.3, 100), "Case branch (CASEx)": (0.9, 100),
+          "Bit branches": (4.3, 44), "Procedure call and return": (2.4, 100),
+          "System branches (REI)": (0.4, 100)}
+print("\nTABLE 2 (branch type: %instr / %taken)    measured      paper")
+for row in t2.rows:
+    pp = PAPER2[row.label]
+    print(f"  {row.label:30s} {row.percent_of_instructions:6.1f} "
+          f"{row.percent_taken:5.0f}   | {pp[0]:5.1f} {pp[1]:4d}")
+print(f"  {'TOTAL':30s} {t2.total_percent:6.1f} "
+      f"{t2.total_taken_percent:5.0f}   |  38.5   67")
+
+t3 = table3(meas)
+print(f"\nTABLE 3: spec1 {t3.first_specifiers:.3f} (0.726)  "
+      f"spec2-6 {t3.other_specifiers:.3f} (0.758)  "
+      f"bdisp {t3.branch_displacements:.3f} (0.312)")
+
+t4 = table4(meas)
+PAPER4 = {"Register": (28.7, 52.6, 41.0), "Short literal": (21.1, 10.8, 15.8),
+          "Immediate": (3.2, 1.7, 2.4), "Displacement": (25.0, None, None)}
+print("\nTABLE 4 (mode %: spec1/spec2-6/total)")
+for row, total in t4.total_percent.items():
+    print(f"  {row:18s} {t4.spec1_percent[row]:6.1f} "
+          f"{t4.spec26_percent[row]:6.1f} {total:6.1f}")
+print(f"  indexed: {t4.indexed_percent:.1f}% (paper 6.3%)")
+
+t5 = table5(meas)
+print(f"\nTABLE 5 reads/writes per instr: "
+      f"total R {t5.total_reads:.3f} (0.783)  W {t5.total_writes:.3f} (0.409)")
+for label, (r, w) in t5.rows.items():
+    print(f"  {label:12s} R {r:6.3f}  W {w:6.3f}")
+
+t6 = table6(meas)
+print(f"\nTABLE 6: specs/instr {t6.specifiers_per_instruction:.2f} (1.48), "
+      f"spec size {t6.avg_specifier_size:.2f} (1.68), "
+      f"total {t6.total_bytes:.2f} bytes (3.8)")
+
+t7 = table7(meas)
+print(f"\nTABLE 7 headways: swreq {t7.software_interrupt_request_headway:.0f}"
+      f" (2539)  int {t7.interrupt_headway:.0f} (637)  "
+      f"ctxsw {t7.context_switch_headway:.0f} (6418)")
+
+t8 = table8(meas)
+print(f"\nTABLE 8 (cycles/instr)  CPI = {t8.cycles_per_instruction:.2f} (10.59)")
+PAPER8_ROWS = {"Decode": 1.613, "Spec 1": 1.052, "Spec 2-6": 1.226,
+               "Simple": 0.977, "Field": 0.600, "Float": 0.302,
+               "Call/Ret": 1.458, "System": 0.482, "Character": 0.506,
+               "Decimal": 0.031, "Int/Except": 0.071, "Mem Mgmt": 0.824,
+               "Aborts": 0.127}
+for row, tot in t8.row_totals.items():
+    ref = PAPER8_ROWS.get(row.value, None)
+    refs = f"{ref:8.3f}" if ref is not None else "     ~  "
+    print(f"  {row.value:12s} {tot:8.3f} {refs}")
+PAPER8_COLS = {"Compute": 7.267, "Read": 0.783, "R-Stall": 0.964,
+               "Write": 0.409, "W-Stall": 0.450, "IB-Stall": 0.720}
+print("  columns:")
+for col, tot in t8.column_totals.items():
+    print(f"  {col.value:12s} {tot:8.3f} {PAPER8_COLS[col.value]:8.3f}")
+
+t9 = table9(meas)
+PAPER9 = {"Simple": 1.17, "Field": 8.67, "Float": 8.33, "Call/Ret": 45.25,
+          "System": 22.83, "Character": 117.04, "Decimal": 100.77}
+print("\nTABLE 9 (cycles per group instr)")
+for g, tot in t9.totals.items():
+    print(f"  {g.value:12s} {tot:8.2f} {PAPER9[g.value]:8.2f}")
+
+s4 = section4(meas)
+print(f"\nSECTION 4: ib refs/instr {s4.ib_references_per_instruction:.2f}"
+      f" (2.2)  bytes/ref {s4.ib_bytes_per_reference:.2f} (1.7)")
+print(f"  cache misses/instr {s4.cache_read_misses_per_instruction:.3f}"
+      f" (0.28): I {s4.cache_i_misses_per_instruction:.3f} (0.18)"
+      f"  D {s4.cache_d_misses_per_instruction:.3f} (0.10)")
+print(f"  tb misses/instr {s4.tb_misses_per_instruction:.4f} (0.029): "
+      f"D {s4.tb_d_misses_per_instruction:.4f} (0.020) "
+      f"I {s4.tb_i_misses_per_instruction:.4f} (0.009)")
+print(f"  tb service {s4.tb_service_cycles:.1f} (21.6) "
+      f"stall {s4.tb_service_stall_cycles:.1f} (3.5)")
+print(f"  unaligned/instr {s4.unaligned_refs_per_instruction:.4f} (0.016)")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Microcode hot spots: what the original analysts saw in the raw data.
+
+The paper's authors called the µPC histogram "a general resource from
+which the answers to many questions ... can be obtained simply by doing
+additional interpretation of the raw histogram data" (§2.2).  This
+example does exactly that interpretation: it ranks control-store
+addresses by cycles consumed (execution + stall), labels each with its
+routine and slot from the microcode map, and prints the machine's hot
+microcode — without any of the table machinery.
+
+Run:  python examples/microcode_hotspots.py [instructions]
+"""
+
+import sys
+
+from repro.analysis.reduction import reference_map
+from repro.workloads.experiments import run_workload
+from repro.workloads.profiles import TIMESHARING_RESEARCH
+
+
+def main():
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    measurement = run_workload(TIMESHARING_RESEARCH, instructions)
+    histogram = measurement.histogram
+    store, umap = reference_map()
+
+    rows = []
+    for annotation in store.annotations():
+        executions = histogram.nonstalled[annotation.address]
+        stalled = histogram.stalled[annotation.address]
+        if executions or stalled:
+            rows.append((executions + stalled, executions, stalled,
+                         annotation))
+    rows.sort(key=lambda r: -r[0])
+
+    total_cycles = histogram.total_cycles()
+    print(f"{'uPC':>5s}  {'cycles':>9s} {'%':>6s} {'exec':>9s} "
+          f"{'stall':>8s}  {'row':12s} routine.slot")
+    print("-" * 78)
+    shown = 0
+    for cycles, executions, stalled, ann in rows[:30]:
+        share = 100.0 * cycles / total_cycles
+        shown += share
+        print(f"{ann.address:5d}  {cycles:9d} {share:6.2f} "
+              f"{executions:9d} {stalled:8d}  {ann.row.value:12s} "
+              f"{ann.routine}.{ann.slot}")
+    print("-" * 78)
+    print(f"top 30 locations cover {shown:.1f}% of all "
+          f"{total_cycles} measured cycles")
+    print()
+    print("The decode dispatch for MOV and the conditional-branch flow")
+    print("dominate, with the insufficient-bytes (IB stall) dispatch and")
+    print("the TB-miss PTE read carrying the big stall counts - the same")
+    print("picture the 1984 analysts reduced into Table 8.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Sensitivity study: sweep cache and TB geometry around the 11/780's.
+
+The paper closes §3.4 noting the context-switch headway "is useful in
+setting the 'flush' interval in cache and translation buffer
+simulations".  This example IS such a simulation: the same workload over
+a grid of cache sizes and TB sizes, reporting miss rates and CPI — the
+kind of design-space exploration the 11/780's measurements enabled.
+
+Run:  python examples/tb_cache_sensitivity.py [instructions]
+"""
+
+import sys
+
+from repro.analysis import Measurement, section4, table8
+from repro.cpu.machine import VAX780
+from repro.osim.executive import Executive
+from repro.params import VAX780 as STOCK
+from repro.workloads.profiles import TIMESHARING_RESEARCH
+
+
+def run_config(params, instructions):
+    machine = VAX780(params)
+    executive = Executive(machine, TIMESHARING_RESEARCH, seed=1984)
+    executive.boot()
+    executive.run(instructions)
+    return Measurement.capture(f"sweep", machine)
+
+
+def main():
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+
+    print("Cache size sweep (stock = 8 KB, 2-way, 8-byte blocks)")
+    print(f"{'size':>8s} {'misses/instr':>13s} {'CPI':>7s}")
+    for kb in (2, 4, 8, 16, 32):
+        params = STOCK.with_overrides(cache_bytes=kb * 1024)
+        measurement = run_config(params, instructions)
+        events = section4(measurement)
+        cpi = table8(measurement).cycles_per_instruction
+        marker = "  <- 11/780" if kb == 8 else ""
+        print(f"{kb:6d}KB {events.cache_read_misses_per_instruction:13.3f}"
+              f" {cpi:7.2f}{marker}")
+
+    print()
+    print("Translation buffer sweep (stock = 128 entries, 2-way, "
+          "split halves)")
+    print(f"{'entries':>8s} {'TB miss/instr':>14s} {'Mem Mgmt cyc':>13s} "
+          f"{'CPI':>7s}")
+    from repro.ucode.rows import Row
+    for entries in (32, 64, 128, 256):
+        params = STOCK.with_overrides(tb_entries=entries)
+        measurement = run_config(params, instructions)
+        events = section4(measurement)
+        t8 = table8(measurement)
+        marker = "  <- 11/780" if entries == 128 else ""
+        print(f"{entries:8d} {events.tb_misses_per_instruction:14.4f} "
+              f"{t8.row_totals[Row.MEM_MGMT]:13.3f} "
+              f"{t8.cycles_per_instruction:7.2f}{marker}")
+
+    print()
+    print("Write buffer depth (stock = one longword; §5 blames it for")
+    print("the CALL instruction's stalls)")
+    from repro.ucode.rows import Column
+    print(f"{'depth':>8s} {'W-stall/instr':>14s} {'CPI':>7s}")
+    for depth in (1, 2, 4):
+        params = STOCK.with_overrides(write_buffer_depth=depth)
+        measurement = run_config(params, instructions)
+        t8 = table8(measurement)
+        marker = "  <- 11/780" if depth == 1 else ""
+        print(f"{depth:8d} {t8.column_totals[Column.WSTALL]:14.3f} "
+              f"{t8.cycles_per_instruction:7.2f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The full paper reproduction: five workloads, composite, every table.
+
+This is the flagship example: it performs the paper's §2.2 measurement
+campaign end to end — two live-timesharing-style workloads and three
+RTE-style synthetic environments, each booted under the modeled executive
+on its own machine, measured with the µPC histogram monitor, summed into
+the composite, and reduced to Tables 1-9 plus the §4 implementation
+events and Figure 1.
+
+Run:  python examples/timesharing_characterization.py [instructions]
+
+The default 40000 measured instructions per workload takes about half a
+minute; the table benchmarks use 60000.
+"""
+
+import sys
+import time
+
+from repro.analysis import (section4, table1, table2, table3, table4,
+                            table5, table6, table7, table8, table9)
+from repro.cpu.machine import VAX780
+from repro.report.format import (render_figure1, render_section4,
+                                 render_table1, render_table2,
+                                 render_table3, render_table4,
+                                 render_table5, render_table6,
+                                 render_table7, render_table8,
+                                 render_table9)
+from repro.workloads.experiments import (run_standard_experiments,
+                                         standard_composite)
+
+
+def main():
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+
+    print("=" * 72)
+    print("A Characterization of Processor Performance in the VAX-11/780")
+    print("Emer & Clark, ISCA 1984 - reproduction run")
+    print("=" * 72)
+
+    print(render_figure1(VAX780()))
+
+    started = time.time()
+    print(f"Running the five workload experiments "
+          f"({instructions} measured instructions each)...")
+    runs = run_standard_experiments(instructions=instructions)
+    for name, measurement in runs.items():
+        cpi = table8(measurement).cycles_per_instruction
+        print(f"  {name:24s} CPI {cpi:5.2f}  "
+              f"({measurement.tracer.instructions} instructions)")
+    composite = standard_composite(instructions=instructions)
+    print(f"simulation took {time.time() - started:.1f}s; "
+          f"composite = sum of the five histograms (paper §2.2)")
+    print()
+
+    renderers = [
+        (render_table1, table1), (render_table2, table2),
+        (render_table3, table3), (render_table4, table4),
+        (render_table5, table5), (render_table6, table6),
+        (render_table7, table7), (render_table8, table8),
+        (render_table9, table9), (render_section4, section4),
+    ]
+    for render, compute in renderers:
+        print(render(compute(composite)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Reproduction of Emer & Clark, "A Characterization of Processor
+Performance in the VAX-11/780" (ISCA 1984).
+
+A VAX-11/780 micro-architectural simulator with a micro-PC histogram
+monitor, a VMS-like executive driving synthetic timesharing workloads,
+and an analysis pipeline that regenerates every table in the paper.
+
+Quick start::
+
+    from repro import VAX780, Executive, TIMESHARING_RESEARCH
+    from repro.analysis import Measurement, table8
+
+    machine = VAX780()
+    executive = Executive(machine, TIMESHARING_RESEARCH)
+    executive.boot()
+    executive.run(50_000)
+    result = table8(Measurement.capture("demo", machine))
+    print(result.cycles_per_instruction)
+"""
+
+from repro.cpu.machine import VAX780
+from repro.osim.executive import Executive
+from repro.params import MachineParams, VAX780 as VAX780_PARAMS
+from repro.workloads.profiles import (COMMERCIAL, EDUCATIONAL, MixProfile,
+                                      SCIENTIFIC, STANDARD_PROFILES,
+                                      TIMESHARING_CPU_DEV,
+                                      TIMESHARING_RESEARCH)
+
+__version__ = "1.0.0"
+
+__all__ = ["VAX780", "Executive", "MachineParams", "VAX780_PARAMS",
+           "COMMERCIAL", "EDUCATIONAL", "MixProfile", "SCIENTIFIC",
+           "STANDARD_PROFILES", "TIMESHARING_CPU_DEV",
+           "TIMESHARING_RESEARCH", "__version__"]

@@ -1,0 +1,19 @@
+"""Analysis: histogram reduction and the paper's Tables 1-9."""
+
+from repro.analysis.measurement import (Measurement, MemoryStats,
+                                        TracerStats, composite)
+from repro.analysis.reduction import Reduction, reference_map
+from repro.analysis.tables import (Section4Result, Table1Result,
+                                   Table2Result, Table3Result, Table4Result,
+                                   Table5Result, Table6Result, Table7Result,
+                                   Table8Result, Table9Result, section4,
+                                   table1, table2, table3, table4, table5,
+                                   table6, table7, table8, table9)
+
+__all__ = ["Measurement", "MemoryStats", "TracerStats", "composite",
+           "Reduction", "reference_map",
+           "Section4Result", "Table1Result", "Table2Result", "Table3Result",
+           "Table4Result", "Table5Result", "Table6Result", "Table7Result",
+           "Table8Result", "Table9Result", "section4", "table1", "table2",
+           "table3", "table4", "table5", "table6", "table7", "table8",
+           "table9"]

@@ -1,0 +1,140 @@
+"""Measurement capture and composition.
+
+A :class:`Measurement` is everything one experiment run produces: the µPC
+histogram (the paper's instrument), the ground-truth tracer, and the
+memory-subsystem statistics the paper imported from its companion cache
+study.  Measurements add, which is how the paper's *composite* workload is
+built: "the sum of the five µPC histograms" (§2.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.monitor.histogram import Histogram
+
+
+class MemoryStats:
+    """Snapshot of cache/TB/IB/alignment statistics for one run."""
+
+    __slots__ = ("cache_read_hits", "cache_read_misses", "cache_write_hits",
+                 "cache_write_misses", "tb_hits", "tb_misses",
+                 "tb_d_misses", "tb_i_misses", "ib_references",
+                 "ib_bytes_delivered", "unaligned_reads",
+                 "unaligned_writes", "write_stall_cycles", "writes")
+
+    def __init__(self, machine=None) -> None:
+        if machine is None:
+            self.cache_read_hits = Counter()
+            self.cache_read_misses = Counter()
+            self.cache_write_hits = 0
+            self.cache_write_misses = 0
+            self.tb_hits = 0
+            self.tb_misses = 0
+            self.tb_d_misses = 0
+            self.tb_i_misses = 0
+            self.ib_references = 0
+            self.ib_bytes_delivered = 0
+            self.unaligned_reads = 0
+            self.unaligned_writes = 0
+            self.write_stall_cycles = 0
+            self.writes = 0
+            return
+        cache = machine.mem.cache.stats
+        self.cache_read_hits = Counter(cache.read_hits)
+        self.cache_read_misses = Counter(cache.read_misses)
+        self.cache_write_hits = cache.write_hits
+        self.cache_write_misses = cache.write_misses
+        tb = machine.tb.stats
+        self.tb_hits = tb.hits
+        self.tb_misses = tb.misses
+        self.tb_d_misses = tb.d_misses
+        self.tb_i_misses = tb.i_misses
+        ib = machine.ebox.ib
+        self.ib_references = ib.references
+        self.ib_bytes_delivered = ib.bytes_delivered
+        self.unaligned_reads = machine.mem.unaligned_reads
+        self.unaligned_writes = machine.mem.unaligned_writes
+        self.write_stall_cycles = machine.mem.write_buffer.stall_cycles
+        self.writes = machine.mem.write_buffer.writes
+
+    def __add__(self, other: "MemoryStats") -> "MemoryStats":
+        out = MemoryStats()
+        out.cache_read_hits = self.cache_read_hits + other.cache_read_hits
+        out.cache_read_misses = (self.cache_read_misses
+                                 + other.cache_read_misses)
+        for name in ("cache_write_hits", "cache_write_misses", "tb_hits",
+                     "tb_misses", "tb_d_misses", "tb_i_misses",
+                     "ib_references", "ib_bytes_delivered",
+                     "unaligned_reads", "unaligned_writes",
+                     "write_stall_cycles", "writes"):
+            setattr(out, name, getattr(self, name) + getattr(other, name))
+        return out
+
+
+class TracerStats:
+    """Snapshot of the ground-truth tracer for one run."""
+
+    _COUNTERS = ("opcode_counts", "family_counts", "group_counts",
+                 "branches_executed", "branches_taken", "specifier_modes",
+                 "tb_miss_services")
+    _SCALARS = ("instructions", "indexed_specifiers", "specifiers",
+                "branch_displacements", "branch_disp_bytes",
+                "instruction_bytes", "interrupts",
+                "software_interrupt_requests", "exceptions",
+                "context_switches", "tb_miss_cycles",
+                "tb_miss_stall_cycles", "page_faults")
+
+    def __init__(self, tracer=None) -> None:
+        for name in self._COUNTERS:
+            setattr(self, name,
+                    Counter(getattr(tracer, name)) if tracer else Counter())
+        for name in self._SCALARS:
+            setattr(self, name, getattr(tracer, name) if tracer else 0)
+
+    def __add__(self, other: "TracerStats") -> "TracerStats":
+        out = TracerStats()
+        for name in self._COUNTERS:
+            setattr(out, name, getattr(self, name) + getattr(other, name))
+        for name in self._SCALARS:
+            setattr(out, name, getattr(self, name) + getattr(other, name))
+        return out
+
+
+class Measurement:
+    """One experiment's complete observables."""
+
+    def __init__(self, name: str, histogram: Histogram,
+                 tracer: TracerStats, memory: MemoryStats,
+                 cycles: int) -> None:
+        self.name = name
+        self.histogram = histogram
+        self.tracer = tracer
+        self.memory = memory
+        self.cycles = cycles
+
+    @classmethod
+    def capture(cls, name: str, machine) -> "Measurement":
+        """Snapshot a machine after a measured run."""
+        return cls(name, machine.board.snapshot(),
+                   TracerStats(machine.tracer), MemoryStats(machine),
+                   machine.cycles)
+
+    def __add__(self, other: "Measurement") -> "Measurement":
+        return Measurement(f"{self.name}+{other.name}",
+                           self.histogram + other.histogram,
+                           self.tracer + other.tracer,
+                           self.memory + other.memory,
+                           self.cycles + other.cycles)
+
+
+def composite(measurements) -> Measurement:
+    """Sum measurements into the paper-style composite."""
+    measurements = list(measurements)
+    if not measurements:
+        raise ValueError("no measurements to composite")
+    total = measurements[0]
+    for m in measurements[1:]:
+        total = total + m
+    total.name = "composite"
+    return total

@@ -1,0 +1,141 @@
+"""VAX data types and the integer helpers the simulator is built on.
+
+The VAX is a little-endian 32-bit architecture with byte, word (16-bit),
+longword (32-bit), quadword (64-bit) integer types, packed-decimal strings,
+and F/D floating formats.  The simulator stores architectural values as
+Python ints masked to the type width; these helpers centralise the masking,
+sign extension and flag computation every execute flow relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DataType(enum.Enum):
+    """A VAX operand data type, as named in the architecture manual."""
+
+    BYTE = "b"
+    WORD = "w"
+    LONG = "l"
+    QUAD = "q"
+    F_FLOAT = "f"
+    D_FLOAT = "d"
+
+    @property
+    def size(self) -> int:
+        """Width of the type in bytes (F float is 4, D float is 8)."""
+        return _SIZES[self]
+
+    @property
+    def bits(self) -> int:
+        """Width of the type in bits."""
+        return _SIZES[self] * 8
+
+    @property
+    def is_float(self) -> bool:
+        """True for the floating-point formats."""
+        return self in (DataType.F_FLOAT, DataType.D_FLOAT)
+
+
+_SIZES = {
+    DataType.BYTE: 1,
+    DataType.WORD: 2,
+    DataType.LONG: 4,
+    DataType.QUAD: 8,
+    DataType.F_FLOAT: 4,
+    DataType.D_FLOAT: 8,
+}
+
+#: Masks per byte width, indexed by size in bytes.
+MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: 0xFFFFFFFFFFFFFFFF}
+
+#: Sign bits per byte width.
+SIGN_BITS = {1: 0x80, 2: 0x8000, 4: 0x80000000, 8: 0x8000000000000000}
+
+
+def mask(value: int, size: int) -> int:
+    """Truncate ``value`` to an unsigned field of ``size`` bytes."""
+    return value & MASKS[size]
+
+
+def sign_extend(value: int, size: int) -> int:
+    """Interpret the low ``size`` bytes of ``value`` as a signed integer."""
+    value = value & MASKS[size]
+    if value & SIGN_BITS[size]:
+        return value - (MASKS[size] + 1)
+    return value
+
+
+def is_negative(value: int, size: int) -> bool:
+    """True if ``value`` has its sign bit set for a ``size``-byte field."""
+    return bool(value & SIGN_BITS[size])
+
+
+def add_with_flags(a: int, b: int, size: int, carry_in: int = 0):
+    """Add two unsigned fields, returning ``(result, n, z, v, c)``.
+
+    Overflow (V) follows two's-complement rules; carry (C) is the VAX
+    convention for ADD (carry out of the most significant bit).
+    """
+    raw = (a & MASKS[size]) + (b & MASKS[size]) + carry_in
+    result = raw & MASKS[size]
+    n = is_negative(result, size)
+    z = result == 0
+    c = raw > MASKS[size]
+    sa, sb = is_negative(a, size), is_negative(b, size)
+    v = (sa == sb) and (is_negative(result, size) != sa)
+    return result, n, z, v, c
+
+
+def sub_with_flags(a: int, b: int, size: int, borrow_in: int = 0):
+    """Compute ``a - b`` on unsigned fields, returning ``(result, n, z, v, c)``.
+
+    C is set on borrow, matching the VAX SUB/CMP convention.
+    """
+    raw = (a & MASKS[size]) - (b & MASKS[size]) - borrow_in
+    result = raw & MASKS[size]
+    n = is_negative(result, size)
+    z = result == 0
+    c = raw < 0
+    sa, sb = is_negative(a, size), is_negative(b, size)
+    v = (sa != sb) and (is_negative(result, size) == sb)
+    return result, n, z, v, c
+
+
+def f_float_encode(value: float) -> int:
+    """Encode a Python float into a 32-bit VAX F_floating bit pattern.
+
+    VAX F floating: sign bit, 8-bit excess-128 exponent, 23-bit fraction
+    with a hidden leading 1 and a 0.5 <= f < 1 normalisation.  True zero is
+    an all-zero pattern.  Values out of range are clamped to the largest
+    finite magnitude; this simulator does not model reserved operands.
+    """
+    if value == 0.0:
+        return 0
+    sign = 0
+    if value < 0:
+        sign = 1
+        value = -value
+    import math
+
+    m, e = math.frexp(value)  # value = m * 2**e with 0.5 <= m < 1
+    exponent = e + 128
+    if exponent <= 0:
+        return 0  # underflow to zero
+    if exponent > 255:
+        exponent, m = 255, 0.9999999
+    fraction = int((m - 0.5) * (1 << 24)) & 0x7FFFFF
+    return (sign << 31) | (exponent << 23) | fraction
+
+
+def f_float_decode(pattern: int) -> float:
+    """Decode a 32-bit VAX F_floating bit pattern into a Python float."""
+    pattern &= 0xFFFFFFFF
+    exponent = (pattern >> 23) & 0xFF
+    if exponent == 0:
+        return 0.0  # true zero (sign ignored; reserved operands unmodeled)
+    sign = -1.0 if pattern & 0x80000000 else 1.0
+    fraction = pattern & 0x7FFFFF
+    m = 0.5 + fraction / float(1 << 24)
+    return sign * m * 2.0 ** (exponent - 128)

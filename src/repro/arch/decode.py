@@ -1,0 +1,157 @@
+"""Instruction decoding: I-stream bytes to :class:`Instruction` objects.
+
+The decoder mirrors the 11/780's I-Decode stage at an architectural level:
+it consumes an opcode byte, then one specifier per operand (honouring index
+prefixes, PC modes and displacement widths), and finally any branch
+displacement bytes.
+
+CASEx instructions carry a displacement table in the I-stream whose length
+depends on the *limit* operand.  The real machine discovers the table
+length at execute time; a decode-cached simulator needs it statically, so
+this subset requires CASEx limit operands to be short literals (which is
+how compilers emit them).  :class:`DecodeError` is raised otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.arch.datatypes import sign_extend
+from repro.arch.instruction import Instruction
+from repro.arch.opcodes import OPCODES_BY_VALUE
+from repro.arch.specifiers import AddressingMode, Specifier, pc_relative_mode
+
+
+class DecodeError(Exception):
+    """Raised for undecodable byte sequences (reserved or unsupported)."""
+
+
+_DISP_SIZES = {0xA: 1, 0xB: 1, 0xC: 2, 0xD: 2, 0xE: 4, 0xF: 4}
+
+
+def decode_specifier(fetch, addr: int, kind) -> Specifier:
+    """Decode one operand specifier starting at ``addr``.
+
+    Args:
+        fetch: callable ``fetch(address) -> int`` returning one byte.
+        addr: virtual address of the first specifier byte.
+        kind: the :class:`~repro.arch.opcodes.OperandKind` being decoded
+            (needed to size immediate data).
+
+    Returns:
+        A :class:`Specifier` with its total encoded ``length`` set.
+    """
+    start = addr
+    first = fetch(addr)
+    addr += 1
+
+    index_register = None
+    if (first >> 4) == 0x4:
+        index_register = first & 0xF
+        first = fetch(addr)
+        addr += 1
+        if (first >> 4) in (0x0, 0x1, 0x2, 0x3, 0x4, 0x5):
+            raise DecodeError(
+                f"illegal base specifier {first:#04x} after index prefix")
+
+    nibble = first >> 4
+    reg = first & 0xF
+
+    if nibble <= 0x3:
+        spec = Specifier(AddressingMode.SHORT_LITERAL, value=first & 0x3F)
+    elif nibble == 0x4:
+        raise DecodeError("index prefix may not follow an index prefix")
+    elif nibble == 0x5:
+        spec = Specifier(AddressingMode.REGISTER, register=reg)
+    elif nibble == 0x6:
+        spec = Specifier(AddressingMode.REGISTER_DEFERRED, register=reg)
+    elif nibble == 0x7:
+        spec = Specifier(AddressingMode.AUTODECREMENT, register=reg)
+    elif nibble == 0x8:
+        mode = pc_relative_mode(AddressingMode.AUTOINCREMENT, reg)
+        if mode is AddressingMode.IMMEDIATE:
+            size = kind.size
+            value = 0
+            for i in range(size):
+                value |= fetch(addr + i) << (8 * i)
+            addr += size
+            spec = Specifier(mode, register=reg, value=value)
+        else:
+            spec = Specifier(mode, register=reg)
+    elif nibble == 0x9:
+        mode = pc_relative_mode(AddressingMode.AUTOINC_DEFERRED, reg)
+        if mode is AddressingMode.ABSOLUTE:
+            value = 0
+            for i in range(4):
+                value |= fetch(addr + i) << (8 * i)
+            addr += 4
+            spec = Specifier(mode, register=reg, value=value)
+        else:
+            spec = Specifier(mode, register=reg)
+    else:
+        disp_size = _DISP_SIZES[nibble]
+        deferred = nibble in (0xB, 0xD, 0xF)
+        raw = 0
+        for i in range(disp_size):
+            raw |= fetch(addr + i) << (8 * i)
+        addr += disp_size
+        disp = sign_extend(raw, disp_size)
+        base = (AddressingMode.DISP_DEFERRED if deferred
+                else AddressingMode.DISPLACEMENT)
+        mode = pc_relative_mode(base, reg)
+        spec = Specifier(mode, register=reg, displacement=disp,
+                         disp_size=disp_size)
+
+    spec.index_register = index_register
+    spec.length = addr - start
+    return spec
+
+
+def decode_instruction(fetch, address: int) -> Instruction:
+    """Decode a full instruction starting at ``address``.
+
+    Args:
+        fetch: callable ``fetch(address) -> int`` returning one byte of the
+            I-stream (through the simulated virtual memory).
+        address: virtual address of the opcode byte.
+    """
+    opcode_byte = fetch(address)
+    info = OPCODES_BY_VALUE.get(opcode_byte)
+    if info is None:
+        raise DecodeError(
+            f"reserved or unimplemented opcode {opcode_byte:#04x} "
+            f"at {address:#010x}")
+
+    addr = address + 1
+    specifiers = []
+    for kind in info.specifier_operands:
+        spec = decode_specifier(fetch, addr, kind)
+        addr += spec.length
+        spec.end_offset = addr - address
+        specifiers.append(spec)
+
+    branch_displacement = None
+    branch_kind = info.branch_operand
+    if branch_kind is not None:
+        size = 1 if branch_kind.dtype == "b" else 2
+        raw = 0
+        for i in range(size):
+            raw |= fetch(addr + i) << (8 * i)
+        addr += size
+        branch_displacement = sign_extend(raw, size)
+
+    case_table = None
+    if info.family == "CASE":
+        limit_spec = specifiers[2]
+        if limit_spec.mode is not AddressingMode.SHORT_LITERAL:
+            raise DecodeError(
+                f"{info.mnemonic} limit must be a short literal in this "
+                f"subset (decode caching needs a static table length)")
+        entries = limit_spec.value + 1
+        table = []
+        for i in range(entries):
+            raw = fetch(addr) | (fetch(addr + 1) << 8)
+            table.append(sign_extend(raw, 2))
+            addr += 2
+        case_table = tuple(table)
+
+    return Instruction(info, tuple(specifiers), branch_displacement,
+                       case_table, addr - address, address)

@@ -1,0 +1,147 @@
+"""Disassembler: decoded instructions back to VAX MACRO text.
+
+The inverse of :mod:`repro.asm`: useful for inspecting generated
+workloads and the modeled kernel, for debugging execute flows, and for
+the CLI's ``disasm`` command.  Output parses back through the text
+assembler for every construct the assembler supports (round-trip tested).
+"""
+
+from __future__ import annotations
+
+from repro.arch.decode import decode_instruction
+from repro.arch.instruction import Instruction
+from repro.arch.registers import REGISTER_NAMES
+from repro.arch.specifiers import AddressingMode, Specifier
+
+_M = AddressingMode
+
+
+def _reg(n: int) -> str:
+    return REGISTER_NAMES[n].lower()
+
+
+def format_specifier(spec: Specifier, kind, inst: Instruction) -> str:
+    """Render one operand specifier in VAX MACRO syntax."""
+    mode = spec.mode
+    if mode is _M.SHORT_LITERAL:
+        return f"s^#{spec.value}"
+    if mode is _M.REGISTER:
+        body = _reg(spec.register)
+    elif mode is _M.IMMEDIATE:
+        body = f"i^#{spec.value}"
+    elif mode is _M.ABSOLUTE:
+        body = f"@#^x{spec.value:X}"
+    elif mode is _M.REGISTER_DEFERRED:
+        body = f"({_reg(spec.register)})"
+    elif mode is _M.AUTOINCREMENT:
+        body = f"({_reg(spec.register)})+"
+    elif mode is _M.AUTODECREMENT:
+        body = f"-({_reg(spec.register)})"
+    elif mode is _M.AUTOINC_DEFERRED:
+        body = f"@({_reg(spec.register)})+"
+    elif mode is _M.DISPLACEMENT:
+        body = f"{spec.displacement}({_reg(spec.register)})"
+    elif mode is _M.DISP_DEFERRED:
+        body = f"@{spec.displacement}({_reg(spec.register)})"
+    elif mode is _M.RELATIVE:
+        target = (inst.address + spec.end_offset + spec.displacement) \
+            & 0xFFFFFFFF
+        body = f"^x{target:X}"       # relative rendered as its target
+    elif mode is _M.RELATIVE_DEFERRED:
+        target = (inst.address + spec.end_offset + spec.displacement) \
+            & 0xFFFFFFFF
+        body = f"@^x{target:X}"
+    else:  # pragma: no cover - exhaustive over AddressingMode
+        body = f"?{mode.value}?"
+    if spec.indexed:
+        body += f"[{_reg(spec.index_register)}]"
+    return body
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render a decoded instruction as one line of VAX MACRO."""
+    parts = []
+    for spec, kind in zip(inst.specifiers, inst.info.specifier_operands):
+        parts.append(format_specifier(spec, kind, inst))
+    if inst.branch_displacement is not None:
+        parts.append(f"^x{inst.branch_target():X}")
+    if inst.case_table is not None:
+        table_len = 2 * len(inst.case_table)
+        table_base = inst.address + inst.length - table_len
+        targets = ", ".join(f"^x{(table_base + d) & 0xFFFFFFFF:X}"
+                            for d in inst.case_table)
+        parts.append(f"({targets})")
+    mnemonic = inst.mnemonic.lower()
+    if not parts:
+        return mnemonic
+    return f"{mnemonic:8s}{', '.join(parts)}"
+
+
+class DisassembledLine:
+    """One disassembled instruction with its raw bytes."""
+
+    __slots__ = ("address", "raw", "text", "instruction")
+
+    def __init__(self, address, raw, text, instruction) -> None:
+        self.address = address
+        self.raw = raw
+        self.text = text
+        self.instruction = instruction
+
+    def __str__(self) -> str:
+        hexbytes = " ".join(f"{b:02X}" for b in self.raw)
+        return f"{self.address:08X}  {hexbytes:<24s}  {self.text}"
+
+
+def disassemble(fetch, address: int, count: int = 1):
+    """Disassemble ``count`` instructions starting at ``address``.
+
+    ``fetch(addr) -> int`` supplies I-stream bytes (e.g. through a
+    machine's translator).  Decoding stops early on an undecodable byte,
+    emitting a ``.byte`` line for it.
+    """
+    from repro.arch.decode import DecodeError
+
+    lines = []
+    for _ in range(count):
+        try:
+            inst = decode_instruction(fetch, address)
+        except DecodeError:
+            raw = bytes([fetch(address)])
+            lines.append(DisassembledLine(
+                address, raw, f".byte   ^x{raw[0]:02X}", None))
+            address += 1
+            continue
+        raw = bytes(fetch(address + i) for i in range(inst.length))
+        lines.append(DisassembledLine(address, raw,
+                                      format_instruction(inst), inst))
+        address = inst.next_pc
+    return lines
+
+
+def disassemble_image(image, count: int = None):
+    """Disassemble an assembled :class:`~repro.asm.program.Image`."""
+    def fetch(addr):
+        return image.data[addr - image.base]
+
+    if count is None:
+        count = 1 << 30
+    lines = []
+    address = image.base
+    end = image.base + len(image.data)
+    while address < end and len(lines) < count:
+        chunk = disassemble(fetch, address, 1)
+        lines.extend(chunk)
+        address = chunk[-1].address + len(chunk[-1].raw)
+    return lines
+
+
+def disassemble_machine(machine, va: int, count: int = 16):
+    """Disassemble live machine memory at virtual address ``va``."""
+    translate = machine.translator.translate
+    read_byte = machine.mem.memory.read_byte
+
+    def fetch(addr):
+        return read_byte(translate(addr & 0xFFFFFFFF))
+
+    return disassemble(fetch, va, count)

@@ -1,0 +1,55 @@
+"""The paper's opcode-group taxonomy (Table 1 of Emer & Clark 1984).
+
+Every opcode in the simulated subset belongs to exactly one of these seven
+groups.  Group membership drives Table 1 (group frequency), the execute
+rows of Table 8, and Table 9 (cycles per instruction within each group).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpcodeGroup(enum.Enum):
+    """Instruction group, as defined by Table 1 of the paper."""
+
+    SIMPLE = "Simple"
+    FIELD = "Field"
+    FLOAT = "Float"
+    CALLRET = "Call/Ret"
+    SYSTEM = "System"
+    CHARACTER = "Character"
+    DECIMAL = "Decimal"
+
+
+#: Table 1 constituents, verbatim from the paper, for documentation and
+#: for the report module's reference rendering.
+GROUP_CONSTITUENTS = {
+    OpcodeGroup.SIMPLE: (
+        "Move instructions; simple arithmetic operations; boolean "
+        "operations; simple and loop branches; subroutine call and return"
+    ),
+    OpcodeGroup.FIELD: "Bit field operations",
+    OpcodeGroup.FLOAT: "Floating point; integer multiply/divide",
+    OpcodeGroup.CALLRET: (
+        "Procedure call and return; multi-register push and pop"
+    ),
+    OpcodeGroup.SYSTEM: (
+        "Privileged operations; context switch instructions; system "
+        "service requests and return; queue manipulation; protection "
+        "probe instructions"
+    ),
+    OpcodeGroup.CHARACTER: "Character string instructions",
+    OpcodeGroup.DECIMAL: "Decimal instructions",
+}
+
+#: Display order used by the paper's tables.
+GROUP_ORDER = (
+    OpcodeGroup.SIMPLE,
+    OpcodeGroup.FIELD,
+    OpcodeGroup.FLOAT,
+    OpcodeGroup.CALLRET,
+    OpcodeGroup.SYSTEM,
+    OpcodeGroup.CHARACTER,
+    OpcodeGroup.DECIMAL,
+)

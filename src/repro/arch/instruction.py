@@ -1,0 +1,49 @@
+"""Decoded-instruction representation shared by the decoder and the CPU."""
+
+from __future__ import annotations
+
+from repro.arch.opcodes import OpcodeInfo
+
+
+class Instruction:
+    """One decoded VAX instruction.
+
+    Instances are immutable in practice and cached by physical address in
+    the CPU's decode cache, so they carry everything the execution engine
+    needs: the opcode info, the decoded specifiers (parallel to
+    ``info.specifier_operands``), the raw branch displacement (if any),
+    the CASE displacement table (if any), and the total encoded length.
+    """
+
+    __slots__ = ("info", "specifiers", "branch_displacement",
+                 "case_table", "length", "address")
+
+    def __init__(self, info: OpcodeInfo, specifiers, branch_displacement,
+                 case_table, length: int, address: int) -> None:
+        self.info = info
+        self.specifiers = specifiers
+        self.branch_displacement = branch_displacement
+        self.case_table = case_table
+        self.length = length
+        self.address = address
+
+    @property
+    def mnemonic(self) -> str:
+        """The opcode mnemonic."""
+        return self.info.mnemonic
+
+    @property
+    def next_pc(self) -> int:
+        """Address of the following instruction (fall-through path)."""
+        return (self.address + self.length) & 0xFFFFFFFF
+
+    def branch_target(self) -> int:
+        """Target of the branch displacement, relative to next_pc."""
+        if self.branch_displacement is None:
+            raise ValueError(f"{self.mnemonic} has no branch displacement")
+        return (self.next_pc + self.branch_displacement) & 0xFFFFFFFF
+
+    def __repr__(self) -> str:
+        specs = ", ".join(repr(s) for s in self.specifiers)
+        return (f"Instruction({self.mnemonic} @ {self.address:#010x}, "
+                f"len={self.length}, [{specs}])")

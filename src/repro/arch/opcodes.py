@@ -1,0 +1,364 @@
+"""The VAX opcode subset simulated by this reproduction.
+
+Each :class:`OpcodeInfo` records the architectural opcode byte, the operand
+signature, the paper's Table 1 group, and a *microcode family*.  The family
+models the 11/780's microcode sharing: opcodes in the same family dispatch
+to the same execute micro-routine (so, as in the paper, the µPC histogram
+cannot tell ADDL2 from SUBL2 — only the family count is observable), while
+architectural semantics still come from the per-opcode executor.
+
+Operand signatures use the architecture manual's notation: a two-character
+code of *access type* then *data type*.  Access types::
+
+    r  read          w  write         m  modify
+    a  address       v  variable bit field base
+    b  branch displacement (raw bytes in the I-stream, not a specifier)
+
+Data types are ``b w l q f d`` (byte, word, longword, quadword, F_floating,
+D_floating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.groups import OpcodeGroup
+
+
+@dataclass(frozen=True)
+class OperandKind:
+    """One entry in an opcode's operand signature."""
+
+    access: str  #: one of r w m a v b
+    dtype: str   #: one of b w l q f d
+
+    @property
+    def is_branch_displacement(self) -> bool:
+        """True for the raw branch-displacement pseudo-operands."""
+        return self.access == "b"
+
+    @property
+    def size(self) -> int:
+        """Operand data size in bytes."""
+        return {"b": 1, "w": 2, "l": 4, "q": 8, "f": 4, "d": 8}[self.dtype]
+
+    def __str__(self) -> str:
+        return f"{self.access}{self.dtype}"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one VAX opcode."""
+
+    mnemonic: str
+    value: int                    #: architectural opcode byte
+    operands: tuple               #: tuple of OperandKind
+    group: OpcodeGroup            #: Table 1 group
+    family: str                   #: shared execute micro-routine name
+
+    @property
+    def specifier_operands(self) -> tuple:
+        """Operands encoded as general operand specifiers."""
+        return tuple(op for op in self.operands
+                     if not op.is_branch_displacement)
+
+    @property
+    def branch_operand(self):
+        """The branch-displacement operand, or None."""
+        for op in self.operands:
+            if op.is_branch_displacement:
+                return op
+        return None
+
+    def __str__(self) -> str:
+        return self.mnemonic
+
+
+def _ops(signature: str) -> tuple:
+    """Parse ``"rl rl wl"`` into a tuple of OperandKind."""
+    if not signature:
+        return ()
+    return tuple(OperandKind(tok[0], tok[1]) for tok in signature.split())
+
+
+_S = OpcodeGroup.SIMPLE
+_FI = OpcodeGroup.FIELD
+_FL = OpcodeGroup.FLOAT
+_CR = OpcodeGroup.CALLRET
+_SY = OpcodeGroup.SYSTEM
+_CH = OpcodeGroup.CHARACTER
+_DE = OpcodeGroup.DECIMAL
+
+#: (mnemonic, opcode byte, signature, group, family)
+_TABLE = [
+    # --- moves and related (SIMPLE) ------------------------------------
+    ("MOVB", 0x90, "rb wb", _S, "MOV"),
+    ("MOVW", 0xB0, "rw ww", _S, "MOV"),
+    ("MOVL", 0xD0, "rl wl", _S, "MOV"),
+    ("MOVQ", 0x7D, "rq wq", _S, "MOVQ"),
+    ("MOVZBW", 0x9B, "rb ww", _S, "MOVZ"),
+    ("MOVZBL", 0x9A, "rb wl", _S, "MOVZ"),
+    ("MOVZWL", 0x3C, "rw wl", _S, "MOVZ"),
+    ("MCOMB", 0x92, "rb wb", _S, "MCOM"),
+    ("MCOMW", 0xB2, "rw ww", _S, "MCOM"),
+    ("MCOML", 0xD2, "rl wl", _S, "MCOM"),
+    ("MNEGB", 0x8E, "rb wb", _S, "MNEG"),
+    ("MNEGW", 0xAE, "rw ww", _S, "MNEG"),
+    ("MNEGL", 0xCE, "rl wl", _S, "MNEG"),
+    ("CLRB", 0x94, "wb", _S, "CLR"),
+    ("CLRW", 0xB4, "ww", _S, "CLR"),
+    ("CLRL", 0xD4, "wl", _S, "CLR"),
+    ("CLRQ", 0x7C, "wq", _S, "CLRQ"),
+    ("CVTBW", 0x99, "rb ww", _S, "CVT_INT"),
+    ("CVTBL", 0x98, "rb wl", _S, "CVT_INT"),
+    ("CVTWB", 0x33, "rw wb", _S, "CVT_INT"),
+    ("CVTWL", 0x32, "rw wl", _S, "CVT_INT"),
+    ("CVTLB", 0xF6, "rl wb", _S, "CVT_INT"),
+    ("CVTLW", 0xF7, "rl ww", _S, "CVT_INT"),
+    ("MOVAB", 0x9E, "ab wl", _S, "MOVA"),
+    ("MOVAW", 0x3E, "aw wl", _S, "MOVA"),
+    ("MOVAL", 0xDE, "al wl", _S, "MOVA"),
+    ("MOVAQ", 0x7E, "aq wl", _S, "MOVA"),
+    ("PUSHAB", 0x9F, "ab", _S, "PUSHA"),
+    ("PUSHAW", 0x3F, "aw", _S, "PUSHA"),
+    ("PUSHAL", 0xDF, "al", _S, "PUSHA"),
+    ("PUSHAQ", 0x7F, "aq", _S, "PUSHA"),
+    ("PUSHL", 0xDD, "rl", _S, "PUSHL"),
+    # --- integer arithmetic (SIMPLE) -----------------------------------
+    ("ADDB2", 0x80, "rb mb", _S, "ADDSUB"),
+    ("ADDB3", 0x81, "rb rb wb", _S, "ADDSUB"),
+    ("SUBB2", 0x82, "rb mb", _S, "ADDSUB"),
+    ("SUBB3", 0x83, "rb rb wb", _S, "ADDSUB"),
+    ("ADDW2", 0xA0, "rw mw", _S, "ADDSUB"),
+    ("ADDW3", 0xA1, "rw rw ww", _S, "ADDSUB"),
+    ("SUBW2", 0xA2, "rw mw", _S, "ADDSUB"),
+    ("SUBW3", 0xA3, "rw rw ww", _S, "ADDSUB"),
+    ("ADDL2", 0xC0, "rl ml", _S, "ADDSUB"),
+    ("ADDL3", 0xC1, "rl rl wl", _S, "ADDSUB"),
+    ("SUBL2", 0xC2, "rl ml", _S, "ADDSUB"),
+    ("SUBL3", 0xC3, "rl rl wl", _S, "ADDSUB"),
+    ("INCB", 0x96, "mb", _S, "INCDEC"),
+    ("INCW", 0xB6, "mw", _S, "INCDEC"),
+    ("INCL", 0xD6, "ml", _S, "INCDEC"),
+    ("DECB", 0x97, "mb", _S, "INCDEC"),
+    ("DECW", 0xB7, "mw", _S, "INCDEC"),
+    ("DECL", 0xD7, "ml", _S, "INCDEC"),
+    ("ADWC", 0xD8, "rl ml", _S, "ADWC"),
+    ("SBWC", 0xD9, "rl ml", _S, "ADWC"),
+    ("ADAWI", 0x58, "rw mw", _S, "ADAWI"),
+    ("ASHL", 0x78, "rb rl wl", _S, "ASH"),
+    ("ASHQ", 0x79, "rb rq wq", _S, "ASHQ"),
+    ("ROTL", 0x9C, "rb rl wl", _S, "ROT"),
+    ("BISPSW", 0xB8, "rw", _S, "PSW"),
+    ("BICPSW", 0xB9, "rw", _S, "PSW"),
+    ("INDEX", 0x0A, "rl rl rl rl rl wl", _S, "INDEX"),
+    # --- boolean / compare / test (SIMPLE) ------------------------------
+    ("BISB2", 0x88, "rb mb", _S, "LOGICAL"),
+    ("BISB3", 0x89, "rb rb wb", _S, "LOGICAL"),
+    ("BICB2", 0x8A, "rb mb", _S, "LOGICAL"),
+    ("BICB3", 0x8B, "rb rb wb", _S, "LOGICAL"),
+    ("XORB2", 0x8C, "rb mb", _S, "LOGICAL"),
+    ("XORB3", 0x8D, "rb rb wb", _S, "LOGICAL"),
+    ("BISW2", 0xA8, "rw mw", _S, "LOGICAL"),
+    ("BISW3", 0xA9, "rw rw ww", _S, "LOGICAL"),
+    ("BICW2", 0xAA, "rw mw", _S, "LOGICAL"),
+    ("BICW3", 0xAB, "rw rw ww", _S, "LOGICAL"),
+    ("XORW2", 0xAC, "rw mw", _S, "LOGICAL"),
+    ("XORW3", 0xAD, "rw rw ww", _S, "LOGICAL"),
+    ("BISL2", 0xC8, "rl ml", _S, "LOGICAL"),
+    ("BISL3", 0xC9, "rl rl wl", _S, "LOGICAL"),
+    ("BICL2", 0xCA, "rl ml", _S, "LOGICAL"),
+    ("BICL3", 0xCB, "rl rl wl", _S, "LOGICAL"),
+    ("XORL2", 0xCC, "rl ml", _S, "LOGICAL"),
+    ("XORL3", 0xCD, "rl rl wl", _S, "LOGICAL"),
+    ("BITB", 0x93, "rb rb", _S, "BIT"),
+    ("BITW", 0xB3, "rw rw", _S, "BIT"),
+    ("BITL", 0xD3, "rl rl", _S, "BIT"),
+    ("CMPB", 0x91, "rb rb", _S, "CMP"),
+    ("CMPW", 0xB1, "rw rw", _S, "CMP"),
+    ("CMPL", 0xD1, "rl rl", _S, "CMP"),
+    ("TSTB", 0x95, "rb", _S, "TST"),
+    ("TSTW", 0xB5, "rw", _S, "TST"),
+    ("TSTL", 0xD5, "rl", _S, "TST"),
+    ("NOP", 0x01, "", _S, "NOP"),
+    # --- simple branches (SIMPLE; BRB/BRW share BCOND microcode, as the
+    # --- paper notes in its Table 2 discussion) -------------------------
+    ("BRB", 0x11, "bb", _S, "BCOND"),
+    ("BRW", 0x31, "bw", _S, "BCOND"),
+    ("BNEQ", 0x12, "bb", _S, "BCOND"),
+    ("BEQL", 0x13, "bb", _S, "BCOND"),
+    ("BGTR", 0x14, "bb", _S, "BCOND"),
+    ("BLEQ", 0x15, "bb", _S, "BCOND"),
+    ("BGEQ", 0x18, "bb", _S, "BCOND"),
+    ("BLSS", 0x19, "bb", _S, "BCOND"),
+    ("BGTRU", 0x1A, "bb", _S, "BCOND"),
+    ("BLEQU", 0x1B, "bb", _S, "BCOND"),
+    ("BVC", 0x1C, "bb", _S, "BCOND"),
+    ("BVS", 0x1D, "bb", _S, "BCOND"),
+    ("BCC", 0x1E, "bb", _S, "BCOND"),
+    ("BCS", 0x1F, "bb", _S, "BCOND"),
+    ("JMP", 0x17, "al", _S, "JMP"),
+    ("BSBB", 0x10, "bb", _S, "BSB"),
+    ("BSBW", 0x30, "bw", _S, "BSB"),
+    ("JSB", 0x16, "al", _S, "JSB"),
+    ("RSB", 0x05, "", _S, "RSB"),
+    ("CASEB", 0x8F, "rb rb rb", _S, "CASE"),
+    ("CASEW", 0xAF, "rw rw rw", _S, "CASE"),
+    ("CASEL", 0xCF, "rl rl rl", _S, "CASE"),
+    # --- loop branches (SIMPLE) -----------------------------------------
+    ("AOBLSS", 0xF2, "rl ml bb", _S, "AOB"),
+    ("AOBLEQ", 0xF3, "rl ml bb", _S, "AOB"),
+    ("SOBGEQ", 0xF4, "ml bb", _S, "SOB"),
+    ("SOBGTR", 0xF5, "ml bb", _S, "SOB"),
+    ("ACBB", 0x9D, "rb rb mb bw", _S, "ACB"),
+    ("ACBW", 0x3D, "rw rw mw bw", _S, "ACB"),
+    ("ACBL", 0xF1, "rl rl ml bw", _S, "ACB"),
+    # --- low-bit tests (SIMPLE, per Table 2) -----------------------------
+    ("BLBS", 0xE8, "rl bb", _S, "BLB"),
+    ("BLBC", 0xE9, "rl bb", _S, "BLB"),
+    # --- bit field operations (FIELD) ------------------------------------
+    ("EXTV", 0xEE, "rl rb vb wl", _FI, "EXT"),
+    ("EXTZV", 0xEF, "rl rb vb wl", _FI, "EXT"),
+    ("INSV", 0xF0, "rl rl rb vb", _FI, "INSV"),
+    ("CMPV", 0xEC, "rl rb vb rl", _FI, "CMPV"),
+    ("CMPZV", 0xED, "rl rb vb rl", _FI, "CMPV"),
+    ("FFS", 0xEA, "rl rb vb wl", _FI, "FF"),
+    ("FFC", 0xEB, "rl rb vb wl", _FI, "FF"),
+    # --- bit branches (FIELD, per Table 2) -------------------------------
+    ("BBS", 0xE0, "rl vb bb", _FI, "BB"),
+    ("BBC", 0xE1, "rl vb bb", _FI, "BB"),
+    ("BBSS", 0xE2, "rl vb bb", _FI, "BB"),
+    ("BBCS", 0xE3, "rl vb bb", _FI, "BB"),
+    ("BBSC", 0xE4, "rl vb bb", _FI, "BB"),
+    ("BBCC", 0xE5, "rl vb bb", _FI, "BB"),
+    ("BBSSI", 0xE6, "rl vb bb", _FI, "BB"),
+    ("BBCCI", 0xE7, "rl vb bb", _FI, "BB"),
+    # --- floating point and integer multiply/divide (FLOAT) --------------
+    ("ADDF2", 0x40, "rf mf", _FL, "FADDSUB"),
+    ("ADDF3", 0x41, "rf rf wf", _FL, "FADDSUB"),
+    ("SUBF2", 0x42, "rf mf", _FL, "FADDSUB"),
+    ("SUBF3", 0x43, "rf rf wf", _FL, "FADDSUB"),
+    ("MULF2", 0x44, "rf mf", _FL, "FMULDIV"),
+    ("MULF3", 0x45, "rf rf wf", _FL, "FMULDIV"),
+    ("DIVF2", 0x46, "rf mf", _FL, "FMULDIV"),
+    ("DIVF3", 0x47, "rf rf wf", _FL, "FMULDIV"),
+    ("CVTFB", 0x48, "rf wb", _FL, "FCVT"),
+    ("CVTFW", 0x49, "rf ww", _FL, "FCVT"),
+    ("CVTFL", 0x4A, "rf wl", _FL, "FCVT"),
+    ("CVTRFL", 0x4B, "rf wl", _FL, "FCVT"),
+    ("CVTBF", 0x4C, "rb wf", _FL, "FCVT"),
+    ("CVTWF", 0x4D, "rw wf", _FL, "FCVT"),
+    ("CVTLF", 0x4E, "rl wf", _FL, "FCVT"),
+    ("MOVF", 0x50, "rf wf", _FL, "FMOV"),
+    ("MNEGF", 0x52, "rf wf", _FL, "FMOV"),
+    ("CMPF", 0x51, "rf rf", _FL, "FCMP"),
+    ("TSTF", 0x53, "rf", _FL, "FCMP"),
+    ("ADDD2", 0x60, "rd md", _FL, "DADDSUB"),
+    ("ADDD3", 0x61, "rd rd wd", _FL, "DADDSUB"),
+    ("SUBD2", 0x62, "rd md", _FL, "DADDSUB"),
+    ("SUBD3", 0x63, "rd rd wd", _FL, "DADDSUB"),
+    ("MULD2", 0x64, "rd md", _FL, "DMULDIV"),
+    ("MULD3", 0x65, "rd rd wd", _FL, "DMULDIV"),
+    ("DIVD2", 0x66, "rd md", _FL, "DMULDIV"),
+    ("DIVD3", 0x67, "rd rd wd", _FL, "DMULDIV"),
+    ("MOVD", 0x70, "rd wd", _FL, "DMOV"),
+    ("CMPD", 0x71, "rd rd", _FL, "DCMP"),
+    ("MNEGD", 0x72, "rd wd", _FL, "DMOV"),
+    ("TSTD", 0x73, "rd", _FL, "DCMP"),
+    ("CVTFD", 0x56, "rf wd", _FL, "DCVT"),
+    ("CVTDF", 0x76, "rd wf", _FL, "DCVT"),
+    ("CVTDL", 0x6A, "rd wl", _FL, "DCVT"),
+    ("CVTLD", 0x6E, "rl wd", _FL, "DCVT"),
+    ("MULB2", 0x84, "rb mb", _FL, "MULDIV_INT"),
+    ("MULB3", 0x85, "rb rb wb", _FL, "MULDIV_INT"),
+    ("DIVB2", 0x86, "rb mb", _FL, "MULDIV_INT"),
+    ("DIVB3", 0x87, "rb rb wb", _FL, "MULDIV_INT"),
+    ("MULW2", 0xA4, "rw mw", _FL, "MULDIV_INT"),
+    ("MULW3", 0xA5, "rw rw ww", _FL, "MULDIV_INT"),
+    ("DIVW2", 0xA6, "rw mw", _FL, "MULDIV_INT"),
+    ("DIVW3", 0xA7, "rw rw ww", _FL, "MULDIV_INT"),
+    ("MULL2", 0xC4, "rl ml", _FL, "MULDIV_INT"),
+    ("MULL3", 0xC5, "rl rl wl", _FL, "MULDIV_INT"),
+    ("DIVL2", 0xC6, "rl ml", _FL, "MULDIV_INT"),
+    ("DIVL3", 0xC7, "rl rl wl", _FL, "MULDIV_INT"),
+    ("EMUL", 0x7A, "rl rl rl wq", _FL, "EMUL"),
+    ("EDIV", 0x7B, "rl rq wl wl", _FL, "EDIV"),
+    # --- procedure call and return (CALL/RET) -----------------------------
+    ("CALLG", 0xFA, "al al", _CR, "CALL"),
+    ("CALLS", 0xFB, "rl al", _CR, "CALL"),
+    ("RET", 0x04, "", _CR, "RET"),
+    ("PUSHR", 0xBB, "rw", _CR, "PUSHR"),
+    ("POPR", 0xBA, "rw", _CR, "POPR"),
+    # --- system instructions (SYSTEM) --------------------------------------
+    ("CHMK", 0xBC, "rw", _SY, "CHM"),
+    ("CHME", 0xBD, "rw", _SY, "CHM"),
+    ("CHMS", 0xBE, "rw", _SY, "CHM"),
+    ("CHMU", 0xBF, "rw", _SY, "CHM"),
+    ("REI", 0x02, "", _SY, "REI"),
+    ("SVPCTX", 0x07, "", _SY, "SVPCTX"),
+    ("LDPCTX", 0x06, "", _SY, "LDPCTX"),
+    ("PROBER", 0x0C, "rb rw ab", _SY, "PROBE"),
+    ("PROBEW", 0x0D, "rb rw ab", _SY, "PROBE"),
+    ("INSQUE", 0x0E, "ab ab", _SY, "INSQUE"),
+    ("REMQUE", 0x0F, "ab wl", _SY, "REMQUE"),
+    ("MTPR", 0xDA, "rl rl", _SY, "MTPR"),
+    ("MFPR", 0xDB, "rl wl", _SY, "MFPR"),
+    ("HALT", 0x00, "", _SY, "HALT"),
+    # --- character string instructions (CHARACTER) --------------------------
+    ("MOVC3", 0x28, "rw ab ab", _CH, "MOVC"),
+    ("MOVC5", 0x2C, "rw ab rb rw ab", _CH, "MOVC"),
+    ("CMPC3", 0x29, "rw ab ab", _CH, "CMPC"),
+    ("CMPC5", 0x2D, "rw ab rb rw ab", _CH, "CMPC"),
+    ("LOCC", 0x3A, "rb rw ab", _CH, "LOCC"),
+    ("SKPC", 0x3B, "rb rw ab", _CH, "LOCC"),
+    ("SCANC", 0x2A, "rw ab ab rb", _CH, "SCANC"),
+    ("SPANC", 0x2B, "rw ab ab rb", _CH, "SCANC"),
+    ("MOVTC", 0x2E, "rw ab rb ab rw ab", _CH, "MOVTC"),
+    # --- decimal string instructions (DECIMAL) -------------------------------
+    ("MOVP", 0x34, "rw ab ab", _DE, "MOVP"),
+    ("CMPP3", 0x35, "rw ab ab", _DE, "CMPP"),
+    ("ADDP4", 0x20, "rw ab rw ab", _DE, "ADDP"),
+    ("SUBP4", 0x22, "rw ab rw ab", _DE, "ADDP"),
+    ("ADDP6", 0x21, "rw ab rw ab rw ab", _DE, "ADDP"),
+    ("SUBP6", 0x23, "rw ab rw ab rw ab", _DE, "ADDP"),
+    ("CVTLP", 0xF9, "rl rw ab", _DE, "CVTLP"),
+    ("CVTPL", 0x36, "rw ab wl", _DE, "CVTPL"),
+]
+
+#: Opcode byte -> OpcodeInfo.
+OPCODES_BY_VALUE = {}
+#: Mnemonic -> OpcodeInfo.
+OPCODES_BY_NAME = {}
+
+
+def _build_tables() -> None:
+    for mnemonic, value, signature, group, family in _TABLE:
+        info = OpcodeInfo(mnemonic, value, _ops(signature), group, family)
+        if value in OPCODES_BY_VALUE:
+            raise AssertionError(f"duplicate opcode value {value:#04x}")
+        if mnemonic in OPCODES_BY_NAME:
+            raise AssertionError(f"duplicate mnemonic {mnemonic}")
+        OPCODES_BY_VALUE[value] = info
+        OPCODES_BY_NAME[mnemonic] = info
+
+
+_build_tables()
+
+#: All opcode infos in table order.
+ALL_OPCODES = tuple(OPCODES_BY_NAME.values())
+
+#: All distinct microcode families, in first-appearance order.
+ALL_FAMILIES = tuple(dict.fromkeys(info.family for info in ALL_OPCODES))
+
+
+def opcode(name: str) -> OpcodeInfo:
+    """Look up an opcode by mnemonic (case-insensitive)."""
+    key = name.upper()
+    if key not in OPCODES_BY_NAME:
+        raise KeyError(f"unknown opcode mnemonic: {name!r}")
+    return OPCODES_BY_NAME[key]
+
+
+def opcodes_in_group(group) -> tuple:
+    """All opcodes belonging to a Table 1 group."""
+    return tuple(info for info in ALL_OPCODES if info.group == group)

@@ -1,0 +1,121 @@
+"""VAX general register definitions and the processor status longword.
+
+The VAX has sixteen 32-bit general registers.  R12-R15 have architectural
+roles: AP (argument pointer), FP (frame pointer), SP (stack pointer) and PC
+(program counter).  The PSL carries the condition codes, the trap-enable
+bits, the interrupt priority level (IPL) and the current access mode.
+"""
+
+from __future__ import annotations
+
+#: Architectural register numbers.
+R0, R1, R2, R3, R4, R5 = 0, 1, 2, 3, 4, 5
+R6, R7, R8, R9, R10, R11 = 6, 7, 8, 9, 10, 11
+AP, FP, SP, PC = 12, 13, 14, 15
+
+#: Conventional names indexed by register number.
+REGISTER_NAMES = (
+    "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+    "R8", "R9", "R10", "R11", "AP", "FP", "SP", "PC",
+)
+
+#: Name -> number map accepting both Rn and role aliases.
+REGISTER_NUMBERS = {name: i for i, name in enumerate(REGISTER_NAMES)}
+REGISTER_NUMBERS.update({"R12": AP, "R13": FP, "R14": SP, "R15": PC})
+
+
+def register_number(name: str) -> int:
+    """Resolve a register name (``R3``, ``SP``, ``r7``...) to its number."""
+    key = name.upper()
+    if key not in REGISTER_NUMBERS:
+        raise ValueError(f"unknown register name: {name!r}")
+    return REGISTER_NUMBERS[key]
+
+
+class ConditionCodes:
+    """The N, Z, V, C condition code bits of the PSL.
+
+    Kept as a small mutable object because execute flows update it on
+    nearly every instruction; the PSL object exposes it as ``psl.cc``.
+    """
+
+    __slots__ = ("n", "z", "v", "c")
+
+    def __init__(self, n: bool = False, z: bool = False,
+                 v: bool = False, c: bool = False) -> None:
+        self.n = n
+        self.z = z
+        self.v = v
+        self.c = c
+
+    def set(self, n=None, z=None, v=None, c=None) -> None:
+        """Update any subset of the four condition bits."""
+        if n is not None:
+            self.n = bool(n)
+        if z is not None:
+            self.z = bool(z)
+        if v is not None:
+            self.v = bool(v)
+        if c is not None:
+            self.c = bool(c)
+
+    def as_bits(self) -> int:
+        """Pack into the low nibble of the PSW (C=bit0 ... N=bit3)."""
+        return (int(self.n) << 3) | (int(self.z) << 2) | \
+               (int(self.v) << 1) | int(self.c)
+
+    def load_bits(self, bits: int) -> None:
+        """Unpack from the low nibble of a PSW image."""
+        self.n = bool(bits & 8)
+        self.z = bool(bits & 4)
+        self.v = bool(bits & 2)
+        self.c = bool(bits & 1)
+
+    def __repr__(self) -> str:
+        return (f"ConditionCodes(n={int(self.n)}, z={int(self.z)}, "
+                f"v={int(self.v)}, c={int(self.c)})")
+
+
+#: Access modes, most to least privileged.
+KERNEL, EXECUTIVE, SUPERVISOR, USER = 0, 1, 2, 3
+
+ACCESS_MODE_NAMES = ("kernel", "executive", "supervisor", "user")
+
+
+class PSL:
+    """Processor status longword: condition codes, IPL and access modes.
+
+    Only the fields this study observes are modeled: the condition codes
+    (PSW<3:0>), the interrupt priority level (PSL<20:16>) and the current /
+    previous access modes (PSL<25:24> and <23:22>).  Trap-enable bits exist
+    in the image but have no behaviour here.
+    """
+
+    __slots__ = ("cc", "ipl", "current_mode", "previous_mode", "trap_enables")
+
+    def __init__(self) -> None:
+        self.cc = ConditionCodes()
+        self.ipl = 0
+        self.current_mode = KERNEL
+        self.previous_mode = KERNEL
+        self.trap_enables = 0
+
+    def as_long(self) -> int:
+        """Pack into the architectural 32-bit PSL image."""
+        return (self.cc.as_bits()
+                | (self.trap_enables & 0xF0)
+                | ((self.ipl & 0x1F) << 16)
+                | ((self.previous_mode & 3) << 22)
+                | ((self.current_mode & 3) << 24))
+
+    def load_long(self, image: int) -> None:
+        """Unpack from a 32-bit PSL image (as REI does)."""
+        self.cc.load_bits(image & 0xF)
+        self.trap_enables = image & 0xF0
+        self.ipl = (image >> 16) & 0x1F
+        self.previous_mode = (image >> 22) & 3
+        self.current_mode = (image >> 24) & 3
+
+    def __repr__(self) -> str:
+        return (f"PSL(ipl={self.ipl}, mode={ACCESS_MODE_NAMES[self.current_mode]}, "
+                f"cc={self.cc!r})")

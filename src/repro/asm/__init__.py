@@ -1,0 +1,8 @@
+"""Assembler: programmatic builder and VAX MACRO-style text front end."""
+
+from repro.asm.assembler import Assembler, assemble_text
+from repro.asm.program import (AssemblyError, Image, LabelRef,
+                               ProgramBuilder)
+
+__all__ = ["Assembler", "assemble_text", "AssemblyError", "Image",
+           "LabelRef", "ProgramBuilder"]

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``characterize`` — the paper's measurement campaign: run the five
+  workloads, form the composite, print the requested tables.
+* ``run-workload`` — run a single workload environment and summarise it.
+* ``hotspots`` — rank the hottest control-store locations (raw-histogram
+  view).
+* ``disasm`` — assemble a VAX MACRO source file and print its listing.
+* ``figure1`` — render the 11/780 block diagram from the machine model.
+* ``profiles`` — list the five standard workload profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (section4, table1, table2, table3, table4,
+                            table5, table6, table7, table8, table9)
+from repro.cpu.machine import VAX780
+from repro.report.format import (render_figure1, render_section4,
+                                 render_table1, render_table2,
+                                 render_table3, render_table4,
+                                 render_table5, render_table6,
+                                 render_table7, render_table8,
+                                 render_table9)
+from repro.workloads.profiles import STANDARD_PROFILES
+
+_TABLES = {
+    "1": (table1, render_table1), "2": (table2, render_table2),
+    "3": (table3, render_table3), "4": (table4, render_table4),
+    "5": (table5, render_table5), "6": (table6, render_table6),
+    "7": (table7, render_table7), "8": (table8, render_table8),
+    "9": (table9, render_table9), "s4": (section4, render_section4),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VAX-11/780 characterization study reproduction "
+                    "(Emer & Clark, ISCA 1984)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    characterize = sub.add_parser(
+        "characterize", help="run the five-workload composite and print "
+                             "the paper's tables")
+    characterize.add_argument("--instructions", type=int, default=30_000,
+                              help="measured instructions per workload")
+    characterize.add_argument("--seed", type=int, default=1984)
+    characterize.add_argument("--table", default="all",
+                              help="which table: 1-9, s4, or 'all'")
+
+    one = sub.add_parser("run-workload",
+                         help="run one workload environment")
+    one.add_argument("profile", help="profile name (see 'profiles')")
+    one.add_argument("--instructions", type=int, default=30_000)
+    one.add_argument("--seed", type=int, default=1984)
+
+    hotspots = sub.add_parser("hotspots",
+                              help="hottest control-store locations")
+    hotspots.add_argument("--instructions", type=int, default=20_000)
+    hotspots.add_argument("--top", type=int, default=20)
+    hotspots.add_argument("--seed", type=int, default=1984)
+
+    disasm = sub.add_parser("disasm",
+                            help="assemble a source file and list it")
+    disasm.add_argument("source", help="VAX MACRO source file")
+    disasm.add_argument("--base", type=lambda v: int(v, 0),
+                        default=0x200, help="assembly base address")
+
+    sub.add_parser("figure1", help="render the block diagram")
+    sub.add_parser("profiles", help="list the workload profiles")
+    return parser
+
+
+def _cmd_characterize(args) -> int:
+    from repro.workloads.experiments import standard_composite
+    composite = standard_composite(instructions=args.instructions,
+                                   seed=args.seed)
+    keys = list(_TABLES) if args.table == "all" else [args.table]
+    for key in keys:
+        if key not in _TABLES:
+            print(f"unknown table {key!r}; choose from "
+                  f"{', '.join(_TABLES)}", file=sys.stderr)
+            return 2
+        compute, render = _TABLES[key]
+        print(render(compute(composite)))
+        print()
+    return 0
+
+
+def _find_profile(name: str):
+    for profile in STANDARD_PROFILES:
+        if profile.name == name or profile.name.endswith(name):
+            return profile
+    return None
+
+
+def _cmd_run_workload(args) -> int:
+    profile = _find_profile(args.profile)
+    if profile is None:
+        print(f"unknown profile {args.profile!r}; see 'repro profiles'",
+              file=sys.stderr)
+        return 2
+    from repro.workloads.experiments import run_workload
+    measurement = run_workload(profile, args.instructions, seed=args.seed)
+    result = table8(measurement)
+    print(f"workload:  {profile.name}")
+    print(f"           {profile.description}")
+    print(f"instructions measured: {result.instructions}")
+    print(f"cycles per instruction: "
+          f"{result.cycles_per_instruction:.2f}")
+    print()
+    print(render_table1(table1(measurement)))
+    return 0
+
+
+def _cmd_hotspots(args) -> int:
+    from repro.analysis.reduction import reference_map
+    from repro.workloads.experiments import run_workload
+    measurement = run_workload(STANDARD_PROFILES[0], args.instructions,
+                               seed=args.seed)
+    histogram = measurement.histogram
+    store, _ = reference_map()
+    rows = []
+    for ann in store.annotations():
+        cycles = histogram.nonstalled[ann.address] \
+            + histogram.stalled[ann.address]
+        if cycles:
+            rows.append((cycles, ann))
+    rows.sort(key=lambda r: -r[0])
+    total = histogram.total_cycles()
+    print(f"{'uPC':>5s} {'cycles':>10s} {'%':>6s}  {'row':12s} "
+          f"routine.slot")
+    for cycles, ann in rows[:args.top]:
+        print(f"{ann.address:5d} {cycles:10d} {100 * cycles / total:6.2f}"
+              f"  {ann.row.value:12s} {ann.routine}.{ann.slot}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.arch.disasm import disassemble_image
+    from repro.asm import assemble_text
+    with open(args.source) as handle:
+        source = handle.read()
+    image = assemble_text(source, base=args.base)
+    for line in disassemble_image(image):
+        print(line)
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    print(render_figure1(VAX780()))
+    return 0
+
+
+def _cmd_profiles(args) -> int:
+    for profile in STANDARD_PROFILES:
+        print(f"{profile.name:24s} {profile.description}")
+    return 0
+
+
+_COMMANDS = {
+    "characterize": _cmd_characterize,
+    "run-workload": _cmd_run_workload,
+    "hotspots": _cmd_hotspots,
+    "disasm": _cmd_disasm,
+    "figure1": _cmd_figure1,
+    "profiles": _cmd_profiles,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,549 @@
+"""The EBOX: the 11/780's microcoded execution engine.
+
+The EBOX owns the architectural state (general registers, per-mode stack
+pointers, PSL) and the micro-level accounting: every cycle it consumes is
+charged to a control-store address on the histogram board, stall cycles
+are charged to the stalling microinstruction (read/write stalls) or to the
+per-context insufficient-bytes dispatch address (IB stalls), and TB misses
+microtrap into the miss-service flow exactly as §2.1 describes.
+
+Executors (the per-family execute flows in :mod:`repro.cpu.executors`)
+drive the EBOX through a small primitive vocabulary:
+
+* :meth:`cycle` — an autonomous compute microcycle,
+* :meth:`read` / :meth:`write` — D-stream references through TB, cache and
+  write buffer, with stall accounting,
+* :meth:`store` — result store into an evaluated operand (charged to the
+  operand's specifier row, as the paper attributes it),
+* :meth:`take_branch` — branch-displacement processing plus IB redirect.
+"""
+
+from __future__ import annotations
+
+from repro.arch.datatypes import MASKS, is_negative, sign_extend
+from repro.arch.opcodes import OperandKind
+from repro.arch.registers import PC, SP, KERNEL, PSL
+from repro.arch.specifiers import AddressingMode
+from repro.cpu.faults import IllegalOperand, PageFaultTrap, SimulatorError
+from repro.cpu.ibuffer import InstructionBuffer
+from repro.cpu.tracer import Tracer
+from repro.ucode import costs
+from repro.ucode.map import MicrocodeMap
+from repro.ucode.rows import Row
+from repro.vm.address import PAGE_BYTES, PAGE_SHIFT
+from repro.vm.pagetable import PTE_VALID, PFN_MASK, TranslationNotMapped
+
+_M = AddressingMode
+_PAGE_MASK = PAGE_BYTES - 1
+_WORD = 0xFFFFFFFF
+
+
+class OperandRef:
+    """An evaluated operand specifier.
+
+    ``kind`` is ``"value"`` (datum already in hand: literal, immediate,
+    read result, or a computed address for address-access operands),
+    ``"reg"`` (register operand) or ``"mem"`` (memory operand carrying its
+    effective address and, for modify access, the datum already read).
+    """
+
+    __slots__ = ("kind", "value", "reg", "addr", "size", "write_upc")
+
+    def __init__(self, kind, value=0, reg=0, addr=0, size=4,
+                 write_upc=None) -> None:
+        self.kind = kind
+        self.value = value
+        self.reg = reg
+        self.addr = addr
+        self.size = size
+        self.write_upc = write_upc
+
+
+def expand_short_literal(literal: int, kind: OperandKind) -> int:
+    """Expand a 6-bit short literal per the operand's data type."""
+    if kind.dtype in ("f", "d"):
+        # Floating short literal: 3 exponent bits, 3 fraction bits.
+        pattern = ((128 + (literal >> 3)) << 23) | ((literal & 7) << 20)
+        return pattern
+    return literal
+
+
+class EBox:
+    """Microcode execution engine plus architectural state."""
+
+    def __init__(self, params, mem, tb, translator, umap: MicrocodeMap,
+                 board, tracer: Tracer) -> None:
+        self.params = params
+        self.mem = mem
+        self.tb = tb
+        self.translator = translator
+        self.u = umap
+        self.board = board
+        self.tracer = tracer
+        self.ib = InstructionBuffer(mem, tb, translator, params)
+
+        self.registers = [0] * 16
+        self.psl = PSL()
+        #: Per-access-mode stack pointers (the architectural KSP..USP).
+        self.mode_sps = [0, 0, 0, 0]
+        self.pc = 0
+        self.now = 0
+        #: Process control block base (physical), set via MTPR PCBB.
+        self.pcb_base = 0
+        #: System control block base (physical), set via MTPR SCBB.
+        self.scb_base = 0
+
+        self._fused_upc = None
+        #: PC to restart at if the current instruction faults.
+        self.restart_pc = 0
+        #: hooks the machine installs for MTPR/MFPR side effects and the
+        #: LDPCTX address-space switch.
+        self.mtpr_hook = None
+        self.mfpr_hook = None
+        self.ldpctx_hook = None
+
+    # ------------------------------------------------------------------
+    # time and cycle accounting
+    # ------------------------------------------------------------------
+
+    def tick(self, cycles: int, port_free: bool = True) -> None:
+        """Advance simulated time; the I-Fetch engine runs in parallel."""
+        ib_tick = self.ib.tick
+        for _ in range(cycles):
+            self.now += 1
+            ib_tick(self.now, port_free)
+
+    def _cycle_raw(self, upc: int, n: int = 1) -> None:
+        """Charge ``n`` compute cycles at ``upc`` (no fusing)."""
+        self.board.count(upc, n)
+        self.tick(n)
+
+    def cycle(self, upc: int, n: int = 1) -> None:
+        """Charge execute-flow compute cycles.
+
+        If the literal/register operand optimisation armed a fused cycle,
+        the first cycle is charged to the specifier row instead (§5,
+        Table 8 remarks).
+        """
+        if self._fused_upc is not None and n > 0:
+            self.board.count(self._fused_upc)
+            self._fused_upc = None
+            self.tick(1)
+            n -= 1
+        if n > 0:
+            self.board.count(upc, n)
+            self.tick(n)
+
+    def arm_fused_cycle(self, upc: int) -> None:
+        """Arm the fused first-execute-cycle optimisation."""
+        self._fused_upc = upc
+
+    def disarm_fused_cycle(self) -> None:
+        """Cancel an unconsumed fused-cycle credit (end of instruction)."""
+        self._fused_upc = None
+
+    # ------------------------------------------------------------------
+    # translation and the TB-miss microtrap
+    # ------------------------------------------------------------------
+
+    def translate(self, va: int, stream: str = "d") -> int:
+        """TB-translate ``va``, servicing misses via the microtrap flow."""
+        va &= _WORD
+        while True:
+            pfn = self.tb.lookup(va, stream)
+            if pfn is not None:
+                return (pfn << PAGE_SHIFT) | (va & _PAGE_MASK)
+            self.service_tb_miss(va, stream)
+
+    def service_tb_miss(self, va: int, stream: str) -> None:
+        """The TB-miss service micro-routine (§4.2).
+
+        One abort cycle (Row.ABORTS) for the microtrap, then the walk,
+        a PTE read through the cache (whose stalls are the paper's 3.5
+        cycles), and the insert — all in Row.MEM_MGMT.
+        """
+        u = self.u
+        start = self.now
+        self._cycle_raw(u.trap_abort)
+        self._cycle_raw(u.tbm_entry)
+        self._cycle_raw(u.tbm_compute, costs.TBM_WALK_CYCLES)
+        try:
+            pte_addr = self.translator.pte_address(va)
+        except TranslationNotMapped as exc:
+            raise SimulatorError(
+                f"TB miss on unmapped address {va:#010x}") from exc
+        result = self.mem.read_data(pte_addr, 4, self.now)
+        self.board.count(u.tbm_pte_read)
+        self.tick(1, port_free=False)
+        stall = result.stall_cycles
+        if stall:
+            self.board.count_stall(u.tbm_pte_read, stall)
+            self.tick(stall, port_free=False)
+        pte = result.value
+        if not pte & PTE_VALID:
+            self._cycle_raw(u.tbm_insert, 2)
+            self.tracer.page_faults += 1
+            raise PageFaultTrap(va, self.restart_pc)
+        self.tb.insert(va, pte & PFN_MASK)
+        self._cycle_raw(u.tbm_insert, costs.TBM_INSERT_CYCLES)
+        self.tracer.note_tb_miss(stream, self.now - start, stall)
+
+    # ------------------------------------------------------------------
+    # D-stream references
+    # ------------------------------------------------------------------
+
+    def _chunks(self, va: int, size: int):
+        """Split an access at page boundaries (frames may not be adjacent)."""
+        va &= _WORD
+        first = PAGE_BYTES - (va & _PAGE_MASK)
+        if size <= first:
+            return ((va, size),)
+        return ((va, first), ((va + first) & _WORD, size - first))
+
+    def read(self, va: int, size: int, upc: int) -> int:
+        """D-stream read of 1-4 bytes, charged at ``upc``."""
+        value = 0
+        shift = 0
+        chunks = self._chunks(va, size)
+        for i, (chunk_va, chunk_size) in enumerate(chunks):
+            pa = self.translate(chunk_va, "d")
+            result = self.mem.read_data(pa, chunk_size, self.now)
+            self.board.count(upc)
+            self.tick(1, port_free=False)
+            if result.stall_cycles:
+                self.board.count_stall(upc, result.stall_cycles)
+                self.tick(result.stall_cycles, port_free=False)
+            extra_refs = result.physical_refs - 1 + (1 if i else 0)
+            if extra_refs:
+                # Alignment microcode (Row.MEM_MGMT).
+                self._cycle_raw(self.u.unaligned_calc, extra_refs)
+            value |= result.value << shift
+            shift += 8 * chunk_size
+        return value
+
+    def write(self, va: int, value: int, size: int, upc: int) -> None:
+        """D-stream write of 1-4 bytes through the write buffer."""
+        shift = 0
+        chunks = self._chunks(va, size)
+        for i, (chunk_va, chunk_size) in enumerate(chunks):
+            pa = self.translate(chunk_va, "d")
+            chunk = (value >> shift) & MASKS[chunk_size] \
+                if chunk_size in MASKS else \
+                (value >> shift) & ((1 << (8 * chunk_size)) - 1)
+            result = self.mem.write_data(pa, chunk, chunk_size, self.now)
+            self.board.count(upc)
+            self.tick(1, port_free=False)
+            if result.stall_cycles:
+                self.board.count_stall(upc, result.stall_cycles)
+                self.tick(result.stall_cycles, port_free=False)
+            extra_refs = result.physical_refs - 1 + (1 if i else 0)
+            if extra_refs:
+                self._cycle_raw(self.u.unaligned_calc, extra_refs)
+            shift += 8 * chunk_size
+
+    def read_quad(self, va: int, upc: int) -> int:
+        """Two-longword read (the EBOX data path is 32 bits wide)."""
+        low = self.read(va, 4, upc)
+        high = self.read((va + 4) & _WORD, 4, upc)
+        return low | (high << 32)
+
+    def write_quad(self, va: int, value: int, upc: int) -> None:
+        """Two-longword write."""
+        self.write(va, value & _WORD, 4, upc)
+        self.write((va + 4) & _WORD, (value >> 32) & _WORD, 4, upc)
+
+    def read_phys(self, pa: int, size: int, upc: int) -> int:
+        """Physical read (SCB vectors, PCB) — no translation."""
+        result = self.mem.read_data(pa, size, self.now)
+        self.board.count(upc)
+        self.tick(1, port_free=False)
+        if result.stall_cycles:
+            self.board.count_stall(upc, result.stall_cycles)
+            self.tick(result.stall_cycles, port_free=False)
+        return result.value
+
+    def write_phys(self, pa: int, value: int, size: int, upc: int) -> None:
+        """Physical write — no translation."""
+        result = self.mem.write_data(pa, value, size, self.now)
+        self.board.count(upc)
+        self.tick(1, port_free=False)
+        if result.stall_cycles:
+            self.board.count_stall(upc, result.stall_cycles)
+            self.tick(result.stall_cycles, port_free=False)
+
+    # ------------------------------------------------------------------
+    # instruction buffer consumption
+    # ------------------------------------------------------------------
+
+    def ib_take(self, nbytes: int, stall_upc: int) -> None:
+        """Consume decoded I-stream bytes, stalling at ``stall_upc``.
+
+        Each stalled cycle executes the per-context insufficient-bytes
+        dispatch microinstruction — its execution count *is* the IB-stall
+        cycle count (§4.3).
+        """
+        ib = self.ib
+        guard = 0
+        while ib.count < nbytes:
+            if ib.tb_miss_va is not None:
+                va = ib.tb_miss_va
+                self.service_tb_miss(va, "i")
+                ib.clear_tb_miss()
+                continue
+            self.board.count(stall_upc)
+            self.tick(1, port_free=True)
+            guard += 1
+            if guard > 100000:
+                raise SimulatorError(
+                    f"IB stall livelock waiting for {nbytes} bytes at "
+                    f"pc={self.pc:#010x}")
+        ib.take(nbytes)
+
+    # ------------------------------------------------------------------
+    # operand specifier evaluation
+    # ------------------------------------------------------------------
+
+    def _reg_read(self, n: int, size: int, spec, inst) -> int:
+        """Read a general register (PC reads yield the updated PC)."""
+        if n == PC:
+            return (inst.address + spec.end_offset) & _WORD
+        if size <= 4:
+            return self.registers[n] & MASKS[size]
+        return (self.registers[n] & _WORD) | \
+            ((self.registers[(n + 1) & 0xF] & _WORD) << 32)
+
+    def reg_write(self, n: int, value: int, size: int) -> None:
+        """Write a general register (sub-longword writes merge)."""
+        if size >= 8:
+            self.registers[n] = value & _WORD
+            self.registers[(n + 1) & 0xF] = (value >> 32) & _WORD
+        elif size == 4:
+            self.registers[n] = value & _WORD
+        else:
+            mask = MASKS[size]
+            self.registers[n] = (self.registers[n] & ~mask & _WORD) | \
+                (value & mask)
+
+    def evaluate_specifiers(self, inst) -> list:
+        """Evaluate all operand specifiers of ``inst`` in order.
+
+        Charges specifier-row cycles, reads read/modify operands, and
+        returns one :class:`OperandRef` per specifier operand.
+        """
+        refs = []
+        kinds = inst.info.specifier_operands
+        for position, (spec, kind) in enumerate(zip(inst.specifiers, kinds)):
+            row = Row.SPEC1 if position == 0 else Row.SPEC26
+            stall_upc = self.u.spec_stall[row]
+            self.ib_take(spec.length, stall_upc)
+            refs.append(self._evaluate_one(inst, spec, kind, row))
+        return refs
+
+    def _evaluate_one(self, inst, spec, kind, row) -> OperandRef:
+        mode = spec.mode
+        access = kind.access
+        size = kind.size
+
+        if mode is _M.SHORT_LITERAL:
+            if access not in ("r", "v"):
+                raise IllegalOperand(
+                    f"short literal with access '{access}' in "
+                    f"{inst.mnemonic}")
+            return OperandRef("value",
+                              value=expand_short_literal(spec.value, kind),
+                              size=size)
+
+        if mode is _M.REGISTER:
+            if access == "a":
+                raise IllegalOperand(
+                    f"register operand needs an address in {inst.mnemonic}")
+            value = 0
+            if access in ("r", "m"):
+                value = self._reg_read(spec.register, size, spec, inst)
+            if access == "r":
+                return OperandRef("value", value=value, size=size)
+            return OperandRef("reg", value=value, reg=spec.register,
+                              size=size)
+
+        flows = self.u.spec_flows[row]
+
+        if mode is _M.IMMEDIATE:
+            if access not in ("r", "v"):
+                raise IllegalOperand(
+                    f"immediate with access '{access}' in {inst.mnemonic}")
+            flow = flows[mode]
+            self._cycle_raw(flow.imm, 1 if size <= 4 else 2)
+            return OperandRef("value", value=spec.value, size=size)
+
+        # -- memory modes: form the effective address ---------------------
+        flow = flows[mode]
+        if mode is _M.REGISTER_DEFERRED:
+            addr = self.registers[spec.register]
+        elif mode is _M.AUTOINCREMENT:
+            addr = self.registers[spec.register]
+            self.registers[spec.register] = (addr + size) & _WORD
+        elif mode is _M.AUTODECREMENT:
+            addr = (self.registers[spec.register] - size) & _WORD
+            self.registers[spec.register] = addr
+            self._cycle_raw(flow.update)
+        elif mode is _M.AUTOINC_DEFERRED:
+            ptr = self.registers[spec.register]
+            self.registers[spec.register] = (ptr + 4) & _WORD
+            addr = self.read(ptr, 4, flow.ptr)
+        elif mode is _M.ABSOLUTE:
+            self._cycle_raw(flow.imm)
+            addr = spec.value
+        elif mode is _M.DISPLACEMENT:
+            # Byte displacements fold into the access cycle; word and
+            # longword displacements need an assembly cycle first.
+            if spec.disp_size > 1:
+                self._cycle_raw(flow.calc)
+            addr = (self.registers[spec.register] + spec.displacement) \
+                & _WORD
+        elif mode is _M.DISP_DEFERRED:
+            if spec.disp_size > 1:
+                self._cycle_raw(flow.calc)
+            ptr = (self.registers[spec.register] + spec.displacement) \
+                & _WORD
+            self._cycle_raw(flow.update)  # indirect pointer staging
+            addr = self.read(ptr, 4, flow.ptr)
+        elif mode is _M.RELATIVE:
+            if spec.disp_size > 1:
+                self._cycle_raw(flow.calc)
+            addr = (inst.address + spec.end_offset + spec.displacement) \
+                & _WORD
+        elif mode is _M.RELATIVE_DEFERRED:
+            if spec.disp_size > 1:
+                self._cycle_raw(flow.calc)
+            ptr = (inst.address + spec.end_offset + spec.displacement) \
+                & _WORD
+            self._cycle_raw(flow.update)
+            addr = self.read(ptr, 4, flow.ptr)
+        else:
+            raise IllegalOperand(f"unhandled mode {mode} in {inst.mnemonic}")
+
+        if spec.indexed:
+            # Microcode sharing: index base calculation always reported in
+            # SPEC2-6 (paper, Table 8 remarks).
+            index = self.registers[spec.index_register]
+            addr = (addr + sign_extend(index, 4) * size) & _WORD
+            self._cycle_raw(self.u.index_calc)
+
+        if access == "r":
+            if size <= 4:
+                value = self.read(addr, size, flow.read)
+            else:
+                value = self.read(addr, 4, flow.read)
+                value |= self.read((addr + 4) & _WORD, 4, flow.read) << 32
+            return OperandRef("value", value=value, size=size)
+        if access == "m":
+            value = self.read(addr, min(size, 4), flow.read)
+            if size > 4:
+                value |= self.read((addr + 4) & _WORD, 4, flow.read) << 32
+            return OperandRef("mem", value=value, addr=addr, size=size,
+                              write_upc=flow.write)
+        if access == "w":
+            return OperandRef("mem", addr=addr, size=size,
+                              write_upc=flow.write)
+        if access in ("a", "v"):
+            # Address formation for non-scalar data is specifier work
+            # (§3.2); deferred modes already paid their pointer read.
+            if mode in (_M.REGISTER_DEFERRED, _M.AUTOINCREMENT,
+                        _M.AUTODECREMENT, _M.DISPLACEMENT, _M.RELATIVE,
+                        _M.ABSOLUTE):
+                self._cycle_raw(flow.calc)
+            if access == "a":
+                return OperandRef("value", value=addr, size=size)
+            return OperandRef("mem", addr=addr, size=size,
+                              write_upc=flow.write)
+        raise IllegalOperand(f"access '{access}' in {inst.mnemonic}")
+
+    def store(self, ref: OperandRef, value: int) -> None:
+        """Store an instruction result into an evaluated operand.
+
+        Register stores are folded into the final execute cycle (no
+        charge); memory stores are the specifier-row write the paper
+        attributes to operand processing.
+        """
+        if ref.kind == "reg":
+            self.reg_write(ref.reg, value, ref.size)
+        elif ref.kind == "mem":
+            if ref.size <= 4:
+                self.write(ref.addr, value, ref.size, ref.write_upc)
+            else:
+                self.write(ref.addr, value & _WORD, 4, ref.write_upc)
+                self.write((ref.addr + 4) & _WORD, (value >> 32) & _WORD,
+                           4, ref.write_upc)
+        else:
+            raise IllegalOperand("store into a read-only operand")
+
+    # ------------------------------------------------------------------
+    # branches
+    # ------------------------------------------------------------------
+
+    def consume_branch_displacement(self, inst) -> None:
+        """Take the displacement bytes from the IB (taken or not)."""
+        kind = inst.info.branch_operand
+        nbytes = 1 if kind.dtype == "b" else 2
+        self.ib_take(nbytes, self.u.bdisp_stall)
+
+    def take_branch(self, inst, redirect_upc: int) -> int:
+        """Branch-taken path: B-DISP target calc + execute-phase redirect.
+
+        Returns the target PC; the IB is flushed and will refill from the
+        target (the refill latency surfaces as the next instruction's
+        decode IB-stall, which is where the paper says most IB stall
+        lives).
+        """
+        self._cycle_raw(self.u.bdisp_calc)
+        self._cycle_raw(redirect_upc)
+        target = inst.branch_target()
+        self.ib.flush(target)
+        return target
+
+    def redirect(self, target: int, redirect_upc: int) -> int:
+        """IB redirect without a branch displacement (JMP, RET, CASE...)."""
+        self._cycle_raw(redirect_upc)
+        target &= _WORD
+        self.ib.flush(target)
+        return target
+
+    # ------------------------------------------------------------------
+    # mode switching and stacks
+    # ------------------------------------------------------------------
+
+    def set_mode(self, new_mode: int) -> None:
+        """Switch access mode, banking the per-mode stack pointers."""
+        current = self.psl.current_mode
+        if new_mode == current:
+            return
+        self.mode_sps[current] = self.registers[SP]
+        self.registers[SP] = self.mode_sps[new_mode]
+        self.psl.current_mode = new_mode
+
+    def push(self, value: int, upc: int) -> None:
+        """Push a longword on the current stack."""
+        sp = (self.registers[SP] - 4) & _WORD
+        self.registers[SP] = sp
+        self.write(sp, value, 4, upc)
+
+    def pop(self, upc: int) -> int:
+        """Pop a longword from the current stack."""
+        sp = self.registers[SP]
+        value = self.read(sp, 4, upc)
+        self.registers[SP] = (sp + 4) & _WORD
+        return value
+
+    # ------------------------------------------------------------------
+    # condition codes
+    # ------------------------------------------------------------------
+
+    def set_nz(self, value: int, size: int, v: bool = False,
+               keep_c: bool = True) -> None:
+        """The common N/Z update (C preserved unless ``keep_c`` is False)."""
+        cc = self.psl.cc
+        cc.n = is_negative(value, size)
+        cc.z = (value & MASKS[size]) == 0
+        cc.v = v
+        if not keep_c:
+            cc.c = False

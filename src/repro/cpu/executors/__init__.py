@@ -1,0 +1,18 @@
+"""Execute micro-routines, one per microcode family.
+
+Importing this package registers every executor with
+:mod:`repro.ucode.registry`; :class:`~repro.ucode.map.MicrocodeMap` then
+allocates annotated control-store addresses for each routine's slots.
+
+Executor signature: ``execute(ebox, inst, ops, u) -> next_pc_or_None``
+where ``ops`` is the list of evaluated :class:`OperandRef` objects and
+``u`` maps the routine's slot names to control-store addresses.
+"""
+
+from repro.cpu.executors import simple      # noqa: F401
+from repro.cpu.executors import field       # noqa: F401
+from repro.cpu.executors import floating    # noqa: F401
+from repro.cpu.executors import callret     # noqa: F401
+from repro.cpu.executors import system      # noqa: F401
+from repro.cpu.executors import string      # noqa: F401
+from repro.cpu.executors import decimal     # noqa: F401

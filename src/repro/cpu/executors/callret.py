@@ -1,0 +1,116 @@
+"""Execute flows for the CALL/RET group.
+
+The paper's most striking result lives here: despite only 3.22 % of
+executions, this group contributes the largest execute-row share of any
+group (Table 8) — ~45 cycles per instruction (Table 9), with heavy stack
+traffic (Table 5) and the largest write-stall total, "due to the
+write-through cache and the one-longword write buffer, which force the
+CALL instruction to stall while pushing the caller's state onto the
+stack" (§5).
+
+The call frame follows the VAX convention: a mask/PSW longword, then saved
+AP, FP, PC, then the registers named by the entry mask.
+"""
+
+from __future__ import annotations
+
+from repro.arch.registers import AP, FP, SP
+from repro.ucode import costs
+from repro.ucode.registry import executor
+
+_WORD = 0xFFFFFFFF
+
+
+def _mask_registers(mask: int):
+    """Register numbers R0-R11 selected by an entry/PUSHR mask."""
+    return [n for n in range(12) if mask & (1 << n)]
+
+
+@executor("CALL", slots={"entry": "C", "mask_read": "R", "work": "C",
+                         "push": "W", "finish": "C", "redirect": "C"})
+def exec_call(ebox, inst, ops, u):
+    calls = inst.mnemonic == "CALLS"
+    ebox.tracer.note_branch("CALL", True)
+    target = ops[1].value & _WORD
+    ebox.cycle(u["entry"], costs.CALL_ENTRY_CYCLES)
+    entry_mask = ebox.read(target, 2, u["mask_read"])
+    save_regs = _mask_registers(entry_mask)
+
+    if calls:
+        # Push the argument count; AP will point at it.
+        numarg = ops[0].value & 0xFF
+        ebox.cycle(u["work"], costs.CALL_PER_PUSH_CYCLES)
+        ebox.push(numarg, u["push"])
+        arg_base = ebox.registers[SP]
+    else:
+        arg_base = ops[0].value & _WORD
+
+    # Push registers named by the entry mask (highest first).
+    for reg in reversed(save_regs):
+        ebox.cycle(u["work"], costs.CALL_PER_PUSH_CYCLES)
+        ebox.push(ebox.registers[reg], u["push"])
+
+    # Push PC, FP, AP and the mask/PSW longword.
+    ebox.cycle(u["work"], costs.CALL_PER_PUSH_CYCLES)
+    ebox.push(inst.next_pc, u["push"])
+    ebox.cycle(u["work"], costs.CALL_PER_PUSH_CYCLES)
+    ebox.push(ebox.registers[FP], u["push"])
+    ebox.cycle(u["work"], costs.CALL_PER_PUSH_CYCLES)
+    ebox.push(ebox.registers[AP], u["push"])
+    status = (entry_mask & 0x0FFF) | ((1 if calls else 0) << 13) | \
+        (ebox.psl.cc.as_bits() << 16)
+    ebox.cycle(u["work"], costs.CALL_PER_PUSH_CYCLES)
+    ebox.push(status, u["push"])
+
+    ebox.registers[FP] = ebox.registers[SP]
+    ebox.registers[AP] = arg_base
+    ebox.psl.cc.set(n=False, z=False, v=False, c=False)
+    ebox.cycle(u["finish"], costs.CALL_FINISH_CYCLES)
+    return ebox.redirect((target + 2) & _WORD, u["redirect"])
+
+
+@executor("RET", slots={"entry": "C", "pop": "R", "work": "C",
+                        "finish": "C", "redirect": "C"})
+def exec_ret(ebox, inst, ops, u):
+    ebox.tracer.note_branch("CALL", True)
+    ebox.cycle(u["entry"], costs.RET_ENTRY_CYCLES)
+    ebox.registers[SP] = ebox.registers[FP]
+    status = ebox.pop(u["pop"])
+    ebox.cycle(u["work"], costs.RET_PER_POP_CYCLES)
+    ebox.registers[AP] = ebox.pop(u["pop"])
+    ebox.cycle(u["work"], costs.RET_PER_POP_CYCLES)
+    ebox.registers[FP] = ebox.pop(u["pop"])
+    ebox.cycle(u["work"], costs.RET_PER_POP_CYCLES)
+    return_pc = ebox.pop(u["pop"])
+
+    mask = status & 0x0FFF
+    for reg in _mask_registers(mask):
+        ebox.cycle(u["work"], costs.RET_PER_POP_CYCLES)
+        ebox.registers[reg] = ebox.pop(u["pop"])
+
+    if status & (1 << 13):  # frame made by CALLS: discard the arg list
+        numarg = ebox.read(ebox.registers[SP], 4, u["pop"]) & 0xFF
+        ebox.registers[SP] = (ebox.registers[SP] + 4 + 4 * numarg) & _WORD
+    ebox.psl.cc.load_bits((status >> 16) & 0xF)
+    ebox.cycle(u["finish"], costs.RET_FINISH_CYCLES)
+    return ebox.redirect(return_pc, u["redirect"])
+
+
+@executor("PUSHR", slots={"entry": "C", "work": "C", "push": "W"})
+def exec_pushr(ebox, inst, ops, u):
+    mask = ops[0].value & 0x7FFF
+    ebox.cycle(u["entry"], 2)
+    for reg in reversed([n for n in range(15) if mask & (1 << n)]):
+        ebox.cycle(u["work"], costs.PUSHR_PER_REG_CYCLES)
+        ebox.push(ebox.registers[reg], u["push"])
+    return None
+
+
+@executor("POPR", slots={"entry": "C", "work": "C", "pop": "R"})
+def exec_popr(ebox, inst, ops, u):
+    mask = ops[0].value & 0x7FFF
+    ebox.cycle(u["entry"], 2)
+    for reg in [n for n in range(15) if mask & (1 << n)]:
+        ebox.cycle(u["work"], costs.POPR_PER_REG_CYCLES)
+        ebox.registers[reg] = ebox.pop(u["pop"])
+    return None

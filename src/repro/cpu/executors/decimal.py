@@ -1,0 +1,146 @@
+"""Execute flows for the DECIMAL group: packed-decimal string arithmetic.
+
+Packed decimal stores two digits per byte, most significant digit first,
+with the sign in the low nibble of the last byte (0xC positive, 0xD
+negative).  An operand is described by a *digit count* and an address; the
+byte length is ``digits // 2 + 1``.
+
+These are the rarest instructions in Table 1 (0.03 %) but the second
+most expensive per execution (~101 cycles, Table 9): long microcode loops
+over the digit bytes.
+"""
+
+from __future__ import annotations
+
+from repro.ucode import costs
+from repro.ucode.registry import executor
+
+_WORD = 0xFFFFFFFF
+
+
+def packed_byte_length(digits: int) -> int:
+    """Bytes occupied by a packed decimal of ``digits`` digits."""
+    return digits // 2 + 1
+
+
+def _read_packed(ebox, digits, addr, upc, work_upc):
+    """Read a packed decimal operand; returns its signed integer value."""
+    nbytes = packed_byte_length(digits)
+    raw = []
+    for i in range(nbytes):
+        raw.append(ebox.read((addr + i) & _WORD, 1, upc))
+        ebox.cycle(work_upc, costs.DECIMAL_PER_BYTE_COMPUTE)
+    value = 0
+    for i, byte in enumerate(raw):
+        if i == nbytes - 1:
+            value = value * 10 + (byte >> 4)
+            sign = byte & 0xF
+        else:
+            value = value * 100 + (byte >> 4) * 10 + (byte & 0xF)
+    if sign in (0xD, 0xB):
+        value = -value
+    return value
+
+
+def _write_packed(ebox, digits, addr, value, upc, work_upc):
+    """Write ``value`` as a packed decimal of ``digits`` digits."""
+    nbytes = packed_byte_length(digits)
+    negative = value < 0
+    magnitude = abs(value) % (10 ** digits)
+    digit_list = []
+    for _ in range(digits):
+        digit_list.append(magnitude % 10)
+        magnitude //= 10
+    digit_list.reverse()
+    # Pad to an even layout: first byte may hold a leading zero digit.
+    if digits % 2 == 0:
+        digit_list.insert(0, 0)
+    out = []
+    for i in range(nbytes - 1):
+        out.append((digit_list[2 * i] << 4) | digit_list[2 * i + 1])
+    out.append((digit_list[-1] << 4) | (0xD if negative else 0xC))
+    for i, byte in enumerate(out):
+        ebox.write((addr + i) & _WORD, byte, 1, upc)
+        ebox.cycle(work_upc, costs.DECIMAL_PER_BYTE_COMPUTE)
+    return (-1 if negative else 1) * (abs(value) % (10 ** digits))
+
+
+def _set_decimal_cc(ebox, value):
+    ebox.psl.cc.set(n=value < 0, z=value == 0, v=False, c=False)
+
+
+@executor("MOVP", slots={"entry": "C", "fetch": "R", "work": "C",
+                         "stores": "W", "exit": "C"})
+def exec_movp(ebox, inst, ops, u):
+    digits = ops[0].value & 0xFFFF
+    ebox.cycle(u["entry"], costs.DECIMAL_ENTRY_CYCLES)
+    value = _read_packed(ebox, digits, ops[1].value, u["fetch"], u["work"])
+    _write_packed(ebox, digits, ops[2].value, value, u["stores"], u["work"])
+    ebox.cycle(u["exit"], costs.DECIMAL_EXIT_CYCLES)
+    _set_decimal_cc(ebox, value)
+    return None
+
+
+@executor("CMPP", slots={"entry": "C", "fetch": "R", "work": "C",
+                         "exit": "C"})
+def exec_cmpp(ebox, inst, ops, u):
+    digits = ops[0].value & 0xFFFF
+    ebox.cycle(u["entry"], costs.DECIMAL_ENTRY_CYCLES)
+    a = _read_packed(ebox, digits, ops[1].value, u["fetch"], u["work"])
+    b = _read_packed(ebox, digits, ops[2].value, u["fetch"], u["work"])
+    ebox.cycle(u["exit"], costs.DECIMAL_EXIT_CYCLES)
+    ebox.psl.cc.set(n=a < b, z=a == b, v=False, c=False)
+    return None
+
+
+@executor("ADDP", slots={"entry": "C", "fetch": "R", "work": "C",
+                         "stores": "W", "exit": "C"})
+def exec_addp(ebox, inst, ops, u):
+    subtract = inst.mnemonic.startswith("SUB")
+    six_operand = inst.mnemonic.endswith("6")
+    ebox.cycle(u["entry"], costs.DECIMAL_ENTRY_CYCLES)
+    add_digits = ops[0].value & 0xFFFF
+    addend = _read_packed(ebox, add_digits, ops[1].value, u["fetch"],
+                          u["work"])
+    src_digits = ops[2].value & 0xFFFF
+    src = _read_packed(ebox, src_digits, ops[3].value, u["fetch"],
+                       u["work"])
+    result = src - addend if subtract else src + addend
+    if six_operand:
+        dst_digits = ops[4].value & 0xFFFF
+        dst_addr = ops[5].value
+    else:
+        dst_digits = src_digits
+        dst_addr = ops[3].value
+    stored = _write_packed(ebox, dst_digits, dst_addr, result,
+                           u["stores"], u["work"])
+    ebox.cycle(u["exit"], costs.DECIMAL_EXIT_CYCLES)
+    _set_decimal_cc(ebox, stored)
+    return None
+
+
+@executor("CVTLP", slots={"entry": "C", "work": "C", "stores": "W",
+                          "exit": "C"})
+def exec_cvtlp(ebox, inst, ops, u):
+    from repro.arch.datatypes import sign_extend
+    value = sign_extend(ops[0].value, 4)
+    digits = ops[1].value & 0xFFFF
+    ebox.cycle(u["entry"], costs.DECIMAL_ENTRY_CYCLES)
+    stored = _write_packed(ebox, digits, ops[2].value, value,
+                           u["stores"], u["work"])
+    ebox.cycle(u["exit"], costs.DECIMAL_EXIT_CYCLES)
+    _set_decimal_cc(ebox, stored)
+    return None
+
+
+@executor("CVTPL", slots={"entry": "C", "fetch": "R", "work": "C",
+                          "exit": "C"})
+def exec_cvtpl(ebox, inst, ops, u):
+    digits = ops[0].value & 0xFFFF
+    ebox.cycle(u["entry"], costs.DECIMAL_ENTRY_CYCLES)
+    value = _read_packed(ebox, digits, ops[1].value, u["fetch"],
+                         u["work"])
+    ebox.cycle(u["exit"], costs.DECIMAL_EXIT_CYCLES)
+    ebox.store(ops[2], value & _WORD)
+    _set_decimal_cc(ebox, value)
+    return None

@@ -1,0 +1,153 @@
+"""Execute flows for the FIELD group: variable bit fields and bit branches.
+
+Field operands arrive as ``v``-access references: either a register (the
+field lives in the register file, no memory traffic) or a memory base
+address (the field read/write is charged to this group's execute row, as
+Table 5 attributes it).
+"""
+
+from __future__ import annotations
+
+from repro.arch.datatypes import sign_extend
+from repro.cpu.faults import IllegalOperand
+from repro.ucode import costs
+from repro.ucode.registry import executor
+
+_WORD = 0xFFFFFFFF
+
+
+def _field_fetch(ebox, base, pos, size_bits, read_upc):
+    """Read ``size_bits`` starting ``pos`` bits past the field base."""
+    if size_bits == 0:
+        return 0
+    if base.kind == "reg":
+        if pos + size_bits > 64:
+            raise IllegalOperand("register field exceeds two registers")
+        word = ebox.registers[base.reg] | \
+            (ebox.registers[(base.reg + 1) & 0xF] << 32)
+        return (word >> pos) & ((1 << size_bits) - 1)
+    byte0 = base.addr + (pos >> 3)
+    bit = pos & 7
+    nbytes = (bit + size_bits + 7) >> 3
+    word = ebox.read(byte0, min(nbytes, 4), read_upc)
+    if nbytes > 4:
+        word |= ebox.read(byte0 + 4, nbytes - 4, read_upc) << 32
+    return (word >> bit) & ((1 << size_bits) - 1)
+
+
+def _field_store(ebox, base, pos, size_bits, value, read_upc, write_upc):
+    """Read-modify-write ``size_bits`` at the field position."""
+    mask = (1 << size_bits) - 1
+    value &= mask
+    if base.kind == "reg":
+        if pos + size_bits > 32:
+            raise IllegalOperand("register field store exceeds one register")
+        reg = ebox.registers[base.reg]
+        ebox.registers[base.reg] = (reg & ~(mask << pos) & _WORD) | \
+            (value << pos)
+        return
+    byte0 = base.addr + (pos >> 3)
+    bit = pos & 7
+    nbytes = (bit + size_bits + 7) >> 3
+    if nbytes > 4:
+        raise IllegalOperand("memory field store wider than a longword")
+    word = ebox.read(byte0, nbytes, read_upc)
+    word = (word & ~(mask << bit)) | (value << bit)
+    ebox.write(byte0, word, nbytes, write_upc)
+
+
+@executor("EXT", slots={"setup": "C", "fread": "R", "shift": "C"})
+def exec_ext(ebox, inst, ops, u):
+    pos = ops[0].value & _WORD
+    size_bits = ops[1].value & 0x3F
+    ebox.cycle(u["setup"], costs.FIELD_SETUP_CYCLES)
+    raw = _field_fetch(ebox, ops[2], pos, size_bits, u["fread"])
+    ebox.cycle(u["shift"], costs.FIELD_SHIFT_CYCLES)
+    result = raw
+    if inst.mnemonic == "EXTV" and 0 < size_bits < 32 and \
+            raw & (1 << (size_bits - 1)):
+        result = (raw - (1 << size_bits)) & _WORD
+    ebox.store(ops[3], result)
+    ebox.set_nz(result, 4)
+    return None
+
+
+@executor("INSV", slots={"setup": "C", "fread": "R", "fwrite": "W",
+                         "shift": "C"})
+def exec_insv(ebox, inst, ops, u):
+    src = ops[0].value & _WORD
+    pos = ops[1].value & _WORD
+    size_bits = ops[2].value & 0x3F
+    ebox.cycle(u["setup"], costs.FIELD_SETUP_CYCLES)
+    ebox.cycle(u["shift"], costs.FIELD_SHIFT_CYCLES)
+    if size_bits:
+        _field_store(ebox, ops[3], pos, size_bits, src,
+                     u["fread"], u["fwrite"])
+    return None
+
+
+@executor("CMPV", slots={"setup": "C", "fread": "R", "shift": "C"})
+def exec_cmpv(ebox, inst, ops, u):
+    pos = ops[0].value & _WORD
+    size_bits = ops[1].value & 0x3F
+    ebox.cycle(u["setup"], costs.FIELD_SETUP_CYCLES)
+    raw = _field_fetch(ebox, ops[2], pos, size_bits, u["fread"])
+    ebox.cycle(u["shift"], costs.FIELD_SHIFT_CYCLES)
+    if inst.mnemonic == "CMPV" and size_bits and size_bits < 32 and \
+            raw & (1 << (size_bits - 1)):
+        field = raw - (1 << size_bits)
+    else:
+        field = raw
+    src = sign_extend(ops[3].value, 4)
+    cc = ebox.psl.cc
+    cc.set(n=field < src, z=field == src, v=False,
+           c=(raw & _WORD) < (ops[3].value & _WORD))
+    return None
+
+
+@executor("FF", slots={"setup": "C", "fread": "R", "scan": "C"})
+def exec_ff(ebox, inst, ops, u):
+    start = ops[0].value & _WORD
+    size_bits = ops[1].value & 0x3F
+    ebox.cycle(u["setup"], costs.FIELD_SETUP_CYCLES)
+    raw = _field_fetch(ebox, ops[2], start, size_bits, u["fread"])
+    want_set = inst.mnemonic == "FFS"
+    found = -1
+    for bit in range(size_bits):
+        is_set = bool(raw & (1 << bit))
+        if is_set == want_set:
+            found = bit
+            break
+    scanned = (found if found >= 0 else size_bits)
+    ebox.cycle(u["scan"], 1 + (scanned >> 3) * costs.FFS_PER_BYTE_CYCLES)
+    if found >= 0:
+        position = (start + found) & _WORD
+        ebox.store(ops[3], position)
+        ebox.psl.cc.set(n=False, z=False, v=False, c=False)
+    else:
+        ebox.store(ops[3], (start + size_bits) & _WORD)
+        ebox.psl.cc.set(n=False, z=True, v=False, c=False)
+    return None
+
+
+@executor("BB", slots={"setup": "C", "fread": "R", "fwrite": "W",
+                       "redirect": "C"})
+def exec_bb(ebox, inst, ops, u):
+    mnemonic = inst.mnemonic
+    pos = ops[0].value & _WORD
+    base = ops[1]
+    ebox.cycle(u["setup"], 4)
+    bit = _field_fetch(ebox, base, pos, 1, u["fread"])
+    branch_on_set = mnemonic[2] == "S"  # BBSx / BBCx
+    taken = bool(bit) == branch_on_set
+    # Set/clear variants modify the bit after testing; the interlocked
+    # forms (BBSSI/BBCCI) spend extra cycles on the bus interlock.
+    if len(mnemonic) > 3:
+        new_bit = 1 if mnemonic[3] == "S" else 0
+        _field_store(ebox, base, pos, 1, new_bit, u["fread"], u["fwrite"])
+        if mnemonic.endswith("I"):
+            ebox.cycle(u["setup"], 2)
+    ebox.tracer.note_branch("BB", taken)
+    if taken:
+        return ebox.take_branch(inst, u["redirect"])
+    return None

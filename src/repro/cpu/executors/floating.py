@@ -1,0 +1,243 @@
+"""Execute flows for the FLOAT group.
+
+Table 1 places integer multiply/divide in this group alongside the F and D
+floating formats.  All of the paper's machines had the Floating Point
+Accelerator (§2.2), so the cycle budgets in :mod:`repro.ucode.costs` model
+FPA-assisted execution.
+
+F_floating values travel as 32-bit patterns and are converted to Python
+floats for arithmetic; D_floating is approximated by its first longword
+(same layout as F with 32 extra fraction bits we do not carry).
+"""
+
+from __future__ import annotations
+
+from repro.arch.datatypes import (MASKS, f_float_decode, f_float_encode,
+                                  sign_extend)
+from repro.ucode import costs
+from repro.ucode.registry import executor
+
+_WORD = 0xFFFFFFFF
+
+
+def _f(pattern: int) -> float:
+    return f_float_decode(pattern & _WORD)
+
+
+def _fpat(value: float) -> int:
+    return f_float_encode(value)
+
+
+def _d(pattern: int) -> float:
+    # D_floating: first longword has the F layout; low fraction ignored.
+    return f_float_decode(pattern & _WORD)
+
+
+def _dpat(value: float) -> int:
+    return f_float_encode(value)  # high longword; low fraction zero
+
+
+def _set_float_cc(ebox, value: float) -> None:
+    ebox.psl.cc.set(n=value < 0, z=value == 0, v=False, c=False)
+
+
+@executor("FADDSUB", slots={"prep": "C", "fpa": "C"})
+def exec_faddsub(ebox, inst, ops, u):
+    a = _f(ops[0].value)
+    b = _f(ops[1].value)
+    result = b - a if inst.mnemonic.startswith("SUB") else b + a
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["fpa"], costs.FADD_CYCLES - 1)
+    ebox.store(ops[-1], _fpat(result))
+    _set_float_cc(ebox, result)
+    return None
+
+
+@executor("FMULDIV", slots={"prep": "C", "fpa": "C"})
+def exec_fmuldiv(ebox, inst, ops, u):
+    a = _f(ops[0].value)
+    b = _f(ops[1].value)
+    divide = inst.mnemonic.startswith("DIV")
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["fpa"],
+               (costs.FDIV_CYCLES if divide else costs.FMUL_CYCLES) - 1)
+    if divide:
+        result = b / a if a != 0 else 0.0  # reserved-operand fault unmodeled
+    else:
+        result = b * a
+    ebox.store(ops[-1], _fpat(result))
+    _set_float_cc(ebox, result)
+    return None
+
+
+@executor("FCVT", slots={"prep": "C", "fpa": "C"})
+def exec_fcvt(ebox, inst, ops, u):
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["fpa"], costs.FCVT_CYCLES - 1)
+    mnemonic = inst.mnemonic
+    if mnemonic in ("CVTFB", "CVTFW", "CVTFL", "CVTRFL"):
+        # float -> integer (CVTRFL rounds; the others truncate).
+        real = _f(ops[0].value)
+        value = int(real + (0.5 if real >= 0 else -0.5)) \
+            if mnemonic == "CVTRFL" else int(real)
+        size = inst.info.operands[1].size
+        ebox.store(ops[1], value & MASKS[size])
+        ebox.set_nz(value & MASKS[size], size)
+    else:  # CVTBF / CVTWF / CVTLF: integer -> float
+        size = inst.info.operands[0].size
+        value = float(sign_extend(ops[0].value, size))
+        ebox.store(ops[1], _fpat(value))
+        _set_float_cc(ebox, value)
+    return None
+
+
+@executor("DCMP", slots={"exec": "C"})
+def exec_dcmp(ebox, inst, ops, u):
+    a = _d(ops[0].value)
+    ebox.cycle(u["exec"], 4)
+    if inst.mnemonic == "TSTD":
+        _set_float_cc(ebox, a)
+    else:
+        b = _d(ops[1].value)
+        ebox.psl.cc.set(n=a < b, z=a == b, v=False, c=False)
+    return None
+
+
+@executor("DCVT", slots={"prep": "C", "fpa": "C"})
+def exec_dcvt(ebox, inst, ops, u):
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["fpa"], costs.FCVT_CYCLES + 1)
+    mnemonic = inst.mnemonic
+    if mnemonic == "CVTFD":
+        ebox.store(ops[1], _dpat(_f(ops[0].value)))
+        _set_float_cc(ebox, _f(ops[0].value))
+    elif mnemonic == "CVTDF":
+        ebox.store(ops[1], _fpat(_d(ops[0].value)))
+        _set_float_cc(ebox, _d(ops[0].value))
+    elif mnemonic == "CVTDL":
+        value = int(_d(ops[0].value))
+        ebox.store(ops[1], value & _WORD)
+        ebox.set_nz(value & _WORD, 4)
+    else:  # CVTLD
+        value = float(sign_extend(ops[0].value, 4))
+        ebox.store(ops[1], _dpat(value))
+        _set_float_cc(ebox, value)
+    return None
+
+
+@executor("FMOV", slots={"exec": "C"})
+def exec_fmov(ebox, inst, ops, u):
+    value = _f(ops[0].value)
+    if inst.mnemonic == "MNEGF":
+        value = -value
+    ebox.cycle(u["exec"], 3)
+    ebox.store(ops[1], _fpat(value))
+    _set_float_cc(ebox, value)
+    return None
+
+
+@executor("FCMP", slots={"exec": "C"})
+def exec_fcmp(ebox, inst, ops, u):
+    a = _f(ops[0].value)
+    ebox.cycle(u["exec"], 3)
+    if inst.mnemonic == "TSTF":
+        _set_float_cc(ebox, a)
+    else:
+        b = _f(ops[1].value)
+        ebox.psl.cc.set(n=a < b, z=a == b, v=False, c=False)
+    return None
+
+
+@executor("DADDSUB", slots={"prep": "C", "fpa": "C"})
+def exec_daddsub(ebox, inst, ops, u):
+    a = _d(ops[0].value)
+    b = _d(ops[1].value)
+    result = b - a if inst.mnemonic.startswith("SUB") else b + a
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["fpa"], costs.DADD_CYCLES - 1)
+    ebox.store(ops[-1], _dpat(result))
+    _set_float_cc(ebox, result)
+    return None
+
+
+@executor("DMULDIV", slots={"prep": "C", "fpa": "C"})
+def exec_dmuldiv(ebox, inst, ops, u):
+    a = _d(ops[0].value)
+    b = _d(ops[1].value)
+    divide = inst.mnemonic.startswith("DIV")
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["fpa"], costs.DMUL_CYCLES + (4 if divide else -1))
+    if divide:
+        result = b / a if a != 0 else 0.0
+    else:
+        result = b * a
+    ebox.store(ops[-1], _dpat(result))
+    _set_float_cc(ebox, result)
+    return None
+
+
+@executor("DMOV", slots={"exec": "C"})
+def exec_dmov(ebox, inst, ops, u):
+    ebox.cycle(u["exec"], 3)
+    if inst.mnemonic == "MNEGD":
+        real = -_d(ops[0].value)
+        value = _dpat(real)
+    else:  # MOVD: move the pattern unchanged
+        value = ops[0].value & MASKS[8]
+        real = _d(value)
+    ebox.store(ops[1], value)
+    _set_float_cc(ebox, real)
+    return None
+
+
+@executor("MULDIV_INT", slots={"prep": "C", "loop": "C"})
+def exec_muldiv_int(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    a = sign_extend(ops[0].value, size)
+    b = sign_extend(ops[1].value, size)
+    divide = inst.mnemonic.startswith("DIV")
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["loop"],
+               (costs.DIVL_CYCLES if divide else costs.MULL_CYCLES) - 1)
+    bound = 1 << (8 * size - 1)
+    if divide:
+        if a == 0:
+            result, v = 0, True  # divide-by-zero fault unmodeled
+        else:
+            result = int(b / a)  # VAX truncates toward zero
+            v = not -bound <= result < bound
+    else:
+        result = a * b
+        v = not -bound <= result < bound
+    ebox.store(ops[-1], result & MASKS[size])
+    ebox.set_nz(result & MASKS[size], size, v=v)
+    return None
+
+
+@executor("EMUL", slots={"prep": "C", "loop": "C"})
+def exec_emul(ebox, inst, ops, u):
+    product = sign_extend(ops[0].value, 4) * sign_extend(ops[1].value, 4) \
+        + sign_extend(ops[2].value, 4)
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["loop"], costs.EMUL_CYCLES - 1)
+    ebox.store(ops[3], product & MASKS[8])
+    ebox.set_nz(product & MASKS[8], 8)
+    return None
+
+
+@executor("EDIV", slots={"prep": "C", "loop": "C"})
+def exec_ediv(ebox, inst, ops, u):
+    divisor = sign_extend(ops[0].value, 4)
+    dividend = sign_extend(ops[1].value, 8)
+    ebox.cycle(u["prep"])
+    ebox.cycle(u["loop"], costs.EDIV_CYCLES - 1)
+    if divisor == 0:
+        quotient, remainder, v = 0, 0, True
+    else:
+        quotient = int(dividend / divisor)
+        remainder = dividend - quotient * divisor
+        v = not -(1 << 31) <= quotient < (1 << 31)
+    ebox.store(ops[2], quotient & _WORD)
+    ebox.store(ops[3], remainder & _WORD)
+    ebox.set_nz(quotient & _WORD, 4, v=v)
+    return None

@@ -1,0 +1,467 @@
+"""Execute flows for the SIMPLE group: moves, integer ALU, branches.
+
+The paper's headline observation about this group (Table 9): the average
+simple instruction needs only a little over one cycle of execute-phase
+computation — the cost of a VAX instruction is mostly elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.arch.datatypes import (MASKS, add_with_flags, is_negative,
+                                  sign_extend, sub_with_flags)
+from repro.ucode.registry import executor
+
+_WORD = 0xFFFFFFFF
+
+
+def _value(ref, size):
+    return ref.value & MASKS[size]
+
+
+# ---------------------------------------------------------------------------
+# moves and conversions
+# ---------------------------------------------------------------------------
+
+@executor("MOV", slots={"exec": "C"})
+def exec_mov(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    value = _value(ops[0], size)
+    ebox.cycle(u["exec"])
+    ebox.store(ops[1], value)
+    ebox.set_nz(value, size)
+    return None
+
+
+@executor("MOVQ", slots={"exec": "C"})
+def exec_movq(ebox, inst, ops, u):
+    value = ops[0].value & MASKS[8]
+    ebox.cycle(u["exec"], 2)
+    ebox.store(ops[1], value)
+    ebox.set_nz(value, 8)
+    return None
+
+
+@executor("MOVZ", slots={"exec": "C"})
+def exec_movz(ebox, inst, ops, u):
+    src_size = inst.info.operands[0].size
+    value = _value(ops[0], src_size)
+    ebox.cycle(u["exec"])
+    ebox.store(ops[1], value)
+    ebox.set_nz(value, inst.info.operands[1].size)
+    return None
+
+
+@executor("CVT_INT", slots={"exec": "C"})
+def exec_cvt_int(ebox, inst, ops, u):
+    src_size = inst.info.operands[0].size
+    dst_size = inst.info.operands[1].size
+    signed = sign_extend(ops[0].value, src_size)
+    result = signed & MASKS[dst_size]
+    ebox.cycle(u["exec"])
+    ebox.store(ops[1], result)
+    overflow = not (-(1 << (8 * dst_size - 1)) <= signed
+                    < (1 << (8 * dst_size - 1)))
+    ebox.set_nz(result, dst_size, v=overflow)
+    return None
+
+
+@executor("MCOM", slots={"exec": "C"})
+def exec_mcom(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    result = ~ops[0].value & MASKS[size]
+    ebox.cycle(u["exec"])
+    ebox.store(ops[1], result)
+    ebox.set_nz(result, size)
+    return None
+
+
+@executor("MNEG", slots={"exec": "C"})
+def exec_mneg(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    result, n, z, v, c = sub_with_flags(0, ops[0].value, size)
+    ebox.cycle(u["exec"])
+    ebox.store(ops[1], result)
+    ebox.psl.cc.set(n=n, z=z, v=v, c=c)
+    return None
+
+
+@executor("CLR", slots={"exec": "C"})
+def exec_clr(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    ebox.cycle(u["exec"])
+    ebox.store(ops[0], 0)
+    ebox.set_nz(0, size)
+    return None
+
+
+@executor("CLRQ", slots={"exec": "C"})
+def exec_clrq(ebox, inst, ops, u):
+    ebox.cycle(u["exec"], 2)
+    ebox.store(ops[0], 0)
+    ebox.set_nz(0, 8)
+    return None
+
+
+@executor("MOVA", slots={"exec": "C"})
+def exec_mova(ebox, inst, ops, u):
+    addr = ops[0].value & _WORD
+    ebox.cycle(u["exec"])
+    ebox.store(ops[1], addr)
+    ebox.set_nz(addr, 4)
+    return None
+
+
+@executor("PUSHA", slots={"exec": "C", "push": "W"})
+def exec_pusha(ebox, inst, ops, u):
+    addr = ops[0].value & _WORD
+    ebox.cycle(u["exec"])
+    ebox.push(addr, u["push"])
+    ebox.set_nz(addr, 4)
+    return None
+
+
+@executor("PUSHL", slots={"exec": "C", "push": "W"})
+def exec_pushl(ebox, inst, ops, u):
+    value = ops[0].value & _WORD
+    ebox.cycle(u["exec"])
+    ebox.push(value, u["push"])
+    ebox.set_nz(value, 4)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# integer arithmetic and logic
+# ---------------------------------------------------------------------------
+
+@executor("ADDSUB", slots={"alu": "C"})
+def exec_addsub(ebox, inst, ops, u):
+    # ADD and SUB share microcode; hardware sets the ALU control from the
+    # opcode (paper §3.1) — which is why the µPC method cannot tell them
+    # apart and we dispatch on the mnemonic here.
+    size = inst.info.operands[0].size
+    subtract = inst.mnemonic.startswith("SUB")
+    a = ops[0].value
+    b = ops[1].value
+    if subtract:
+        result, n, z, v, c = sub_with_flags(b, a, size)
+    else:
+        result, n, z, v, c = add_with_flags(b, a, size)
+    ebox.cycle(u["alu"])
+    ebox.store(ops[-1], result)
+    ebox.psl.cc.set(n=n, z=z, v=v, c=c)
+    return None
+
+
+@executor("INCDEC", slots={"alu": "C"})
+def exec_incdec(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    if inst.mnemonic.startswith("INC"):
+        result, n, z, v, c = add_with_flags(ops[0].value, 1, size)
+    else:
+        result, n, z, v, c = sub_with_flags(ops[0].value, 1, size)
+    ebox.cycle(u["alu"])
+    ebox.store(ops[0], result)
+    ebox.psl.cc.set(n=n, z=z, v=v, c=c)
+    return None
+
+
+@executor("ADWC", slots={"alu": "C"})
+def exec_adwc(ebox, inst, ops, u):
+    carry = 1 if ebox.psl.cc.c else 0
+    if inst.mnemonic == "ADWC":
+        result, n, z, v, c = add_with_flags(ops[1].value, ops[0].value, 4,
+                                            carry_in=carry)
+    else:  # SBWC
+        result, n, z, v, c = sub_with_flags(ops[1].value, ops[0].value, 4,
+                                            borrow_in=carry)
+    ebox.cycle(u["alu"])
+    ebox.store(ops[1], result)
+    ebox.psl.cc.set(n=n, z=z, v=v, c=c)
+    return None
+
+
+@executor("ADAWI", slots={"alu": "C", "interlock": "C"})
+def exec_adawi(ebox, inst, ops, u):
+    # Add aligned word, interlocked: the bus interlock costs extra cycles.
+    result, n, z, v, c = add_with_flags(ops[1].value, ops[0].value, 2)
+    ebox.cycle(u["alu"])
+    ebox.cycle(u["interlock"], 2)
+    ebox.store(ops[1], result)
+    ebox.psl.cc.set(n=n, z=z, v=v, c=c)
+    return None
+
+
+@executor("PSW", slots={"exec": "C"})
+def exec_psw(ebox, inst, ops, u):
+    # BISPSW/BICPSW operate on the PSW image (condition codes and trap
+    # enables; only the low byte is modeled meaningfully).
+    mask = ops[0].value & 0xFF
+    ebox.cycle(u["exec"], 2)
+    image = ebox.psl.cc.as_bits() | ebox.psl.trap_enables
+    if inst.mnemonic == "BISPSW":
+        image |= mask
+    else:
+        image &= ~mask
+    ebox.psl.cc.load_bits(image & 0xF)
+    ebox.psl.trap_enables = image & 0xF0
+    return None
+
+
+@executor("INDEX", slots={"setup": "C", "check": "C", "mul": "C"})
+def exec_index(ebox, inst, ops, u):
+    # INDEX: subscript range check and scaled accumulation for array
+    # address arithmetic (used by COBOL/PL/I bounds-checked code).
+    subscript = sign_extend(ops[0].value, 4)
+    low = sign_extend(ops[1].value, 4)
+    high = sign_extend(ops[2].value, 4)
+    size = sign_extend(ops[3].value, 4)
+    indexin = sign_extend(ops[4].value, 4)
+    ebox.cycle(u["setup"], 2)
+    ebox.cycle(u["check"], 2)
+    in_range = low <= subscript <= high
+    ebox.cycle(u["mul"], 8)  # the multiply loop
+    result = (indexin + subscript) * size
+    ebox.store(ops[5], result & _WORD)
+    ebox.set_nz(result & _WORD, 4, v=not in_range)
+    return None
+
+
+@executor("ASHQ", slots={"setup": "C", "shift": "C"})
+def exec_ashq(ebox, inst, ops, u):
+    count = sign_extend(ops[0].value, 1)
+    src = sign_extend(ops[1].value, 8)
+    ebox.cycle(u["setup"])
+    ebox.cycle(u["shift"], 4)
+    if count >= 0:
+        result = (src << min(count, 64)) & MASKS[8]
+    else:
+        result = (src >> min(-count, 64)) & MASKS[8]
+    ebox.store(ops[2], result)
+    ebox.set_nz(result, 8)
+    return None
+
+
+@executor("ASH", slots={"setup": "C", "shift": "C"})
+def exec_ash(ebox, inst, ops, u):
+    count = sign_extend(ops[0].value, 1)
+    src = sign_extend(ops[1].value, 4)
+    ebox.cycle(u["setup"])
+    ebox.cycle(u["shift"], 2)
+    if count >= 0:
+        result = (src << min(count, 32)) & _WORD
+    else:
+        result = (src >> min(-count, 32)) & _WORD
+    ebox.store(ops[2], result)
+    ebox.set_nz(result, 4)
+    return None
+
+
+@executor("ROT", slots={"setup": "C", "shift": "C"})
+def exec_rot(ebox, inst, ops, u):
+    count = sign_extend(ops[0].value, 1) % 32
+    src = ops[1].value & _WORD
+    ebox.cycle(u["setup"])
+    ebox.cycle(u["shift"])
+    result = ((src << count) | (src >> (32 - count))) & _WORD if count \
+        else src
+    ebox.store(ops[2], result)
+    ebox.set_nz(result, 4)
+    return None
+
+
+@executor("LOGICAL", slots={"alu": "C"})
+def exec_logical(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    mnemonic = inst.mnemonic
+    a = ops[0].value & MASKS[size]
+    b = ops[1].value & MASKS[size]
+    if mnemonic.startswith("BIS"):
+        result = a | b
+    elif mnemonic.startswith("BIC"):
+        result = b & ~a & MASKS[size]
+    else:  # XOR
+        result = a ^ b
+    ebox.cycle(u["alu"])
+    ebox.store(ops[-1], result)
+    ebox.set_nz(result, size)
+    return None
+
+
+@executor("BIT", slots={"alu": "C"})
+def exec_bit(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    result = ops[0].value & ops[1].value & MASKS[size]
+    ebox.cycle(u["alu"])
+    ebox.set_nz(result, size)
+    return None
+
+
+@executor("CMP", slots={"alu": "C"})
+def exec_cmp(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    _, n, z, v, c = sub_with_flags(ops[0].value, ops[1].value, size)
+    ebox.cycle(u["alu"])
+    # CMP clears V.
+    ebox.psl.cc.set(n=n, z=z, v=False, c=c)
+    return None
+
+
+@executor("TST", slots={"alu": "C"})
+def exec_tst(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    ebox.cycle(u["alu"])
+    ebox.set_nz(ops[0].value & MASKS[size], size, keep_c=False)
+    return None
+
+
+@executor("NOP", slots={"exec": "C"})
+def exec_nop(ebox, inst, ops, u):
+    ebox.cycle(u["exec"])
+    return None
+
+
+# ---------------------------------------------------------------------------
+# branches
+# ---------------------------------------------------------------------------
+
+def _cc_conditions():
+    return {
+        "BRB": lambda cc: True,
+        "BRW": lambda cc: True,
+        "BNEQ": lambda cc: not cc.z,
+        "BEQL": lambda cc: cc.z,
+        "BGTR": lambda cc: not (cc.n or cc.z),
+        "BLEQ": lambda cc: cc.n or cc.z,
+        "BGEQ": lambda cc: not cc.n,
+        "BLSS": lambda cc: cc.n,
+        "BGTRU": lambda cc: not (cc.c or cc.z),
+        "BLEQU": lambda cc: cc.c or cc.z,
+        "BVC": lambda cc: not cc.v,
+        "BVS": lambda cc: cc.v,
+        "BCC": lambda cc: not cc.c,
+        "BCS": lambda cc: cc.c,
+    }
+
+
+_CONDITIONS = _cc_conditions()
+
+
+@executor("BCOND", slots={"test": "C", "redirect": "C"})
+def exec_bcond(ebox, inst, ops, u):
+    taken = _CONDITIONS[inst.mnemonic](ebox.psl.cc)
+    ebox.tracer.note_branch("BCOND", taken)
+    ebox.cycle(u["test"])
+    if taken:
+        return ebox.take_branch(inst, u["redirect"])
+    return None
+
+
+@executor("JMP", slots={"setup": "C", "redirect": "C"})
+def exec_jmp(ebox, inst, ops, u):
+    ebox.tracer.note_branch("JMP", True)
+    ebox.cycle(u["setup"])
+    return ebox.redirect(ops[0].value, u["redirect"])
+
+
+@executor("BSB", slots={"setup": "C", "push": "W", "redirect": "C"})
+def exec_bsb(ebox, inst, ops, u):
+    ebox.tracer.note_branch("BSB", True)
+    ebox.cycle(u["setup"])
+    ebox.push(inst.next_pc, u["push"])
+    return ebox.take_branch(inst, u["redirect"])
+
+
+@executor("JSB", slots={"setup": "C", "push": "W", "redirect": "C"})
+def exec_jsb(ebox, inst, ops, u):
+    ebox.tracer.note_branch("BSB", True)  # shares Table 2's subroutine row
+    ebox.cycle(u["setup"])
+    ebox.push(inst.next_pc, u["push"])
+    return ebox.redirect(ops[0].value, u["redirect"])
+
+
+@executor("RSB", slots={"setup": "C", "pop": "R", "redirect": "C"})
+def exec_rsb(ebox, inst, ops, u):
+    ebox.tracer.note_branch("BSB", True)
+    ebox.cycle(u["setup"])
+    target = ebox.pop(u["pop"])
+    return ebox.redirect(target, u["redirect"])
+
+
+@executor("CASE", slots={"setup": "C", "table": "R", "redirect": "C"})
+def exec_case(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    selector = sign_extend(ops[0].value, size)
+    base = sign_extend(ops[1].value, size)
+    limit = sign_extend(ops[2].value, size)
+    index = selector - base
+    table_len = 2 * (limit + 1)
+    table_base = (inst.address + inst.length - table_len) & _WORD
+    ebox.cycle(u["setup"], 2)
+    ebox.tracer.note_branch("CASE", True)
+    if 0 <= index <= limit:
+        disp = sign_extend(ebox.read(table_base + 2 * index, 2,
+                                     u["table"]), 2)
+        target = (table_base + disp) & _WORD
+    else:
+        target = inst.next_pc
+    _, n, z, v, c = sub_with_flags(selector & MASKS[size],
+                                   limit & MASKS[size], size)
+    ebox.psl.cc.set(n=n, z=z, v=False, c=c)
+    return ebox.redirect(target, u["redirect"])
+
+
+@executor("AOB", slots={"alu": "C", "redirect": "C"})
+def exec_aob(ebox, inst, ops, u):
+    limit = sign_extend(ops[0].value, 4)
+    index, n, z, v, c = add_with_flags(ops[1].value, 1, 4)
+    ebox.cycle(u["alu"])
+    ebox.store(ops[1], index)
+    ebox.psl.cc.set(n=n, z=z, v=v)
+    signed = sign_extend(index, 4)
+    taken = signed < limit if inst.mnemonic == "AOBLSS" else signed <= limit
+    ebox.tracer.note_branch("LOOP", taken)
+    if taken:
+        return ebox.take_branch(inst, u["redirect"])
+    return None
+
+
+@executor("SOB", slots={"alu": "C", "redirect": "C"})
+def exec_sob(ebox, inst, ops, u):
+    index, n, z, v, c = sub_with_flags(ops[0].value, 1, 4)
+    ebox.cycle(u["alu"])
+    ebox.store(ops[0], index)
+    ebox.psl.cc.set(n=n, z=z, v=v)
+    signed = sign_extend(index, 4)
+    taken = signed >= 0 if inst.mnemonic == "SOBGEQ" else signed > 0
+    ebox.tracer.note_branch("LOOP", taken)
+    if taken:
+        return ebox.take_branch(inst, u["redirect"])
+    return None
+
+
+@executor("ACB", slots={"alu": "C", "redirect": "C"})
+def exec_acb(ebox, inst, ops, u):
+    size = inst.info.operands[0].size
+    limit = sign_extend(ops[0].value, size)
+    add = sign_extend(ops[1].value, size)
+    index, n, z, v, c = add_with_flags(ops[2].value, add & MASKS[size], size)
+    ebox.cycle(u["alu"], 2)
+    ebox.store(ops[2], index)
+    ebox.psl.cc.set(n=n, z=z, v=v)
+    signed = sign_extend(index, size)
+    taken = signed <= limit if add >= 0 else signed >= limit
+    ebox.tracer.note_branch("LOOP", taken)
+    if taken:
+        return ebox.take_branch(inst, u["redirect"])
+    return None
+
+
+@executor("BLB", slots={"test": "C", "redirect": "C"})
+def exec_blb(ebox, inst, ops, u):
+    bit = ops[0].value & 1
+    taken = bool(bit) if inst.mnemonic == "BLBS" else not bit
+    ebox.tracer.note_branch("BLB", taken)
+    ebox.cycle(u["test"])
+    if taken:
+        return ebox.take_branch(inst, u["redirect"])
+    return None

@@ -1,0 +1,204 @@
+"""Execute flows for the CHARACTER group.
+
+The average character instruction in the paper reads and writes 9-11
+longwords (Table 9 discussion) and runs for ~117 cycles.  The MOVC flow
+honours the microcoding trick §4.3 describes: data is moved a longword at
+a time with the write placed every sixth cycle, so character moves incur
+almost no write stall.
+
+Architectural register side effects follow the VAX definitions (R0-R5
+are consumed by these instructions).
+"""
+
+from __future__ import annotations
+
+from repro.ucode import costs
+from repro.ucode.registry import executor
+
+_WORD = 0xFFFFFFFF
+
+
+def _set_string_registers(ebox, values: dict) -> None:
+    for reg, value in values.items():
+        ebox.registers[reg] = value & _WORD
+
+
+@executor("MOVC", slots={"entry": "C", "fetch": "R", "work": "C",
+                         "stores": "W", "exit": "C"})
+def exec_movc(ebox, inst, ops, u):
+    if inst.mnemonic == "MOVC3":
+        length = ops[0].value & 0xFFFF
+        src = ops[1].value & _WORD
+        fill = 0
+        src_len = length
+        dst_len = length
+        dst = ops[2].value & _WORD
+    else:  # MOVC5
+        src_len = ops[0].value & 0xFFFF
+        src = ops[1].value & _WORD
+        fill = ops[2].value & 0xFF
+        dst_len = ops[3].value & 0xFFFF
+        dst = ops[4].value & _WORD
+
+    ebox.cycle(u["entry"], costs.MOVC_ENTRY_CYCLES)
+    moved = min(src_len, dst_len)
+    # Longword-at-a-time body: 1 read + 4 computes + 1 write = 6-cycle
+    # period, exactly one write-buffer recycle time.
+    full, tail = divmod(moved, 4)
+    src_pos, dst_pos = src, dst
+    for _ in range(full):
+        word = ebox.read(src_pos, 4, u["fetch"])
+        ebox.cycle(u["work"], costs.MOVC_PER_LONGWORD_COMPUTE)
+        ebox.write(dst_pos, word, 4, u["stores"])
+        src_pos = (src_pos + 4) & _WORD
+        dst_pos = (dst_pos + 4) & _WORD
+    for _ in range(tail):
+        byte = ebox.read(src_pos, 1, u["fetch"])
+        ebox.cycle(u["work"], costs.MOVC_PER_TAIL_BYTE_COMPUTE)
+        ebox.write(dst_pos, byte, 1, u["stores"])
+        src_pos = (src_pos + 1) & _WORD
+        dst_pos = (dst_pos + 1) & _WORD
+    # MOVC5 fill of the destination remainder.
+    for _ in range(max(0, dst_len - moved)):
+        ebox.cycle(u["work"], costs.MOVC_PER_TAIL_BYTE_COMPUTE)
+        ebox.write(dst_pos, fill, 1, u["stores"])
+        dst_pos = (dst_pos + 1) & _WORD
+    ebox.cycle(u["exit"], costs.MOVC_EXIT_CYCLES)
+
+    remainder = max(0, src_len - moved)
+    _set_string_registers(ebox, {0: remainder,
+                                 1: src_pos if remainder == 0
+                                 else (src + moved),
+                                 2: 0, 3: dst_pos, 4: 0, 5: 0})
+    ebox.psl.cc.set(n=src_len < dst_len, z=src_len == dst_len, v=False,
+                    c=src_len < dst_len)
+    return None
+
+
+@executor("CMPC", slots={"entry": "C", "fetch": "R", "work": "C",
+                         "exit": "C"})
+def exec_cmpc(ebox, inst, ops, u):
+    if inst.mnemonic == "CMPC3":
+        len1 = len2 = ops[0].value & 0xFFFF
+        addr1 = ops[1].value & _WORD
+        addr2 = ops[2].value & _WORD
+        fill = 0
+    else:  # CMPC5
+        len1 = ops[0].value & 0xFFFF
+        addr1 = ops[1].value & _WORD
+        fill = ops[2].value & 0xFF
+        len2 = ops[3].value & 0xFFFF
+        addr2 = ops[4].value & _WORD
+
+    ebox.cycle(u["entry"], 3)
+    n = max(len1, len2)
+    i = 0
+    b1 = b2 = 0
+    while i < n:
+        b1 = ebox.read(addr1 + i, 1, u["fetch"]) if i < len1 else fill
+        b2 = ebox.read(addr2 + i, 1, u["fetch"]) if i < len2 else fill
+        ebox.cycle(u["work"], costs.CMPC_PER_LONGWORD_COMPUTE)
+        if b1 != b2:
+            break
+        i += 1
+    ebox.cycle(u["exit"], 2)
+    _set_string_registers(
+        ebox, {0: max(0, len1 - i), 1: addr1 + min(i, len1),
+               2: max(0, len2 - i), 3: addr2 + min(i, len2)})
+    ebox.psl.cc.set(n=b1 < b2, z=b1 == b2 and i >= n, v=False, c=b1 < b2)
+    return None
+
+
+@executor("LOCC", slots={"entry": "C", "fetch": "R", "work": "C",
+                         "exit": "C"})
+def exec_locc(ebox, inst, ops, u):
+    char = ops[0].value & 0xFF
+    length = ops[1].value & 0xFFFF
+    addr = ops[2].value & _WORD
+    skip = inst.mnemonic == "SKPC"
+    ebox.cycle(u["entry"], 2)
+    found_at = -1
+    scanned = 0
+    # Byte scan with longword-grain fetches.
+    for offset in range(0, length, 4):
+        chunk_len = min(4, length - offset)
+        word = ebox.read(addr + offset, chunk_len, u["fetch"])
+        ebox.cycle(u["work"], costs.LOCC_PER_LONGWORD_COMPUTE)
+        for b in range(chunk_len):
+            byte = (word >> (8 * b)) & 0xFF
+            scanned = offset + b
+            matched = (byte == char) if not skip else (byte != char)
+            if matched:
+                found_at = scanned
+                break
+        if found_at >= 0:
+            break
+    ebox.cycle(u["exit"], 2)
+    if found_at >= 0:
+        remaining = length - found_at
+        _set_string_registers(ebox, {0: remaining, 1: addr + found_at})
+        ebox.psl.cc.set(n=False, z=False, v=False, c=False)
+    else:
+        _set_string_registers(ebox, {0: 0, 1: addr + length})
+        ebox.psl.cc.set(n=False, z=True, v=False, c=False)
+    return None
+
+
+@executor("SCANC", slots={"entry": "C", "fetch": "R", "table": "R",
+                          "work": "C", "exit": "C"})
+def exec_scanc(ebox, inst, ops, u):
+    length = ops[0].value & 0xFFFF
+    addr = ops[1].value & _WORD
+    table = ops[2].value & _WORD
+    mask = ops[3].value & 0xFF
+    span = inst.mnemonic == "SPANC"
+    ebox.cycle(u["entry"], 2)
+    found_at = -1
+    for i in range(length):
+        byte = ebox.read(addr + i, 1, u["fetch"])
+        entry = ebox.read(table + byte, 1, u["table"])
+        ebox.cycle(u["work"], costs.SCANC_PER_BYTE_COMPUTE)
+        hit = bool(entry & mask)
+        if (hit and not span) or (not hit and span):
+            found_at = i
+            break
+    ebox.cycle(u["exit"], 2)
+    if found_at >= 0:
+        _set_string_registers(ebox, {0: length - found_at,
+                                     1: addr + found_at, 2: 0, 3: table})
+        ebox.psl.cc.set(n=False, z=False, v=False, c=False)
+    else:
+        _set_string_registers(ebox, {0: 0, 1: addr + length, 2: 0,
+                                     3: table})
+        ebox.psl.cc.set(n=False, z=True, v=False, c=False)
+    return None
+
+
+@executor("MOVTC", slots={"entry": "C", "fetch": "R", "table": "R",
+                          "work": "C", "stores": "W", "exit": "C"})
+def exec_movtc(ebox, inst, ops, u):
+    """Move translated characters: each source byte indexes a 256-byte
+    translation table; the result goes to the destination."""
+    src_len = ops[0].value & 0xFFFF
+    src = ops[1].value & _WORD
+    fill = ops[2].value & 0xFF
+    table = ops[3].value & _WORD
+    dst_len = ops[4].value & 0xFFFF
+    dst = ops[5].value & _WORD
+    ebox.cycle(u["entry"], costs.MOVC_ENTRY_CYCLES)
+    moved = min(src_len, dst_len)
+    for i in range(moved):
+        byte = ebox.read(src + i, 1, u["fetch"])
+        translated = ebox.read(table + byte, 1, u["table"])
+        ebox.cycle(u["work"], 2)
+        ebox.write(dst + i, translated, 1, u["stores"])
+    for i in range(moved, dst_len):
+        ebox.cycle(u["work"])
+        ebox.write(dst + i, fill, 1, u["stores"])
+    ebox.cycle(u["exit"], costs.MOVC_EXIT_CYCLES)
+    _set_string_registers(ebox, {0: max(0, src_len - moved),
+                                 1: src + moved, 2: 0, 3: table,
+                                 4: 0, 5: dst + dst_len})
+    ebox.psl.cc.set(n=src_len < dst_len, z=src_len == dst_len,
+                    v=False, c=src_len < dst_len)
+    return None

@@ -1,0 +1,215 @@
+"""Execute flows for the SYSTEM group.
+
+System-service requests (CHMx) and returns (REI), context switching
+(SVPCTX/LDPCTX), queue manipulation, protection probes and internal
+processor register access.  These are rare (2.11 % in Table 1) but
+individually heavy, and the executive's behaviour (Table 7 headways)
+depends on them.
+
+Stack protocol: CHMx and interrupt delivery push PSL then PC on the
+kernel stack; REI pops PC then PSL.  SVPCTX pops the interrupted PC/PSL
+off the kernel stack into the PCB; LDPCTX pushes the new process's PC/PSL
+back so the following REI resumes it — the real VMS context-switch dance.
+"""
+
+from __future__ import annotations
+
+from repro.arch.registers import AP, FP, KERNEL, SP
+from repro.cpu.faults import MachineHalt, SimulatorError
+from repro.ucode import costs
+from repro.ucode.registry import executor
+
+_WORD = 0xFFFFFFFF
+
+#: SCB offsets of the change-mode vectors.
+CHM_VECTOR_OFFSET = {"CHMK": 0x40, "CHME": 0x44, "CHMS": 0x48,
+                     "CHMU": 0x4C}
+#: Target mode for each CHM variant.
+CHM_TARGET_MODE = {"CHMK": 0, "CHME": 1, "CHMS": 2, "CHMU": 3}
+
+#: Simplified PCB layout, longword indices.
+PCB_R0 = 0            # R0-R11 at indices 0-11
+PCB_AP = 12
+PCB_FP = 13
+PCB_USP = 14
+PCB_PC = 15
+PCB_PSL = 16
+PCB_KSP = 17
+
+
+@executor("CHM", slots={"entry": "C", "vector": "R", "push": "W",
+                        "finish": "C", "redirect": "C"})
+def exec_chm(ebox, inst, ops, u):
+    code = ops[0].value & 0xFFFF
+    mnemonic = inst.mnemonic
+    target_mode = CHM_TARGET_MODE[mnemonic]
+    ebox.cycle(u["entry"], 7)
+    psl_image = ebox.psl.as_long()
+    ebox.psl.previous_mode = ebox.psl.current_mode
+    # Mode can only increase in privilege via CHM.
+    if target_mode < ebox.psl.current_mode:
+        ebox.set_mode(target_mode)
+    handler = ebox.read_phys(ebox.scb_base + CHM_VECTOR_OFFSET[mnemonic],
+                             4, u["vector"])
+    ebox.push(psl_image, u["push"])
+    ebox.cycle(u["entry"])
+    ebox.push(inst.next_pc, u["push"])
+    ebox.cycle(u["entry"])
+    ebox.push(code, u["push"])
+    ebox.cycle(u["finish"], 7)
+    ebox.tracer.note_branch("CHM", True)
+    return ebox.redirect(handler & _WORD, u["redirect"])
+
+
+@executor("REI", slots={"entry": "C", "pop": "R", "finish": "C",
+                        "redirect": "C"})
+def exec_rei(ebox, inst, ops, u):
+    ebox.cycle(u["entry"], 6)
+    new_pc = ebox.pop(u["pop"])
+    new_psl = ebox.pop(u["pop"])
+    new_mode = (new_psl >> 24) & 3
+    if new_mode < ebox.psl.current_mode:
+        raise SimulatorError("REI to a more privileged mode")
+    ebox.set_mode(new_mode)
+    ebox.psl.load_long(new_psl)
+    ebox.cycle(u["finish"], 7)
+    ebox.tracer.note_branch("REI", True)
+    return ebox.redirect(new_pc, u["redirect"])
+
+
+@executor("SVPCTX", slots={"entry": "C", "save": "W", "work": "C",
+                           "pop": "R"})
+def exec_svpctx(ebox, inst, ops, u):
+    if ebox.psl.current_mode != KERNEL:
+        raise SimulatorError("SVPCTX outside kernel mode")
+    pcb = ebox.pcb_base
+    ebox.cycle(u["entry"], costs.SVPCTX_ENTRY_CYCLES)
+    for i in range(12):
+        ebox.cycle(u["work"])
+        ebox.write_phys(pcb + 4 * i, ebox.registers[i], 4, u["save"])
+    ebox.cycle(u["work"])
+    ebox.write_phys(pcb + 4 * PCB_AP, ebox.registers[AP], 4, u["save"])
+    ebox.cycle(u["work"])
+    ebox.write_phys(pcb + 4 * PCB_FP, ebox.registers[FP], 4, u["save"])
+    ebox.cycle(u["work"])
+    ebox.write_phys(pcb + 4 * PCB_USP, ebox.mode_sps[3], 4, u["save"])
+    # Pop the interrupted PC/PSL off the kernel stack into the PCB.
+    saved_pc = ebox.pop(u["pop"])
+    saved_psl = ebox.pop(u["pop"])
+    ebox.write_phys(pcb + 4 * PCB_PC, saved_pc, 4, u["save"])
+    ebox.write_phys(pcb + 4 * PCB_PSL, saved_psl, 4, u["save"])
+    # Bank the (now clean) kernel stack pointer.
+    ebox.write_phys(pcb + 4 * PCB_KSP, ebox.registers[SP], 4, u["save"])
+    return None
+
+
+@executor("LDPCTX", slots={"entry": "C", "load": "R", "work": "C",
+                           "push": "W"})
+def exec_ldpctx(ebox, inst, ops, u):
+    if ebox.psl.current_mode != KERNEL:
+        raise SimulatorError("LDPCTX outside kernel mode")
+    pcb = ebox.pcb_base
+    ebox.cycle(u["entry"], costs.LDPCTX_ENTRY_CYCLES)
+    for i in range(12):
+        ebox.cycle(u["work"])
+        ebox.registers[i] = ebox.read_phys(pcb + 4 * i, 4, u["load"])
+    ebox.cycle(u["work"])
+    ebox.registers[AP] = ebox.read_phys(pcb + 4 * PCB_AP, 4, u["load"])
+    ebox.cycle(u["work"])
+    ebox.registers[FP] = ebox.read_phys(pcb + 4 * PCB_FP, 4, u["load"])
+    ebox.cycle(u["work"])
+    ebox.mode_sps[3] = ebox.read_phys(pcb + 4 * PCB_USP, 4, u["load"])
+    saved_pc = ebox.read_phys(pcb + 4 * PCB_PC, 4, u["load"])
+    saved_psl = ebox.read_phys(pcb + 4 * PCB_PSL, 4, u["load"])
+    # Install the new address space and flush process translations.
+    if ebox.ldpctx_hook is not None:
+        ebox.ldpctx_hook(pcb)
+    ebox.tb.invalidate_process_half()
+    ebox.tracer.context_switches += 1
+    # Switch to the new process's kernel stack, then push PC/PSL for the
+    # REI that completes the switch.
+    ebox.registers[SP] = ebox.read_phys(pcb + 4 * PCB_KSP, 4, u["load"])
+    ebox.push(saved_psl, u["push"])
+    ebox.push(saved_pc, u["push"])
+    ebox.cycle(u["work"], 2)
+    return None
+
+
+@executor("PROBE", slots={"check": "C"})
+def exec_probe(ebox, inst, ops, u):
+    # All mapped addresses are accessible in this model (no protection
+    # fields); PROBER/PROBEW set Z when the access would *fail*.
+    ebox.cycle(u["check"], 4)
+    ebox.psl.cc.set(n=False, z=False, v=False)
+    return None
+
+
+@executor("INSQUE", slots={"entry": "C", "link": "R", "relink": "W",
+                           "finish": "C"})
+def exec_insque(ebox, inst, ops, u):
+    entry = ops[0].value & _WORD
+    pred = ops[1].value & _WORD
+    ebox.cycle(u["entry"], 2)
+    succ = ebox.read(pred, 4, u["link"])
+    ebox.write(entry, succ, 4, u["relink"])         # entry.flink
+    ebox.cycle(u["entry"])
+    ebox.write(entry + 4, pred, 4, u["relink"])     # entry.blink
+    ebox.cycle(u["entry"])
+    ebox.write(pred, entry, 4, u["relink"])         # pred.flink
+    ebox.cycle(u["entry"])
+    ebox.write(succ + 4, entry, 4, u["relink"])     # succ.blink
+    ebox.cycle(u["finish"], 2)
+    # Z set when the entry was inserted into an empty queue.
+    ebox.psl.cc.set(n=False, z=succ == pred, v=False, c=False)
+    return None
+
+
+@executor("REMQUE", slots={"entry": "C", "link": "R", "relink": "W",
+                           "finish": "C"})
+def exec_remque(ebox, inst, ops, u):
+    entry = ops[0].value & _WORD
+    ebox.cycle(u["entry"], 2)
+    flink = ebox.read(entry, 4, u["link"])
+    blink = ebox.read(entry + 4, 4, u["link"])
+    ebox.write(blink, flink, 4, u["relink"])        # pred.flink
+    ebox.cycle(u["entry"])
+    ebox.write(flink + 4, blink, 4, u["relink"])    # succ.blink
+    ebox.cycle(u["finish"], 2)
+    ebox.store(ops[1], entry)
+    # Z set when the queue is now empty.
+    ebox.psl.cc.set(n=False, z=flink == blink, v=False, c=False)
+    return None
+
+
+@executor("MTPR", slots={"op": "C"})
+def exec_mtpr(ebox, inst, ops, u):
+    if ebox.psl.current_mode != KERNEL:
+        raise SimulatorError("MTPR outside kernel mode")
+    value = ops[0].value & _WORD
+    regnum = ops[1].value & 0xFF
+    ebox.cycle(u["op"], 5)
+    if ebox.mtpr_hook is None:
+        raise SimulatorError("no MTPR hook installed")
+    ebox.mtpr_hook(regnum, value)
+    return None
+
+
+@executor("MFPR", slots={"op": "C"})
+def exec_mfpr(ebox, inst, ops, u):
+    if ebox.psl.current_mode != KERNEL:
+        raise SimulatorError("MFPR outside kernel mode")
+    regnum = ops[0].value & 0xFF
+    ebox.cycle(u["op"], 5)
+    if ebox.mfpr_hook is None:
+        raise SimulatorError("no MFPR hook installed")
+    value = ebox.mfpr_hook(regnum) & _WORD
+    ebox.store(ops[1], value)
+    return None
+
+
+@executor("HALT", slots={"op": "C"})
+def exec_halt(ebox, inst, ops, u):
+    if ebox.psl.current_mode != KERNEL:
+        raise SimulatorError("HALT outside kernel mode")
+    ebox.cycle(u["op"])
+    raise MachineHalt()

@@ -1,0 +1,33 @@
+"""Control-transfer exceptions used inside the CPU model.
+
+These are Python exceptions, not architectural state: they unwind the
+current instruction so the machine can run the architectural response
+(exception microflow, kernel handler dispatch, or simulation stop).
+"""
+
+from __future__ import annotations
+
+
+class SimulatorError(Exception):
+    """An internal inconsistency in the simulation (a bug, not a VAX event)."""
+
+
+class MachineHalt(Exception):
+    """Raised by the HALT executor; stops :meth:`VAX780.run`."""
+
+
+class IllegalOperand(SimulatorError):
+    """An operand/addressing-mode combination this subset does not allow."""
+
+
+class PageFaultTrap(Exception):
+    """A translation-valid fault to be delivered to the kernel.
+
+    Carries the faulting virtual address and the PC of the instruction to
+    restart after the kernel makes the page resident.
+    """
+
+    def __init__(self, va: int, restart_pc: int) -> None:
+        super().__init__(f"page fault at {va:#010x}")
+        self.va = va
+        self.restart_pc = restart_pc

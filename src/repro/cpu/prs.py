@@ -1,0 +1,27 @@
+"""Processor register numbers for MTPR/MFPR.
+
+A subset of the architectural internal processor registers, plus one
+simulator-specific register (PR_PFFIX) the modeled executive uses to mark
+a faulted page resident — the real VMS writes the PTE directly; see
+DESIGN.md for this documented model hook.
+"""
+
+from __future__ import annotations
+
+PR_KSP = 0        # kernel stack pointer
+PR_USP = 3        # user stack pointer
+PR_PCBB = 16      # process control block base (physical)
+PR_SCBB = 17      # system control block base (physical)
+PR_IPL = 18       # interrupt priority level
+PR_SIRR = 20      # software interrupt request (write level 1-15)
+PR_SISR = 21      # software interrupt summary (bitmask)
+PR_ICCS = 24      # interval clock control/status
+PR_TBIA = 57      # TB invalidate all
+PR_TBIS = 58      # TB invalidate single (by VA)
+PR_PFFIX = 63     # simulator hook: make the page containing VA resident
+
+PR_NAMES = {
+    PR_KSP: "KSP", PR_USP: "USP", PR_PCBB: "PCBB", PR_SCBB: "SCBB",
+    PR_IPL: "IPL", PR_SIRR: "SIRR", PR_SISR: "SISR", PR_ICCS: "ICCS",
+    PR_TBIA: "TBIA", PR_TBIS: "TBIS", PR_PFFIX: "PFFIX",
+}

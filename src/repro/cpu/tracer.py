@@ -1,0 +1,88 @@
+"""Ground-truth architectural event tracer.
+
+The µPC histogram is the *paper's* measurement path, and everything in the
+Tables 1-9 benchmarks flows from it.  But the paper also leans on a second
+instrument — its companion cache study — for events the histogram cannot
+see (I-stream references, cache misses).  The tracer is this simulator's
+equivalent second instrument: exact counts maintained by the simulation
+itself, used for the §4 event benchmarks and to validate histogram-derived
+numbers in tests.
+
+The tracer honours the same measurement gate as the histogram board, so
+Null-process activity is excluded from both instruments identically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Tracer:
+    """Exact event counters, gated alongside the histogram board."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.instructions = 0
+        self.opcode_counts = Counter()     # mnemonic -> executions
+        self.family_counts = Counter()     # family -> executions
+        self.group_counts = Counter()      # OpcodeGroup -> executions
+        self.branches_executed = Counter()  # family -> count
+        self.branches_taken = Counter()     # family -> count
+        self.specifier_modes = Counter()    # (position, mode) -> count
+        self.indexed_specifiers = 0
+        self.specifiers = 0
+        self.branch_displacements = 0
+        self.branch_disp_bytes = 0
+        self.instruction_bytes = 0
+        self.interrupts = 0
+        self.software_interrupt_requests = 0
+        self.exceptions = 0
+        self.context_switches = 0
+        self.tb_miss_services = Counter()  # "i"/"d" -> count
+        self.tb_miss_cycles = 0
+        self.tb_miss_stall_cycles = 0
+        self.page_faults = 0
+
+    def note_instruction(self, inst) -> None:
+        """Record one completed instruction."""
+        if not self.enabled:
+            return
+        info = inst.info
+        self.instructions += 1
+        self.opcode_counts[info.mnemonic] += 1
+        self.family_counts[info.family] += 1
+        self.group_counts[info.group] += 1
+        self.instruction_bytes += inst.length
+        nspec = len(inst.specifiers)
+        self.specifiers += nspec
+        for position, spec in enumerate(inst.specifiers):
+            bucket = "spec1" if position == 0 else "spec26"
+            self.specifier_modes[(bucket, spec.mode)] += 1
+            if spec.indexed:
+                self.indexed_specifiers += 1
+        if inst.branch_displacement is not None:
+            self.branch_displacements += 1
+            kind = info.branch_operand
+            self.branch_disp_bytes += 1 if kind.dtype == "b" else 2
+
+    def note_branch(self, family: str, taken: bool) -> None:
+        """Record a PC-changing instruction outcome."""
+        if not self.enabled:
+            return
+        self.branches_executed[family] += 1
+        if taken:
+            self.branches_taken[family] += 1
+
+    def note_tb_miss(self, stream: str, cycles: int, stall: int) -> None:
+        """Record one TB miss service (cycles include stall)."""
+        if not self.enabled:
+            return
+        self.tb_miss_services[stream] += 1
+        self.tb_miss_cycles += cycles
+        self.tb_miss_stall_cycles += stall
+
+    def per_instruction(self, count: int) -> float:
+        """Convenience: ``count`` per traced instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return count / self.instructions

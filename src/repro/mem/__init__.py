@@ -1,0 +1,11 @@
+"""Memory subsystem: physical memory, cache, write buffer and SBI."""
+
+from repro.mem.cache import Cache, CacheStats, D_STREAM, I_STREAM
+from repro.mem.physmem import MemoryError780, PhysicalMemory
+from repro.mem.sbi import SBI
+from repro.mem.subsystem import AccessResult, MemorySubsystem
+from repro.mem.writebuffer import WriteBuffer
+
+__all__ = ["Cache", "CacheStats", "D_STREAM", "I_STREAM", "MemoryError780",
+           "PhysicalMemory", "SBI", "AccessResult", "MemorySubsystem",
+           "WriteBuffer"]

@@ -1,0 +1,106 @@
+"""The 11/780 data/instruction cache timing model.
+
+An 8 KB, two-way set-associative, write-through, no-write-allocate cache
+with 8-byte blocks and random replacement (per Clark's companion cache
+study, reference [2] of the paper).  Both the EBOX D-stream and the
+I-Fetch unit reference it.
+
+Only *tags* are modeled: write-through means physical memory always holds
+current data, so the cache's sole job in this simulator is deciding hit
+versus miss.  Statistics are kept per stream so the §4 event benchmarks
+can report I-stream and D-stream miss rates separately.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Stream tags for statistics.
+D_STREAM = "d"
+I_STREAM = "i"
+
+
+class CacheStats:
+    """Hit/miss counters per stream, plus write statistics."""
+
+    __slots__ = ("read_hits", "read_misses", "write_hits", "write_misses")
+
+    def __init__(self) -> None:
+        self.read_hits = {D_STREAM: 0, I_STREAM: 0}
+        self.read_misses = {D_STREAM: 0, I_STREAM: 0}
+        self.write_hits = 0
+        self.write_misses = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.__init__()
+
+    def read_miss_rate(self, stream: str) -> float:
+        """Fraction of reads from ``stream`` that missed."""
+        total = self.read_hits[stream] + self.read_misses[stream]
+        if total == 0:
+            return 0.0
+        return self.read_misses[stream] / total
+
+
+class Cache:
+    """Set-associative tag store with random replacement."""
+
+    def __init__(self, size_bytes: int, ways: int, block_bytes: int,
+                 seed: int = 780) -> None:
+        if size_bytes % (ways * block_bytes):
+            raise ValueError("cache size must be a multiple of ways * block")
+        self.block_bytes = block_bytes
+        self.ways = ways
+        self.sets = size_bytes // (ways * block_bytes)
+        self._block_shift = block_bytes.bit_length() - 1
+        if 1 << self._block_shift != block_bytes:
+            raise ValueError("block size must be a power of two")
+        self._set_mask = self.sets - 1
+        if self.sets & self._set_mask:
+            raise ValueError("set count must be a power of two")
+        #: tag arrays: _tags[way][set]; -1 means invalid.
+        self._tags = [[-1] * self.sets for _ in range(ways)]
+        self._rng = random.Random(seed)
+        self.stats = CacheStats()
+
+    def invalidate(self) -> None:
+        """Flush the whole cache (power-up or explicit flush)."""
+        for way in self._tags:
+            for i in range(self.sets):
+                way[i] = -1
+
+    def _locate(self, paddr: int):
+        block = paddr >> self._block_shift
+        index = block & self._set_mask
+        tag = block >> (self.sets.bit_length() - 1)
+        return index, tag
+
+    def read(self, paddr: int, stream: str) -> bool:
+        """Look up a read; allocate on miss.  Returns True on hit."""
+        index, tag = self._locate(paddr)
+        for way in self._tags:
+            if way[index] == tag:
+                self.stats.read_hits[stream] += 1
+                return True
+        self.stats.read_misses[stream] += 1
+        victim = self._rng.randrange(self.ways)
+        self._tags[victim][index] = tag
+        return False
+
+    def write(self, paddr: int) -> bool:
+        """Look up a write.  Write-through, no-write-allocate: the tag
+        store is unchanged on a miss (§2.1: "if the write access misses,
+        the cache is not updated").  Returns True on hit."""
+        index, tag = self._locate(paddr)
+        for way in self._tags:
+            if way[index] == tag:
+                self.stats.write_hits += 1
+                return True
+        self.stats.write_misses += 1
+        return False
+
+    def probe(self, paddr: int) -> bool:
+        """Non-allocating lookup (no statistics), for tests and analysis."""
+        index, tag = self._locate(paddr)
+        return any(way[index] == tag for way in self._tags)

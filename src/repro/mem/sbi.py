@@ -1,0 +1,43 @@
+"""The Synchronous Backplane Interconnect (SBI) timing model.
+
+Cache read misses and buffered writes travel over the SBI to memory.  The
+model serialises transactions: a new transaction starts no earlier than
+the completion of the previous one, so an EBOX read miss issued while an
+I-stream fill or a buffered write is in flight stalls for longer than the
+6-cycle simplest case — exactly the "concurrent memory activity of other
+types" caveat of §4.3.
+"""
+
+from __future__ import annotations
+
+
+class SBI:
+    """Serialised bus with a busy-until horizon measured in cycles."""
+
+    def __init__(self, read_cycles: int, write_cycles: int) -> None:
+        self.read_cycles = read_cycles
+        self.write_cycles = write_cycles
+        self.busy_until = 0
+        self.read_transactions = 0
+        self.write_transactions = 0
+
+    def reset_stats(self) -> None:
+        """Zero the transaction counters (bus state is preserved)."""
+        self.read_transactions = 0
+        self.write_transactions = 0
+
+    def read_transaction(self, now: int) -> int:
+        """Start a memory read at ``now``; return the data-ready cycle."""
+        start = now if now > self.busy_until else self.busy_until
+        ready = start + self.read_cycles
+        self.busy_until = ready
+        self.read_transactions += 1
+        return ready
+
+    def write_transaction(self, now: int) -> int:
+        """Start a memory write at ``now``; return its completion cycle."""
+        start = now if now > self.busy_until else self.busy_until
+        done = start + self.write_cycles
+        self.busy_until = done
+        self.write_transactions += 1
+        return done

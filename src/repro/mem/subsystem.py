@@ -1,0 +1,133 @@
+"""The composed 11/780 memory subsystem: cache + write buffer + SBI.
+
+The CPU sees three operations, matching Figure 1's structure:
+
+* :meth:`MemorySubsystem.read_data` — an EBOX D-stream read of up to one
+  longword.  Hits cost nothing beyond the read microcycle; misses stall
+  the EBOX until the SBI delivers the block.  Accesses that straddle an
+  aligned longword take two physical references (§3.3.1).
+* :meth:`MemorySubsystem.write_data` — an EBOX write through the
+  write buffer; stalls only when the buffer is still draining.
+* :meth:`MemorySubsystem.ifetch` — an I-Fetch longword read on behalf of
+  the instruction buffer.  Never stalls the EBOX directly; returns the
+  cycle at which the bytes arrive so the IB model can raise IB stalls.
+
+All data lives in :class:`~repro.mem.physmem.PhysicalMemory`; the cache is
+a pure timing structure (write-through keeps memory current).
+"""
+
+from __future__ import annotations
+
+from repro.mem.cache import Cache, D_STREAM, I_STREAM
+from repro.mem.physmem import PhysicalMemory
+from repro.mem.sbi import SBI
+from repro.mem.writebuffer import WriteBuffer
+from repro.params import MachineParams
+
+
+class AccessResult:
+    """Outcome of a data-stream access.
+
+    Attributes:
+        value: datum read (0 for writes).
+        stall_cycles: EBOX stall cycles charged to the accessing µPC.
+        physical_refs: number of physical references made (2 for an
+            access that straddles an aligned longword).
+        missed: True if any physical reference missed the cache.
+    """
+
+    __slots__ = ("value", "stall_cycles", "physical_refs", "missed")
+
+    def __init__(self, value: int, stall_cycles: int, physical_refs: int,
+                 missed: bool) -> None:
+        self.value = value
+        self.stall_cycles = stall_cycles
+        self.physical_refs = physical_refs
+        self.missed = missed
+
+
+class MemorySubsystem:
+    """Cache, write buffer, SBI and physical memory, wired as in Figure 1."""
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self.memory = PhysicalMemory(params.memory_bytes)
+        self.cache = Cache(params.cache_bytes, params.cache_ways,
+                           params.cache_block_bytes)
+        self.sbi = SBI(read_cycles=params.read_miss_penalty,
+                       write_cycles=params.write_recycle)
+        self.write_buffer = WriteBuffer(self.sbi,
+                                        depth=params.write_buffer_depth)
+        #: D-stream reads/writes that needed two physical references.
+        self.unaligned_reads = 0
+        self.unaligned_writes = 0
+
+    # -- EBOX data stream ---------------------------------------------------
+
+    def read_data(self, paddr: int, size: int, now: int) -> AccessResult:
+        """EBOX read of ``size`` (1, 2 or 4) bytes at physical ``paddr``."""
+        first = paddr >> 2
+        last = (paddr + size - 1) >> 2
+        refs = last - first + 1
+        if refs > 1:
+            self.unaligned_reads += 1
+        stall = 0
+        missed = False
+        when = now
+        for lw in range(first, last + 1):
+            if not self.cache.read(lw << 2, D_STREAM):
+                ready = self.sbi.read_transaction(when)
+                stall += ready - when
+                when = ready
+                missed = True
+            else:
+                when += 1
+        value = self.memory.read(paddr, size)
+        return AccessResult(value, stall, refs, missed)
+
+    def write_data(self, paddr: int, value: int, size: int,
+                   now: int) -> AccessResult:
+        """EBOX write of ``size`` bytes through the write buffer."""
+        first = paddr >> 2
+        last = (paddr + size - 1) >> 2
+        refs = last - first + 1
+        if refs > 1:
+            self.unaligned_writes += 1
+        stall = 0
+        when = now
+        for lw in range(first, last + 1):
+            self.cache.write(lw << 2)
+            stall += self.write_buffer.issue(when)
+            when = now + stall + 1
+        self.memory.write(paddr, value, size)
+        return AccessResult(0, stall, refs, False)
+
+    # -- I-stream ------------------------------------------------------------
+
+    def ifetch(self, paddr: int, now: int) -> int:
+        """I-Fetch aligned-longword read; returns the data-ready cycle."""
+        if self.cache.read(paddr & ~3, I_STREAM):
+            return now + 1
+        return self.sbi.read_transaction(now)
+
+    # -- untimed access for loaders, the kernel model and tests ---------------
+
+    def load_image(self, base: int, data: bytes) -> None:
+        """Copy bytes into physical memory without touching timing state."""
+        self.memory.load_image(base, data)
+
+    def debug_read(self, paddr: int, size: int) -> int:
+        """Untimed physical read."""
+        return self.memory.read(paddr, size)
+
+    def debug_write(self, paddr: int, value: int, size: int) -> None:
+        """Untimed physical write."""
+        self.memory.write(paddr, value, size)
+
+    def reset_stats(self) -> None:
+        """Zero all statistics (cache, SBI, write buffer, alignment)."""
+        self.cache.stats.reset()
+        self.sbi.reset_stats()
+        self.write_buffer.reset_stats()
+        self.unaligned_reads = 0
+        self.unaligned_writes = 0

@@ -1,0 +1,49 @@
+"""The 11/780's one-longword write buffer.
+
+Data writes are write-through: the EBOX deposits the datum in a 4-byte
+buffer in one cycle and continues; the buffer drains to memory over the
+SBI.  A write issued while the previous one is still draining stalls the
+EBOX until the buffer frees — the *write stall* of §2.1/§4.3.  In the
+simplest case the recycle time is 6 cycles.
+"""
+
+from __future__ import annotations
+
+from repro.mem.sbi import SBI
+
+
+class WriteBuffer:
+    """Models buffer occupancy; depth 1 matches the real machine."""
+
+    def __init__(self, sbi: SBI, depth: int = 1) -> None:
+        self._sbi = sbi
+        self.depth = depth
+        #: completion cycles of in-flight buffered writes, oldest first.
+        self._in_flight: list = []
+        self.writes = 0
+        self.stall_cycles = 0
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters."""
+        self.writes = 0
+        self.stall_cycles = 0
+
+    def issue(self, now: int) -> int:
+        """Issue a write at cycle ``now``; return EBOX stall cycles.
+
+        The EBOX spends one (non-stalled) cycle initiating the write; the
+        returned value is the number of *additional* stalled cycles spent
+        waiting for buffer space.
+        """
+        self._in_flight = [t for t in self._in_flight if t > now]
+        stall = 0
+        if len(self._in_flight) >= self.depth:
+            free_at = self._in_flight[len(self._in_flight) - self.depth]
+            stall = free_at - now
+            now = free_at
+            self._in_flight = [t for t in self._in_flight if t > now]
+        done = self._sbi.write_transaction(now)
+        self._in_flight.append(done)
+        self.writes += 1
+        self.stall_cycles += stall
+        return stall

@@ -1,0 +1,76 @@
+"""Measurement sessions: the workflow the original experimenters ran.
+
+A :class:`MeasurementSession` drives the histogram board through its
+Unibus interface the way the 1984 data-collection software did — clear,
+start, (run the workload), stop, read out — and produces the
+:class:`~repro.analysis.measurement.Measurement` the analysis consumes.
+
+The paper notes the counters could absorb "1 to 2 hours of heavy
+processing"; the session models that capacity limit and reports
+saturation rather than silently wrapping.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.measurement import (Measurement, MemoryStats,
+                                        TracerStats)
+from repro.monitor.histogram import Histogram
+from repro.monitor.unibus import CSR_CLEAR, CSR_RUN, UnibusHistogramInterface
+
+#: Counter width of the board (modeled; generous for simulated runs).
+COUNTER_LIMIT = 1 << 32
+
+
+class CounterSaturation(Exception):
+    """A histogram bucket exceeded the board's counter capacity."""
+
+
+class MeasurementSession:
+    """Start/stop/readout lifecycle around one measured run."""
+
+    def __init__(self, machine, name: str = "session") -> None:
+        self.machine = machine
+        self.name = name
+        self.interface = UnibusHistogramInterface(machine.board)
+        self._running = False
+        self._start_cycles = 0
+
+    def start(self) -> None:
+        """Clear the counters and open the measurement gate."""
+        self.interface.write_csr(CSR_CLEAR | CSR_RUN)
+        self.machine.tracer.__init__()
+        self.machine.mem.reset_stats()
+        self.machine.tb.stats.reset()
+        self.machine.ebox.ib.reset_stats()
+        self._start_cycles = self.machine.cycles
+        self._running = True
+
+    def stop(self) -> Measurement:
+        """Close the gate, read the board out, and capture everything."""
+        if not self._running:
+            raise RuntimeError("session was not started")
+        self.interface.write_csr(0)
+        self._running = False
+        nonstalled = self.interface.read_all(stalled=False)
+        stalled = self.interface.read_all(stalled=True)
+        for count in nonstalled + stalled:
+            if count >= COUNTER_LIMIT:
+                raise CounterSaturation(
+                    f"a histogram counter saturated at {count}")
+        histogram = Histogram(nonstalled, stalled)
+        return Measurement(self.name, histogram,
+                           TracerStats(self.machine.tracer),
+                           MemoryStats(self.machine),
+                           self.machine.cycles - self._start_cycles)
+
+    def __enter__(self) -> "MeasurementSession":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._running and exc_type is None:
+            self.result = self.stop()
+        elif self._running:
+            self.interface.write_csr(0)
+            self._running = False
+        return False

@@ -1,0 +1,59 @@
+"""Unibus device interface to the histogram board.
+
+The real board was a Unibus device: Unibus commands start and stop data
+collection, clear the counters, and read the buckets out (§2.2) —
+conveniently installed on the measured 11/780 itself.  This module models
+that register-level interface: a control/status register plus an
+address/data window for readout.  It exists for fidelity (and so the
+measurement-session code drives the board the way the original software
+did); simulation code may also use the board object directly.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.histogram import HistogramBoard
+
+#: CSR bit assignments.
+CSR_RUN = 0x0001      # counting enabled
+CSR_CLEAR = 0x0002    # write-1-to-clear, self-clearing
+CSR_SELECT_STALL = 0x0004  # readout window selects the stalled count set
+
+
+class UnibusHistogramInterface:
+    """Register-level access to a :class:`HistogramBoard`."""
+
+    def __init__(self, board: HistogramBoard) -> None:
+        self.board = board
+        self._csr = 0
+        self._address = 0
+
+    # -- control/status register -----------------------------------------
+
+    def write_csr(self, value: int) -> None:
+        """Write the CSR: RUN gates counting, CLEAR zeroes the counts."""
+        if value & CSR_CLEAR:
+            self.board.clear()
+        self._csr = value & (CSR_RUN | CSR_SELECT_STALL)
+        self.board.enabled = bool(value & CSR_RUN)
+
+    def read_csr(self) -> int:
+        """Read back the CSR."""
+        return self._csr | (CSR_RUN if self.board.enabled else 0)
+
+    # -- bucket readout ----------------------------------------------------
+
+    def write_address(self, address: int) -> None:
+        """Select the bucket for the next data read."""
+        if not 0 <= address < self.board.size:
+            raise ValueError(f"bucket address out of range: {address}")
+        self._address = address
+
+    def read_data(self) -> int:
+        """Read the selected bucket from the selected count set."""
+        if self._csr & CSR_SELECT_STALL:
+            return self.board.stalled[self._address]
+        return self.board.nonstalled[self._address]
+
+    def read_all(self, stalled: bool = False):
+        """Block read of a whole count set (the data-reduction path)."""
+        return list(self.board.stalled if stalled else self.board.nonstalled)

@@ -1,0 +1,11 @@
+"""The modeled VMS-like executive: kernel code, scheduler, devices."""
+
+from repro.osim.devices import IntervalClock, TerminalMux
+from repro.osim.executive import Executive
+from repro.osim.kernelgen import KernelImage, build_kernel
+from repro.osim.process import BLOCKED, READY, RUNNING, Process
+from repro.osim.scheduler import Scheduler
+
+__all__ = ["IntervalClock", "TerminalMux", "Executive", "KernelImage",
+           "build_kernel", "BLOCKED", "READY", "RUNNING", "Process",
+           "Scheduler"]

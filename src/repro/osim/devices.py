@@ -1,0 +1,71 @@
+"""Interrupting devices: the interval clock and the RTE terminal lines.
+
+The paper's workloads were paced by real user terminals (live machines)
+or by the Remote Terminal Emulator's canned scripts (§2.2).  Here a
+terminal multiplexer device delivers character interrupts at a
+profile-controlled aggregate rate, and the interval clock ticks at a
+fixed period; together they produce the interrupt headway Table 7
+reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Interrupt priority levels (architectural conventions).
+IPL_CLOCK = 24
+IPL_TERMINAL = 20
+
+
+class IntervalClock:
+    """The 11/780 interval clock: periodic interrupts at IPL 24."""
+
+    def __init__(self, period_cycles: int, scb_offset: int) -> None:
+        self.period = period_cycles
+        self.scb_offset = scb_offset
+        self.next_fire = period_cycles
+        self.ticks = 0
+
+    def poll(self, machine) -> None:
+        """Post a clock interrupt when the period elapses."""
+        if machine.cycles < self.next_fire:
+            return
+        if any(p.scb_offset == self.scb_offset
+               for p in machine._hw_pending):
+            self.next_fire = machine.cycles + self.period
+            return
+        machine.post_interrupt(IPL_CLOCK, self.scb_offset)
+        self.ticks += 1
+        self.next_fire = machine.cycles + self.period
+
+
+class TerminalMux:
+    """Aggregate terminal-character interrupts (the RTE's users typing).
+
+    Inter-arrival times are exponential-ish around the profile's mean so
+    that interrupt timing is irregular, as real keystroke/output traffic
+    is.
+    """
+
+    def __init__(self, mean_period_cycles: int, scb_offset: int,
+                 seed: int = 1140) -> None:
+        self.mean_period = mean_period_cycles
+        self.scb_offset = scb_offset
+        self._rng = random.Random(seed)
+        self.next_fire = self._draw()
+        self.characters = 0
+
+    def _draw(self) -> int:
+        return max(200, int(self._rng.expovariate(1.0 / self.mean_period)))
+
+    def poll(self, machine) -> None:
+        """Post a character interrupt when the next arrival is due."""
+        if machine.cycles < self.next_fire:
+            return
+        if any(p.scb_offset == self.scb_offset
+               for p in machine._hw_pending):
+            self.next_fire = machine.cycles + self._draw()
+            return
+        machine.post_interrupt(IPL_TERMINAL, self.scb_offset)
+        self.characters += 1
+        self.next_fire = machine.cycles + self._draw()

@@ -1,0 +1,241 @@
+"""The executive: builds a bootable system around a workload profile.
+
+An :class:`Executive` lays out physical memory (SCB, kernel code and data,
+kernel stacks, PCBs, page tables, user frames), generates the kernel and
+one user program per process, installs devices and scheduler hooks, boots
+through the kernel's own VAX boot sequence, and runs a measurement window.
+
+Physical layout (all below the S0 page table at the top of memory)::
+
+    0x08000  kernel data (queues, scalars)          [identity S0]
+    0x10000  kernel code                            [identity S0]
+    0x20000  SCB (vector table)
+    0x28000  kernel stacks, one page per process    [identity S0]
+    0x38000  PCBs, 256 bytes each
+    0x40000  process page tables (P0 + P1 per process)
+    0x100000 user page frames (bump-allocated)
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.arch.registers import KERNEL, SP, USER
+from repro.cpu.machine import (SCB_CHMK, SCB_CLOCK, SCB_PAGE_FAULT,
+                               SCB_SOFTWARE_BASE, SCB_TERMINAL, VAX780)
+from repro.cpu.executors.system import (PCB_AP, PCB_FP, PCB_KSP, PCB_PC,
+                                        PCB_PSL, PCB_USP)
+from repro.osim import kernelgen
+from repro.osim.devices import IntervalClock, TerminalMux
+from repro.osim.kernelgen import (KDATA_VA, PR_BLOCK, PR_NEXTPCB,
+                                  PR_QUANTUM, PR_TTYAST, SOFTINT_AST,
+                                  SOFTINT_RESCHED, build_kernel,
+                                  initial_kernel_data)
+from repro.osim.process import Process
+from repro.osim.scheduler import Scheduler
+from repro.vm.address import (P1_BASE, PAGE_BYTES, PAGE_SHIFT, S0_BASE)
+from repro.vm.pagetable import AddressSpace, RegionTable
+from repro.workloads.codegen import ProgramGenerator
+from repro.workloads.profiles import MixProfile
+
+_WORD = 0xFFFFFFFF
+
+# physical layout constants
+KDATA_PA = 0x8000
+KCODE_PA = 0x10000
+SCB_PA = 0x20000
+KSTACK_PA = 0x28000
+PCB_PA = 0x38000
+PTBL_PA = 0x40000
+FRAMES_PA = 0x100000
+
+#: bytes reserved per process page-table slot (P0 then P1).
+PTBL_SLOT = 0x4000
+P1_TABLE_OFFSET = 0x3000
+#: user stack: 32 pages at the bottom of P1.
+USER_STACK_PAGES = 32
+
+
+class Executive:
+    """A booted VMS-like system running one workload profile."""
+
+    def __init__(self, machine: VAX780, profile: MixProfile,
+                 seed: int = 1984) -> None:
+        self.machine = machine
+        self.profile = profile
+        self.seed = seed
+        self.processes = []
+        self._frame_cursor = FRAMES_PA >> PAGE_SHIFT
+
+        machine.map_s0_identity()
+        self._load_kernel()
+        self._build_null_process()
+        self.scheduler = Scheduler(
+            machine, self.null_process,
+            quantum_ticks=profile.quantum_ticks,
+            io_block_cycles=profile.io_block_cycles,
+            seed=seed + 17)
+        self._install_hooks()
+        self._build_processes()
+        self._install_devices()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _load_kernel(self) -> None:
+        m = self.machine
+        self.kernel = build_kernel(scb_pa=SCB_PA, seed=self.seed)
+        m.mem.load_image(KCODE_PA, self.kernel.code)
+        m.mem.load_image(KDATA_PA, initial_kernel_data(self.seed + 1))
+        # SCB vectors.
+        handlers = self.kernel.handlers
+        for offset, name in (
+                (SCB_PAGE_FAULT, "page_fault"),
+                (SCB_CHMK, "chmk"),
+                (SCB_CLOCK, "clock"),
+                (SCB_TERMINAL, "terminal"),
+                (SCB_SOFTWARE_BASE + 4 * SOFTINT_AST, "ast"),
+                (SCB_SOFTWARE_BASE + 4 * SOFTINT_RESCHED, "resched")):
+            m.mem.debug_write(SCB_PA + offset, handlers[name], 4)
+
+    def _build_null_process(self) -> None:
+        m = self.machine
+        pcb = PCB_PA  # slot 0
+        kstack_top = S0_BASE + KSTACK_PA + 0xF00
+        space = AddressSpace(asid=0, p0=RegionTable(PTBL_PA, 0),
+                             p1=RegionTable(PTBL_PA + P1_TABLE_OFFSET, 0))
+        self.null_process = Process("null", 0, space, pcb, kstack_top)
+        self.null_process.is_null = True
+        self._init_pcb(pcb, registers={}, pc=self.kernel.null_entry,
+                       psl_mode=KERNEL, usp=0, ksp=kstack_top)
+        m.register_address_space(pcb, space)
+
+    def _build_processes(self) -> None:
+        for index in range(self.profile.processes):
+            self._build_process(index + 1)
+
+    def _alloc_frame(self) -> int:
+        frame = self._frame_cursor
+        self._frame_cursor += 1
+        limit = self.machine.s0_table_pa >> PAGE_SHIFT
+        if frame >= limit:
+            raise MemoryError("out of user page frames")
+        return frame
+
+    def _build_process(self, asid: int) -> None:
+        m = self.machine
+        generator = ProgramGenerator(self.profile,
+                                     seed=self.seed * 1000 + asid)
+        program = generator.generate()
+
+        p0_pages = (program.string_base
+                    + self.profile.string_kb * 1024) >> PAGE_SHIFT
+        p0_table = RegionTable(PTBL_PA + (asid - 1 + 1) * PTBL_SLOT,
+                               p0_pages + 1)
+        p1_table = RegionTable(p0_table.base_pa + P1_TABLE_OFFSET,
+                               USER_STACK_PAGES)
+        space = AddressSpace(asid=asid, p0=p0_table, p1=p1_table)
+
+        # Map and fill P0 (code + data + strings) and P1 (stack).
+        previous = m.translator.current_space
+        m.translator.set_space(space)
+        for page in range(p0_table.length):
+            m.translator.map_page(page << PAGE_SHIFT, self._alloc_frame())
+        for page in range(p1_table.length):
+            m.translator.map_page(P1_BASE + (page << PAGE_SHIFT),
+                                  self._alloc_frame())
+        self._copy_in(space, program.code_base, program.code)
+        self._copy_in(space, program.data_base, program.data_init)
+        self._copy_in(space, program.string_base, program.string_init)
+        m.translator.set_space(previous)
+
+        pcb = PCB_PA + 0x100 * asid
+        kstack_top = S0_BASE + KSTACK_PA + 0x1000 * asid + 0xF00
+        usp = P1_BASE + (USER_STACK_PAGES << PAGE_SHIFT) - 64
+        self._init_pcb(
+            pcb,
+            registers={10: program.string_base, 11: program.data_base,
+                       PCB_AP: usp, PCB_FP: usp},
+            pc=program.entry, psl_mode=USER, usp=usp, ksp=kstack_top)
+        m.register_address_space(pcb, space)
+
+        process = Process(f"{self.profile.name}-p{asid}", asid, space,
+                          pcb, kstack_top, program)
+        self.processes.append(process)
+        self.scheduler.add_process(process)
+
+    def _copy_in(self, space, va: int, data: bytes) -> None:
+        """Copy bytes into a process's mapped pages (untimed)."""
+        m = self.machine
+        offset = 0
+        while offset < len(data):
+            pa = m.translator.translate(va + offset)
+            chunk = min(len(data) - offset,
+                        PAGE_BYTES - ((va + offset) & (PAGE_BYTES - 1)))
+            m.mem.load_image(pa, data[offset:offset + chunk])
+            offset += chunk
+
+    def _init_pcb(self, pcb_pa: int, registers: dict, pc: int,
+                  psl_mode: int, usp: int, ksp: int) -> None:
+        m = self.machine
+        image = [0] * 18
+        for reg, value in registers.items():
+            image[reg] = value
+        image[PCB_USP] = usp
+        image[PCB_PC] = pc
+        image[PCB_PSL] = (psl_mode & 3) << 24
+        image[PCB_KSP] = ksp
+        for i, value in enumerate(image):
+            m.mem.debug_write(pcb_pa + 4 * i, value & _WORD, 4)
+
+    def _install_hooks(self) -> None:
+        m = self.machine
+        sched = self.scheduler
+        m.pr_mfpr_hooks[PR_NEXTPCB] = sched.next_pcb
+        m.pr_mfpr_hooks[PR_QUANTUM] = sched.quantum_expired
+        m.pr_mfpr_hooks[PR_TTYAST] = sched.tty_ast_due
+        m.pr_mtpr_hooks[PR_BLOCK] = sched.block_current
+
+    def _install_devices(self) -> None:
+        m = self.machine
+        self.clock = IntervalClock(self.profile.clock_period_cycles,
+                                   SCB_CLOCK)
+        self.terminal = TerminalMux(self.profile.terminal_period_cycles,
+                                    SCB_TERMINAL, seed=self.seed + 9)
+        m.devices.append(self.clock)
+        m.devices.append(self.terminal)
+
+    # ------------------------------------------------------------------
+    # boot and run
+    # ------------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Point the machine at the kernel's boot sequence."""
+        m = self.machine
+        e = m.ebox
+        e.psl.current_mode = KERNEL
+        e.psl.ipl = 31
+        boot_stack = S0_BASE + KSTACK_PA + 0xFF0
+        e.registers[SP] = boot_stack
+        e.mode_sps[KERNEL] = boot_stack
+        # The boot REI needs a PC/PSL pair; the LDPCTX before it pushes
+        # the first process's.  Boot runs with interrupts masked.
+        e.pc = self.kernel.boot_entry
+        e.ib.flush(e.pc)
+
+    def run(self, measured_instructions: int,
+            cycle_limit: int = None) -> None:
+        """Run until the tracer has seen ``measured_instructions``."""
+        m = self.machine
+        tracer = m.tracer
+        if cycle_limit is None:
+            cycle_limit = measured_instructions * 400
+        while tracer.instructions < measured_instructions:
+            if m.halted:
+                raise RuntimeError("machine halted during workload run")
+            if m.cycles > cycle_limit:
+                raise RuntimeError(
+                    f"cycle limit hit: {tracer.instructions} of "
+                    f"{measured_instructions} instructions measured")
+            m.step()

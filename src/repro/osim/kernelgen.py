@@ -1,0 +1,265 @@
+"""Kernel code generation: the VMS-like executive's VAX code.
+
+Everything the measured instruction stream sees of the kernel is real VAX
+code generated here and executed by the simulator: the boot sequence, the
+CHMK system-service dispatcher and its services, the page-fault handler,
+the clock and terminal interrupt handlers, the AST-delivery software
+interrupt, the rescheduling software interrupt (SVPCTX / LDPCTX / REI),
+and the Null process' branch-to-self loop.
+
+Scheduling *policy* is consulted through pseudo processor registers
+(PR_NEXTPCB and friends); see :mod:`repro.osim.scheduler`.
+
+Handlers preserve user state: interrupt handlers bracket their work with
+PUSHR/POPR of the registers they touch (contributing, as in VMS, to the
+CALL/RET group's multi-register push/pop traffic), and the rescheduler
+runs SVPCTX before doing anything else.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+
+from repro.arch import encode as enc
+from repro.asm.program import ProgramBuilder
+from repro.vm.address import S0_BASE
+
+#: pseudo processor registers backed by the Python scheduler.
+PR_NEXTPCB = 200
+PR_BLOCK = 201
+PR_QUANTUM = 202
+PR_TTYAST = 203
+
+# architectural registers used below
+from repro.cpu.prs import PR_SCBB, PR_ICCS, PR_PCBB, PR_SIRR, PR_PFFIX
+
+#: Kernel virtual layout (identity-mapped S0).
+KDATA_VA = S0_BASE + 0x8000
+KCODE_VA = S0_BASE + 0x10000
+
+#: kernel-data offsets for the private queue sites of each handler.
+KQUEUE_HEADS = 0x100      # 16 bytes per head
+KQUEUE_ENTRIES = 0x200    # 16 bytes per entry
+KSCALARS = 0x400          # scratch longwords for kernel work
+KSCALAR_BYTES = 0x1C00
+
+#: PUSHR/POPR mask used by interrupt handlers (r0-r5).
+HANDLER_SAVE_MASK = 0x003F
+
+#: software interrupt levels used by the executive.
+SOFTINT_AST = 2
+SOFTINT_RESCHED = 3
+
+
+@dataclass
+class KernelImage:
+    """The assembled kernel and the entry points the executive needs."""
+
+    code: bytes
+    base: int
+    boot_entry: int
+    null_entry: int
+    handlers: dict  #: name -> VA (for SCB vector initialisation)
+
+
+def _pr(value: int):
+    """Processor-register-number operand (immediate; they exceed 63)."""
+    return enc.immediate(value)
+
+
+class _KernelWork:
+    """Emits kernel-flavoured filler work (r0-r5, absolute operands)."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self._labels = 0
+
+    def _scalar(self):
+        # Displacement off r5, the kernel-data base register every
+        # handler establishes (VMS-style R-based static addressing).
+        offset = KSCALARS + 4 * self._rng.randrange(KSCALAR_BYTES // 4)
+        return enc.displacement(5, offset)
+
+    def emit_base(self, b: ProgramBuilder) -> None:
+        """Load the kernel-data base register (r5)."""
+        b.emit("MOVL", enc.immediate(KDATA_VA), enc.register(5))
+
+    def emit(self, b: ProgramBuilder, n: int, label_prefix: str) -> None:
+        """Emit ``n`` kernel work items into ``b``."""
+        rng = self._rng
+        for i in range(n):
+            roll = rng.random()
+            if roll < 0.30:
+                b.emit("MOVL", self._scalar(), enc.register(rng.randrange(4)))
+            elif roll < 0.45:
+                b.emit("MOVL", enc.register(rng.randrange(4)),
+                       self._scalar())
+            elif roll < 0.58:
+                b.emit(rng.choice(("ADDL2", "SUBL2", "BISL2", "BICL2")),
+                       enc.register(rng.randrange(4)), self._scalar())
+            elif roll < 0.68:
+                if rng.random() < 0.5:
+                    b.emit("TSTL", self._scalar())
+                else:
+                    b.emit(rng.choice(("CMPL", "BITL")), self._scalar(),
+                           enc.register(2))
+            elif roll < 0.76:
+                b.emit("EXTZV", enc.literal(rng.randrange(8)),
+                       enc.literal(rng.choice((2, 4, 8))),
+                       self._scalar(), enc.register(rng.randrange(4)))
+            elif roll < 0.84:
+                self._labels += 1
+                skip = f"{label_prefix}_k{self._labels}"
+                b.emit("TSTL", self._scalar())
+                b.branch(rng.choice(("BNEQ", "BEQL", "BGEQ")), skip)
+                b.emit("INCL", enc.register(3))
+                b.label(skip)
+            elif roll < 0.92:
+                if rng.random() < 0.7:
+                    b.emit(rng.choice(("MOVZWL", "MCOML")), self._scalar(),
+                           enc.register(rng.randrange(4)))
+                else:
+                    b.emit(rng.choice(("INCL", "DECL")), self._scalar())
+            else:
+                b.emit(rng.choice(("PROBER", "PROBEW")), enc.literal(0),
+                       enc.literal(4), self._scalar())
+
+    def emit_queue_pair(self, b: ProgramBuilder, site: int) -> None:
+        """A private INSQUE/REMQUE pair on kernel queue ``site``."""
+        head = enc.displacement(5, KQUEUE_HEADS + 16 * site)
+        entry = enc.displacement(5, KQUEUE_ENTRIES + 16 * site)
+        b.emit("INSQUE", entry, head)
+        b.emit("REMQUE", entry, enc.register(0))
+
+
+def build_kernel(scb_pa: int, seed: int = 780) -> KernelImage:
+    """Generate and assemble the kernel image at KCODE_VA."""
+    b = ProgramBuilder()
+    work = _KernelWork(seed)
+    handlers = {}
+
+    def mark(name: str) -> None:
+        b.label(name)
+        handlers[name] = KCODE_VA + b.offset
+
+    # -- boot ------------------------------------------------------------
+    mark("boot")
+    b.emit("MTPR", enc.immediate(scb_pa), _pr(PR_SCBB))
+    b.emit("MTPR", enc.literal(1), _pr(PR_ICCS))
+    b.emit("MFPR", _pr(PR_NEXTPCB), enc.register(0))
+    b.emit("MTPR", enc.register(0), _pr(PR_PCBB))
+    b.emit("LDPCTX")
+    b.emit("REI")
+
+    # -- Null process: branch-to-self awaiting an interrupt (§2.2) --------
+    mark("null")
+    b.branch("BRB", "null")
+
+    # -- page-fault handler ------------------------------------------------
+    mark("page_fault")
+    b.emit("MOVL", enc.autoincrement(14), enc.register(0))  # fault VA
+    work.emit_base(b)
+    work.emit(b, 4, "pf")
+    b.emit("MTPR", enc.register(0), _pr(PR_PFFIX))
+    b.emit("REI")
+
+    # -- CHMK system-service dispatcher --------------------------------------
+    mark("chmk")
+    b.emit("MOVL", enc.autoincrement(14), enc.register(0))  # service code
+    work.emit_base(b)
+    work.emit(b, 2, "chmk")
+    b.case("CASEL", enc.register(0), enc.literal(0), enc.literal(3),
+           ["svc_null", "svc_compute", "svc_qio", "svc_queue"])
+    b.emit("REI")  # out-of-range service code
+
+    b.label("svc_null")
+    work.emit(b, 6, "svc0")
+    b.emit("REI")
+
+    b.label("svc_compute")
+    work.emit(b, 20, "svc1")
+    work.emit_queue_pair(b, 0)
+    work.emit(b, 6, "svc1b")
+    b.emit("REI")
+
+    b.label("svc_qio")
+    work.emit(b, 10, "svc2")
+    work.emit_queue_pair(b, 1)
+    b.emit("MTPR", enc.literal(0), _pr(PR_BLOCK))
+    b.emit("MTPR", enc.literal(SOFTINT_RESCHED), _pr(PR_SIRR))
+    work.emit(b, 4, "svc2b")
+    b.emit("REI")
+
+    b.label("svc_queue")
+    work.emit_queue_pair(b, 2)
+    work.emit(b, 8, "svc3")
+    b.emit("REI")
+
+    # -- clock interrupt -------------------------------------------------------
+    mark("clock")
+    b.emit("PUSHR", enc.literal(HANDLER_SAVE_MASK))
+    work.emit_base(b)
+    work.emit(b, 5, "clk")
+    b.emit("MTPR", enc.literal(1), _pr(PR_ICCS))
+    b.emit("MFPR", _pr(PR_QUANTUM), enc.register(0))
+    b.emit("TSTL", enc.register(0))
+    b.branch("BEQL", "clock_done")
+    b.emit("MTPR", enc.literal(SOFTINT_RESCHED), _pr(PR_SIRR))
+    b.label("clock_done")
+    work.emit(b, 3, "clk2")
+    b.emit("POPR", enc.literal(HANDLER_SAVE_MASK))
+    b.emit("REI")
+
+    # -- terminal interrupt ------------------------------------------------------
+    mark("terminal")
+    b.emit("PUSHR", enc.literal(HANDLER_SAVE_MASK))
+    work.emit_base(b)
+    work.emit(b, 5, "tty")
+    work.emit_queue_pair(b, 3)
+    b.emit("MFPR", _pr(PR_TTYAST), enc.register(0))
+    b.emit("TSTL", enc.register(0))
+    b.branch("BEQL", "tty_done")
+    b.emit("MTPR", enc.literal(SOFTINT_AST), _pr(PR_SIRR))
+    b.label("tty_done")
+    work.emit(b, 3, "tty2")
+    b.emit("POPR", enc.literal(HANDLER_SAVE_MASK))
+    b.emit("REI")
+
+    # -- AST delivery (software interrupt level 2) ---------------------------------
+    mark("ast")
+    b.emit("PUSHR", enc.literal(HANDLER_SAVE_MASK))
+    work.emit_base(b)
+    work.emit(b, 12, "ast")
+    work.emit_queue_pair(b, 4)
+    b.emit("POPR", enc.literal(HANDLER_SAVE_MASK))
+    b.emit("REI")
+
+    # -- rescheduling (software interrupt level 3) ----------------------------------
+    mark("resched")
+    b.emit("SVPCTX")
+    work.emit_base(b)
+    work.emit_queue_pair(b, 5)
+    work.emit(b, 4, "sched")
+    b.emit("MFPR", _pr(PR_NEXTPCB), enc.register(0))
+    b.emit("MTPR", enc.register(0), _pr(PR_PCBB))
+    b.emit("LDPCTX")
+    b.emit("REI")
+
+    image = b.assemble(KCODE_VA)
+    return KernelImage(code=image.data, base=KCODE_VA,
+                       boot_entry=handlers["boot"],
+                       null_entry=handlers["null"], handlers=handlers)
+
+
+def initial_kernel_data(seed: int = 781) -> bytes:
+    """Initial contents of the kernel data area (queues + scalars)."""
+    rng = random.Random(seed)
+    out = bytearray(rng.randbytes(KSCALARS + KSCALAR_BYTES))
+    for site in range(8):
+        head_va = KDATA_VA + KQUEUE_HEADS + 16 * site
+        offset = KQUEUE_HEADS + 16 * site
+        out[offset:offset + 4] = struct.pack("<I", head_va)
+        out[offset + 4:offset + 8] = struct.pack("<I", head_va)
+    return bytes(out)

@@ -1,0 +1,109 @@
+"""The executive's scheduling policy (the Python half of the kernel).
+
+The *mechanism* of a context switch is VAX code — the rescheduling
+software-interrupt handler executes SVPCTX / MTPR PCBB / LDPCTX / REI on
+the simulated machine.  The *policy* (who runs next, who is blocked, when
+the quantum expires) lives here and is consulted by that handler through
+pseudo processor registers (PR_NEXTPCB, PR_BLOCK, PR_QUANTUM); see
+DESIGN.md on this division.
+
+The scheduler also implements the paper's Null-process exclusion: when no
+process is ready it selects the Null process and gates the histogram
+board and tracer off, exactly as §2.2 excludes Null from measurement.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.osim.process import BLOCKED, READY, RUNNING, Process
+
+
+class Scheduler:
+    """Round-robin scheduler with blocking and quantum expiry."""
+
+    def __init__(self, machine, null_process: Process,
+                 quantum_ticks: int = 2, io_block_cycles: int = 12000,
+                 seed: int = 7) -> None:
+        self.machine = machine
+        self.null_process = null_process
+        self.quantum_ticks = quantum_ticks
+        self.io_block_cycles = io_block_cycles
+        self.processes: list = []
+        self.current: Process = null_process
+        self._ticks_used = 0
+        self._rng = random.Random(seed)
+        #: AST pacing for the terminal handler: every Nth char posts one.
+        self.ast_interval = 4
+        self._tty_chars = 0
+
+    def add_process(self, process: Process) -> None:
+        """Register a schedulable process."""
+        self.processes.append(process)
+
+    # -- pseudo-PR handlers ------------------------------------------------
+
+    def next_pcb(self) -> int:
+        """PR_NEXTPCB: pick the next process; returns its PCB base.
+
+        True round-robin: the run order rotates, so every ready process
+        gets a turn (always picking the first ready process in a fixed
+        order would starve the tail of the queue).
+        """
+        self._wake(self.machine.cycles)
+        if self.current.state == RUNNING and not self.current.is_null:
+            self.current.state = READY
+        chosen = None
+        for process in self.processes:
+            if process.state == READY:
+                chosen = process
+                break
+        if chosen is not None:
+            # Rotate the chosen process to the back of the queue.
+            self.processes.remove(chosen)
+            self.processes.append(chosen)
+        else:
+            chosen = self.null_process
+        chosen.state = RUNNING
+        self.current = chosen
+        self._ticks_used = 0
+        self._gate(not chosen.is_null)
+        return chosen.pcb_base
+
+    def block_current(self, hint: int) -> None:
+        """PR_BLOCK: current process enters an I/O wait."""
+        if self.current.is_null:
+            return
+        jitter = self._rng.randrange(self.io_block_cycles // 2)
+        self.current.state = BLOCKED
+        self.current.wake_cycle = (self.machine.cycles
+                                   + self.io_block_cycles + jitter + hint)
+
+    def quantum_expired(self) -> int:
+        """PR_QUANTUM: consulted by the clock interrupt handler."""
+        self._wake(self.machine.cycles)
+        self._ticks_used += 1
+        someone_ready = any(p.state == READY for p in self.processes)
+        if self.current.is_null:
+            return 1 if someone_ready else 0
+        if self.current.state == BLOCKED:
+            return 1
+        if self._ticks_used >= self.quantum_ticks and someone_ready:
+            return 1
+        return 0
+
+    def tty_ast_due(self) -> int:
+        """PR_TTYAST: the terminal handler posts an AST every Nth char."""
+        self._tty_chars += 1
+        return 1 if self._tty_chars % self.ast_interval == 0 else 0
+
+    # -- internals ------------------------------------------------------------
+
+    def _wake(self, now: int) -> None:
+        for process in self.processes:
+            if process.state == BLOCKED and process.wake_cycle <= now:
+                process.state = READY
+
+    def _gate(self, enabled: bool) -> None:
+        self.machine.board.enabled = enabled
+        self.machine.tracer.enabled = enabled

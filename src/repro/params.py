@@ -1,0 +1,86 @@
+"""Machine-wide configuration for the simulated VAX-11/780.
+
+The defaults reproduce the 11/780 as described by the paper (§2.1) and its
+companion cache/TB studies: a 200 ns microcycle, an 8 KB two-way
+write-through cache with 8-byte blocks, a one-longword (4-byte) write
+buffer that recycles in 6 cycles, a 6-cycle read-miss penalty in the
+simplest case, an 8-byte instruction buffer, and a 128-entry two-way
+translation buffer split into system and process halves.
+
+Benchmarks that ablate an implementation choice (cache size, TB size,
+write-buffer depth...) construct a modified :class:`MachineParams` instead
+of monkey-patching the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Implementation parameters of the simulated 11/780."""
+
+    #: EBOX microinstruction time in nanoseconds (the paper's cycle).
+    cycle_ns: int = 200
+
+    #: Physical memory size in bytes (the paper's machines had 8 MB).
+    memory_bytes: int = 8 * 1024 * 1024
+
+    # -- data cache ------------------------------------------------------
+    cache_bytes: int = 8 * 1024
+    cache_ways: int = 2
+    cache_block_bytes: int = 8
+    #: Cycles an EBOX read stalls on a cache miss with an idle SBI (§4.3).
+    read_miss_penalty: int = 6
+
+    # -- write path ------------------------------------------------------
+    #: Write-buffer recycle time: a write stalls if issued fewer than this
+    #: many cycles after the previous write (§2.1, §4.3).
+    write_recycle: int = 6
+    #: Number of outstanding buffered writes (the 780 has one longword).
+    write_buffer_depth: int = 1
+
+    # -- instruction buffer ----------------------------------------------
+    ib_bytes: int = 8
+    #: Bytes delivered to the IB per successful I-stream cache read.
+    ib_fill_bytes: int = 4
+
+    # -- translation buffer ----------------------------------------------
+    tb_entries: int = 128
+    tb_ways: int = 2
+    #: Page size of the VAX architecture.
+    page_bytes: int = 512
+
+    # -- decode overlap (§5: "saving the non-overlapped I-Decode cycle
+    # -- could save one cycle on each non-PC-changing instruction.  (The
+    # -- later VAX model 11/750 did exactly this.)") ------------------------
+    #: When True, the machine models the 11/750-style improvement: the
+    #: decode cycle overlaps the previous instruction's execution except
+    #: after a PC change (which restarts the pipeline).
+    overlapped_decode: bool = False
+
+    # -- microcode patches -------------------------------------------------
+    #: Microcode families carrying a field-installed patch.  The 11/780
+    #: takes one abort cycle per executed patched microword (§5's Aborts
+    #: row: "one for each microcode trap and one for each microcode
+    #: patch"); the measured machines ran patched microcode.
+    patched_families: tuple = ("ADDSUB", "CALL", "CHM", "MOVC")
+
+    def with_overrides(self, **kwargs) -> "MachineParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def cache_sets(self) -> int:
+        """Number of cache sets implied by size, ways and block size."""
+        return self.cache_bytes // (self.cache_block_bytes * self.cache_ways)
+
+    @property
+    def tb_sets_per_half(self) -> int:
+        """TB sets in each of the system/process halves."""
+        return self.tb_entries // (2 * self.tb_ways)
+
+
+#: The stock 11/780 configuration used by all paper reproductions.
+VAX780 = MachineParams()

@@ -1,0 +1,18 @@
+"""Reporting: the paper's reference data, renderers, and comparisons."""
+
+from repro.report import paper
+from repro.report.compare import (ShapeReport, dominant_key, same_ordering,
+                                  within_factor, within_slack)
+from repro.report.format import (render_figure1, render_section4,
+                                 render_table1, render_table2,
+                                 render_table3, render_table4,
+                                 render_table5, render_table6,
+                                 render_table7, render_table8,
+                                 render_table9)
+
+__all__ = ["paper", "ShapeReport", "dominant_key", "same_ordering",
+           "within_factor", "within_slack", "render_figure1",
+           "render_section4", "render_table1", "render_table2",
+           "render_table3", "render_table4", "render_table5",
+           "render_table6", "render_table7", "render_table8",
+           "render_table9"]

@@ -1,0 +1,65 @@
+"""Paper-vs-measured comparison helpers for tests and benchmarks.
+
+Reproduction targets are *shape* targets (see DESIGN.md): the comparison
+helpers express "same ordering", "within a factor", and "within absolute
+slack" checks that the table benchmarks assert.
+"""
+
+from __future__ import annotations
+
+
+def within_factor(measured: float, reference: float,
+                  factor: float) -> bool:
+    """True when measured is within ``factor``x of the reference."""
+    if reference == 0:
+        return measured == 0
+    if measured <= 0:
+        return False
+    ratio = measured / reference
+    return 1.0 / factor <= ratio <= factor
+
+
+def within_slack(measured: float, reference: float, slack: float) -> bool:
+    """True when |measured - reference| <= slack."""
+    return abs(measured - reference) <= slack
+
+
+def same_ordering(measured: dict, reference: dict, keys=None) -> bool:
+    """True when both dicts rank ``keys`` identically (descending)."""
+    if keys is None:
+        keys = list(reference)
+    rank_m = sorted(keys, key=lambda k: -measured[k])
+    rank_r = sorted(keys, key=lambda k: -reference[k])
+    return rank_m == rank_r
+
+
+def dominant_key(values: dict):
+    """The key with the largest value."""
+    return max(values, key=values.get)
+
+
+class ShapeReport:
+    """Accumulates pass/fail shape checks for one experiment."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.checks: list = []
+
+    def check(self, label: str, passed: bool, detail: str = "") -> bool:
+        """Record one check; returns ``passed`` for chaining."""
+        self.checks.append((label, bool(passed), detail))
+        return passed
+
+    @property
+    def passed(self) -> bool:
+        """True when every recorded check passed."""
+        return all(ok for _, ok, _ in self.checks)
+
+    def render(self) -> str:
+        """Human-readable pass/fail listing."""
+        lines = [f"Shape checks for {self.name}:"]
+        for label, ok, detail in self.checks:
+            status = "PASS" if ok else "FAIL"
+            suffix = f"  ({detail})" if detail else ""
+            lines.append(f"  [{status}] {label}{suffix}")
+        return "\n".join(lines)

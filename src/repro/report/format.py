@@ -1,0 +1,230 @@
+"""Plain-text rendering of reproduced tables, with paper comparison.
+
+Every renderer takes a table result from :mod:`repro.analysis.tables` and
+returns a string laid out like the paper's table, with a "paper" column
+beside each measured value where the reference is known.
+"""
+
+from __future__ import annotations
+
+from repro.arch.groups import GROUP_ORDER
+from repro.report import paper
+from repro.ucode.rows import COLUMN_ORDER, ROW_ORDER
+
+
+def _fmt(value, width=8, digits=3):
+    if value is None:
+        return " " * (width - 1) + "-"
+    return f"{value:{width}.{digits}f}"
+
+
+def render_table1(result) -> str:
+    """Table 1: opcode group frequency."""
+    lines = ["TABLE 1 - Opcode Group Frequency (percent)",
+             f"{'Group':14s} {'measured':>9s} {'paper':>8s}"]
+    for group in GROUP_ORDER:
+        name = group.value
+        lines.append(f"{name:14s} {result.frequency_percent[group]:9.2f} "
+                     f"{paper.TABLE1_FREQUENCY[name]:8.2f}")
+    lines.append(f"{'instructions':14s} {result.instructions:9d}")
+    return "\n".join(lines)
+
+
+def render_table2(result) -> str:
+    """Table 2: PC-changing instructions."""
+    lines = ["TABLE 2 - PC-Changing Instructions",
+             f"{'Type':30s} {'%instr':>7s} {'%taken':>7s}   "
+             f"{'paper%':>7s} {'ptaken':>7s}"]
+    for row in result.rows:
+        ref = paper.TABLE2.get(row.label, (None, None))
+        lines.append(
+            f"{row.label:30s} {row.percent_of_instructions:7.1f} "
+            f"{row.percent_taken:7.0f}   {_fmt(ref[0], 7, 1)} "
+            f"{_fmt(ref[1], 7, 0)}")
+    lines.append(
+        f"{'TOTAL':30s} {result.total_percent:7.1f} "
+        f"{result.total_taken_percent:7.0f}   "
+        f"{paper.TABLE2_TOTAL[0]:7.1f} {paper.TABLE2_TOTAL[1]:7.0f}")
+    return "\n".join(lines)
+
+
+def render_table3(result) -> str:
+    """Table 3: specifiers per average instruction."""
+    ref = paper.TABLE3
+    return "\n".join([
+        "TABLE 3 - Specifiers and Branch Displacements per Instruction",
+        f"First specifiers      {result.first_specifiers:6.3f}  "
+        f"(paper {ref['first_specifiers']:.3f})",
+        f"Other specifiers      {result.other_specifiers:6.3f}  "
+        f"(paper {ref['other_specifiers']:.3f})",
+        f"Branch displacements  {result.branch_displacements:6.3f}  "
+        f"(paper {ref['branch_displacements']:.3f})",
+    ])
+
+
+def render_table4(result) -> str:
+    """Table 4: operand specifier distribution."""
+    lines = ["TABLE 4 - Operand Specifier Distribution (percent)",
+             f"{'Mode':18s} {'spec1':>7s} {'spec2-6':>8s} {'total':>7s}"
+             f"   {'paper(total)':>12s}"]
+    for mode, ref in paper.TABLE4.items():
+        lines.append(
+            f"{mode:18s} {result.spec1_percent[mode]:7.1f} "
+            f"{result.spec26_percent[mode]:8.1f} "
+            f"{result.total_percent[mode]:7.1f}   "
+            f"{_fmt(ref[2], 12, 1)}")
+    lines.append(f"{'Percent indexed':18s} {result.indexed_percent:7.1f}"
+                 f"{'':>16s}   {paper.TABLE4_INDEXED_PERCENT:12.1f}")
+    return "\n".join(lines)
+
+
+def render_table5(result) -> str:
+    """Table 5: reads/writes per instruction by activity."""
+    lines = ["TABLE 5 - D-stream Reads and Writes per Average Instruction",
+             f"{'Source':14s} {'reads':>8s} {'writes':>8s}"]
+    for label, (reads, writes) in result.rows.items():
+        lines.append(f"{label:14s} {reads:8.3f} {writes:8.3f}")
+    lines.append(f"{'TOTAL':14s} {result.total_reads:8.3f} "
+                 f"{result.total_writes:8.3f}")
+    lines.append(f"{'paper TOTAL':14s} {paper.TABLE5_TOTAL_READS:8.3f} "
+                 f"{paper.TABLE5_TOTAL_WRITES:8.3f}")
+    return "\n".join(lines)
+
+
+def render_table6(result) -> str:
+    """Table 6: estimated instruction size."""
+    ref = paper.TABLE6
+    return "\n".join([
+        "TABLE 6 - Estimated Size of Average Instruction",
+        f"Specifiers/instr   {result.specifiers_per_instruction:6.2f}  "
+        f"(paper {ref['specifiers_per_instruction']:.2f})",
+        f"Avg specifier size {result.avg_specifier_size:6.2f}  "
+        f"(paper {ref['avg_specifier_size']:.2f})",
+        f"Branch disp bytes  {result.branch_disp_bytes_per_instruction:6.2f}"
+        f"  (paper {ref['branch_disp_per_instruction']:.2f})",
+        f"TOTAL bytes        {result.total_bytes:6.2f}  "
+        f"(paper {ref['total_bytes']:.1f})",
+    ])
+
+
+def render_table7(result) -> str:
+    """Table 7: interrupt and context-switch headway."""
+    ref = paper.TABLE7
+    return "\n".join([
+        "TABLE 7 - Interrupt and Context-Switch Headway (instructions)",
+        f"Software interrupt requests "
+        f"{result.software_interrupt_request_headway:8.0f}  "
+        f"(paper {ref['software_interrupt_requests']})",
+        f"HW and SW interrupts        "
+        f"{result.interrupt_headway:8.0f}  (paper {ref['interrupts']})",
+        f"Context switches            "
+        f"{result.context_switch_headway:8.0f}  "
+        f"(paper {ref['context_switches']})",
+    ])
+
+
+def render_table8(result) -> str:
+    """Table 8: the cycles-per-instruction matrix."""
+    header = f"{'':12s}" + "".join(f"{col.value:>9s}" for col in COLUMN_ORDER)
+    lines = ["TABLE 8 - Average VAX Instruction Timing "
+             "(cycles per instruction)",
+             header + f"{'Total':>9s}{'paper':>8s}"]
+    for row in ROW_ORDER:
+        cells = "".join(f"{result.cells[(row, col)]:9.3f}"
+                        for col in COLUMN_ORDER)
+        ref = paper.TABLE8_ROW_TOTALS.get(row.value)
+        lines.append(f"{row.value:12s}{cells}"
+                     f"{result.row_totals[row]:9.3f}{_fmt(ref, 8)}")
+    col_totals = "".join(f"{result.column_totals[col]:9.3f}"
+                         for col in COLUMN_ORDER)
+    lines.append(f"{'TOTAL':12s}{col_totals}"
+                 f"{result.cycles_per_instruction:9.3f}"
+                 f"{paper.CYCLES_PER_INSTRUCTION:8.3f}")
+    paper_cols = "".join(
+        f"{paper.TABLE8_COLUMN_TOTALS[col.value]:9.3f}"
+        for col in COLUMN_ORDER)
+    lines.append(f"{'paper TOTAL':12s}{paper_cols}")
+    return "\n".join(lines)
+
+
+def render_table9(result) -> str:
+    """Table 9: cycles per instruction within each group."""
+    header = f"{'':12s}" + "".join(f"{col.value:>9s}" for col in COLUMN_ORDER)
+    lines = ["TABLE 9 - Cycles per Instruction Within Each Group",
+             header + f"{'Total':>9s}{'paper':>8s}"]
+    for group in GROUP_ORDER:
+        cells = "".join(f"{result.cells[(group, col)]:9.2f}"
+                        for col in COLUMN_ORDER)
+        ref = paper.TABLE9_TOTALS[group.value]
+        lines.append(f"{group.value:12s}{cells}"
+                     f"{result.totals[group]:9.2f}{_fmt(ref, 8, 2)}")
+    return "\n".join(lines)
+
+
+def render_section4(result) -> str:
+    """The §4.1/§4.2 implementation-event summary."""
+    ref = paper.SECTION4
+    rows = [
+        ("IB references / instruction", result.ib_references_per_instruction,
+         ref["ib_references_per_instruction"]),
+        ("IB bytes / reference", result.ib_bytes_per_reference,
+         ref["ib_bytes_per_reference"]),
+        ("Cache read misses / instr",
+         result.cache_read_misses_per_instruction,
+         ref["cache_read_misses_per_instruction"]),
+        ("  I-stream", result.cache_i_misses_per_instruction,
+         ref["cache_i_misses_per_instruction"]),
+        ("  D-stream", result.cache_d_misses_per_instruction,
+         ref["cache_d_misses_per_instruction"]),
+        ("TB misses / instruction", result.tb_misses_per_instruction,
+         ref["tb_misses_per_instruction"]),
+        ("  D-stream", result.tb_d_misses_per_instruction,
+         ref["tb_d_misses_per_instruction"]),
+        ("  I-stream", result.tb_i_misses_per_instruction,
+         ref["tb_i_misses_per_instruction"]),
+        ("TB service cycles", result.tb_service_cycles,
+         ref["tb_service_cycles"]),
+        ("  of which read stall", result.tb_service_stall_cycles,
+         ref["tb_service_stall_cycles"]),
+        ("Unaligned refs / instr", result.unaligned_refs_per_instruction,
+         ref["unaligned_refs_per_instruction"]),
+    ]
+    lines = ["SECTION 4 - Implementation Events",
+             f"{'Event':30s} {'measured':>9s} {'paper':>8s}"]
+    for label, measured, reference in rows:
+        lines.append(f"{label:30s} {measured:9.3f} {reference:8.3f}")
+    return "\n".join(lines)
+
+
+def render_figure1(machine) -> str:
+    """Figure 1: the 11/780 block diagram, from the live machine."""
+    nodes, edges = machine.component_graph()
+    art = r"""
+FIGURE 1 - VAX-11/780 Block Diagram (rendered from machine topology)
+
+  +---------+    +--------------------+    +----------+    +-------+
+  | I-Fetch |--->| Instruction Buffer |--->| I-Decode |--->| EBOX  |
+  +----+----+    +--------------------+    +----------+    +--+-+--+
+       |                                                      | |
+       |          +--------------------+                      | |
+       +--------->| Translation Buffer |<---------------------+ |
+                  +---------+----------+        +--------------+
+                            |                   v
+                            v            +--------------+
+                       +---------+       | Write Buffer |
+                       |  Cache  |       +-------+------+
+                       +----+----+               |
+                            |        +-----------+
+                            v        v
+                       +------------------+
+                       |       SBI        |
+                       +---------+--------+
+                                 |
+                                 v
+                            +--------+
+                            | Memory |
+                            +--------+
+"""
+    listing = "\n".join(f"  {src:20s} -> {dst}" for src, dst in edges)
+    return art + "\nComponent connections:\n" + listing + \
+        f"\n\nComponents: {', '.join(nodes)}\n"

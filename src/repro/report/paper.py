@@ -1,0 +1,143 @@
+"""The paper's published numbers, as machine-readable reference data.
+
+Values are transcribed from Emer & Clark (ISCA 1984).  Where the archival
+scan is partially illegible (several interior cells of Tables 8 and 9),
+the row/column *totals* given in clean text are used and the affected
+cells are marked None; EXPERIMENTS.md documents this.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — opcode group frequency (percent of instruction executions).
+TABLE1_FREQUENCY = {
+    "Simple": 83.60,
+    "Field": 6.92,
+    "Float": 3.62,
+    "Call/Ret": 3.22,
+    "System": 2.11,
+    "Character": 0.43,
+    "Decimal": 0.03,
+}
+
+#: Table 2 — PC-changing instructions: (percent of all instructions,
+#: percent that actually branch).
+TABLE2 = {
+    "Simple cond., plus BRB, BRW": (19.3, 56.0),
+    "Loop branches": (4.1, 91.0),
+    "Low-bit tests": (2.0, 41.0),
+    "Subroutine call and return": (4.5, 100.0),
+    "Unconditional (JMP)": (0.3, 100.0),
+    "Case branch (CASEx)": (0.9, 100.0),
+    "Bit branches": (4.3, 44.0),
+    "Procedure call and return": (2.4, 100.0),
+    "System branches (REI)": (0.4, 100.0),
+}
+TABLE2_TOTAL = (38.5, 67.0)
+TABLE2_TAKEN_PERCENT_OF_INSTRUCTIONS = 25.7
+
+#: Table 3 — specifiers and branch displacements per average instruction.
+TABLE3 = {
+    "first_specifiers": 0.726,
+    "other_specifiers": 0.758,
+    "branch_displacements": 0.312,
+}
+
+#: Table 4 — operand specifier distribution, percent.  The archival copy
+#: is legible for the headline modes; None marks unreadable cells.
+TABLE4 = {
+    "Register": (28.7, 52.6, 41.0),
+    "Short literal": (21.1, 10.8, 15.8),
+    "Immediate": (3.2, 1.7, 2.4),
+    "Displacement": (25.0, None, None),
+    "Register deferred": (None, None, None),
+    "Autoincrement": (None, None, None),
+    "Autodecrement": (None, None, None),
+    "Disp. deferred": (None, None, None),
+    "Absolute": (None, None, None),
+    "Autoinc. deferred": (None, None, None),
+}
+TABLE4_INDEXED_PERCENT = 6.3
+
+#: Table 5 — D-stream reads/writes per average instruction.  Clean cells
+#: only; the totals and the headline observations are unambiguous.
+TABLE5_TOTAL_READS = 0.783
+TABLE5_TOTAL_WRITES = 0.409
+TABLE5_SPEC1_READS = 0.306
+TABLE5_SPEC26_READS = 0.148
+TABLE5_CALLRET = (0.133, 0.130)  # the largest row, per the paper's text
+
+#: Table 6 — estimated size of the average instruction.
+TABLE6 = {
+    "opcode_bytes": 1.00,
+    "specifiers_per_instruction": 1.48,
+    "avg_specifier_size": 1.68,
+    "branch_disp_per_instruction": 0.31,
+    "total_bytes": 3.8,
+}
+
+#: Table 7 — event headways in instructions.
+TABLE7 = {
+    "software_interrupt_requests": 2539,
+    "interrupts": 637,
+    "context_switches": 6418,
+}
+
+#: Table 8 — cycles per average instruction.  Row totals (legible) plus
+#: the fully legible Decode row and column totals.
+TABLE8_ROW_TOTALS = {
+    "Decode": 1.613,
+    "Spec 1": 1.052,
+    "Spec 2-6": 1.226,
+    "Simple": 0.977,
+    "Field": 0.600,
+    "Float": 0.302,
+    "Call/Ret": 1.458,
+    "System": 0.482,
+    "Character": 0.506,
+    "Decimal": 0.031,
+    "Int/Except": 0.071,
+    "Mem Mgmt": 0.824,
+    "Aborts": 0.127,
+}
+TABLE8_DECODE_ROW = {"Compute": 1.000, "IB-Stall": 0.613}
+TABLE8_COLUMN_TOTALS = {
+    "Compute": 7.267,
+    "Read": 0.783,
+    "R-Stall": 0.964,
+    "Write": 0.409,
+    "W-Stall": 0.450,
+    "IB-Stall": 0.720,
+}
+CYCLES_PER_INSTRUCTION = 10.593
+
+#: Table 9 — cycles per instruction within each group (execute phase).
+TABLE9_TOTALS = {
+    "Simple": 1.17,
+    "Field": 8.67,
+    "Float": 8.33,
+    "Call/Ret": 45.25,
+    "System": 22.83,
+    "Character": 117.04,
+    "Decimal": 100.77,
+}
+
+#: Section 4 implementation events.
+SECTION4 = {
+    "ib_references_per_instruction": 2.2,
+    "ib_bytes_per_reference": 1.7,
+    "avg_instruction_bytes": 3.8,
+    "cache_read_misses_per_instruction": 0.28,
+    "cache_i_misses_per_instruction": 0.18,
+    "cache_d_misses_per_instruction": 0.10,
+    "tb_misses_per_instruction": 0.029,
+    "tb_d_misses_per_instruction": 0.020,
+    "tb_i_misses_per_instruction": 0.009,
+    "tb_service_cycles": 21.6,
+    "tb_service_stall_cycles": 3.5,
+    "unaligned_refs_per_instruction": 0.016,
+}
+
+#: Machine facts quoted in §2.
+CYCLE_NS = 200
+MEMORY_MB = 8
+VMS_VERSION = "2.x"

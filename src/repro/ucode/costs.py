@@ -1,0 +1,66 @@
+"""Tunable microcode cycle budgets.
+
+These constants are the simulator's equivalent of microcode routine
+lengths: how many compute cycles each non-trivial flow spends outside its
+memory references.  They are calibrated (see
+``tests/integration/test_calibration.py``) so the composite workload's
+Table 8/9 reproduction matches the paper's shape: the group means span two
+orders of magnitude (Simple ≈ 1.2 cycles to Character ≈ 117) and a TB miss
+costs ≈ 21.6 cycles including ≈ 3.5 read-stall cycles.
+
+All values are cycle counts.
+"""
+
+# -- translation-buffer miss service (paper §4.2: 21.6 cycles, 3.5 stall) --
+TBM_WALK_CYCLES = 12       # address-path computation before the PTE read
+TBM_INSERT_CYCLES = 6      # insertion and restart after the PTE read
+
+# -- interrupt and exception delivery (Row.INT_EXCEPT) ----------------------
+IRQ_GRANT_CYCLES = 20       # priority arbitration and state save
+EXC_SETUP_CYCLES = 8       # exception-specific parameter marshalling
+
+# -- procedure call/return (Table 9: group mean ~45 cycles) ------------------
+CALL_ENTRY_CYCLES = 6      # stack alignment, mask fetch setup
+CALL_PER_PUSH_CYCLES = 4   # computes between stack pushes
+CALL_FINISH_CYCLES = 7     # AP/FP/PC establishment
+RET_ENTRY_CYCLES = 5
+RET_PER_POP_CYCLES = 2
+RET_FINISH_CYCLES = 5
+PUSHR_PER_REG_CYCLES = 2
+POPR_PER_REG_CYCLES = 2
+
+# -- character strings (Table 9: group mean ~117; write every 6th cycle) ----
+MOVC_ENTRY_CYCLES = 4
+MOVC_PER_LONGWORD_COMPUTE = 7   # with 1 read + 1 write: 9-cycle period
+MOVC_PER_TAIL_BYTE_COMPUTE = 2
+MOVC_EXIT_CYCLES = 4
+CMPC_PER_LONGWORD_COMPUTE = 1
+LOCC_PER_LONGWORD_COMPUTE = 3
+SCANC_PER_BYTE_COMPUTE = 2
+
+# -- packed decimal (Table 9: group mean ~101) -------------------------------
+DECIMAL_ENTRY_CYCLES = 10
+DECIMAL_PER_BYTE_COMPUTE = 6
+DECIMAL_EXIT_CYCLES = 8
+
+# -- floating point, with FPA (all measured machines had one) -----------------
+FADD_CYCLES = 7
+FMUL_CYCLES = 11
+FDIV_CYCLES = 12
+FCVT_CYCLES = 6
+DADD_CYCLES = 7
+DMUL_CYCLES = 11
+MULL_CYCLES = 9
+DIVL_CYCLES = 16
+EMUL_CYCLES = 11
+EDIV_CYCLES = 22
+
+# -- field instructions -------------------------------------------------------
+FIELD_SETUP_CYCLES = 5
+FIELD_SHIFT_CYCLES = 4
+FFS_PER_BYTE_CYCLES = 1
+
+# -- context switch -----------------------------------------------------------
+SVPCTX_ENTRY_CYCLES = 8
+LDPCTX_ENTRY_CYCLES = 8
+PCB_SAVE_REGISTERS = 17    # R0-R13, SP, PC, PSL

@@ -1,0 +1,110 @@
+"""The two dimensions of the paper's Table 8.
+
+Every microcycle in 11/780 execution falls into exactly one *row* (the
+stage or activity of instruction processing) and one *column* (the kind of
+cycle).  The control store annotates each microcode address with its row
+and its cycle kind; the analysis package reduces the µPC histogram along
+these annotations to regenerate Table 8.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.arch.groups import OpcodeGroup
+
+
+class Row(enum.Enum):
+    """Table 8 rows: instruction stages, execute groups, and overheads."""
+
+    DECODE = "Decode"
+    SPEC1 = "Spec 1"
+    SPEC26 = "Spec 2-6"
+    BDISP = "B-Disp"
+    EX_SIMPLE = "Simple"
+    EX_FIELD = "Field"
+    EX_FLOAT = "Float"
+    EX_CALLRET = "Call/Ret"
+    EX_SYSTEM = "System"
+    EX_CHARACTER = "Character"
+    EX_DECIMAL = "Decimal"
+    INT_EXCEPT = "Int/Except"
+    MEM_MGMT = "Mem Mgmt"
+    ABORTS = "Aborts"
+
+
+#: Table 8 row display order.
+ROW_ORDER = (
+    Row.DECODE, Row.SPEC1, Row.SPEC26, Row.BDISP,
+    Row.EX_SIMPLE, Row.EX_FIELD, Row.EX_FLOAT, Row.EX_CALLRET,
+    Row.EX_SYSTEM, Row.EX_CHARACTER, Row.EX_DECIMAL,
+    Row.INT_EXCEPT, Row.MEM_MGMT, Row.ABORTS,
+)
+
+#: Execute row for each Table 1 opcode group.
+EXECUTE_ROW = {
+    OpcodeGroup.SIMPLE: Row.EX_SIMPLE,
+    OpcodeGroup.FIELD: Row.EX_FIELD,
+    OpcodeGroup.FLOAT: Row.EX_FLOAT,
+    OpcodeGroup.CALLRET: Row.EX_CALLRET,
+    OpcodeGroup.SYSTEM: Row.EX_SYSTEM,
+    OpcodeGroup.CHARACTER: Row.EX_CHARACTER,
+    OpcodeGroup.DECIMAL: Row.EX_DECIMAL,
+}
+
+#: Inverse of EXECUTE_ROW, for analysis.
+GROUP_FOR_ROW = {row: group for group, row in EXECUTE_ROW.items()}
+
+
+class Column(enum.Enum):
+    """Table 8 columns: the six mutually exclusive cycle categories."""
+
+    COMPUTE = "Compute"
+    READ = "Read"
+    RSTALL = "R-Stall"
+    WRITE = "Write"
+    WSTALL = "W-Stall"
+    IBSTALL = "IB-Stall"
+
+
+#: Table 8 column display order.
+COLUMN_ORDER = (Column.COMPUTE, Column.READ, Column.RSTALL,
+                Column.WRITE, Column.WSTALL, Column.IBSTALL)
+
+
+class CycleKind(enum.Enum):
+    """What the microinstruction at an address does.
+
+    The monitor's non-stalled count at an address lands in the kind's
+    primary column; its stalled count lands in the kind's stall column.
+    IB-stall addresses are the special dispatch locations whose execution
+    count *is* the stall cycle count (paper §4.3).
+    """
+
+    COMPUTE = "compute"
+    READ = "read"
+    WRITE = "write"
+    IB_STALL = "ib_stall"
+
+    @property
+    def primary_column(self) -> Column:
+        """Column for non-stalled executions at this address."""
+        return _PRIMARY[self]
+
+    @property
+    def stall_column(self):
+        """Column for stalled cycles at this address (None if impossible)."""
+        return _STALL.get(self)
+
+
+_PRIMARY = {
+    CycleKind.COMPUTE: Column.COMPUTE,
+    CycleKind.READ: Column.READ,
+    CycleKind.WRITE: Column.WRITE,
+    CycleKind.IB_STALL: Column.IBSTALL,
+}
+
+_STALL = {
+    CycleKind.READ: Column.RSTALL,
+    CycleKind.WRITE: Column.WSTALL,
+}

@@ -1,0 +1,62 @@
+"""VAX virtual address decomposition.
+
+A 32-bit VAX virtual address selects one of four regions with its top two
+bits — P0 (program), P1 (control/stack), S0 (system) — and within a region
+a 21-bit virtual page number over 512-byte pages:
+
+    31 30 | 29 ............. 9 | 8 ....... 0
+    region|  virtual page no.  |   offset
+
+The translation buffer is split into *process* (P0/P1) and *system* (S0)
+halves, indexed here by :func:`is_system_space`.
+"""
+
+from __future__ import annotations
+
+#: Region codes from VA<31:30>.
+P0, P1, S0, RESERVED = 0, 1, 2, 3
+
+REGION_NAMES = {P0: "P0", P1: "P1", S0: "S0", RESERVED: "reserved"}
+
+PAGE_BYTES = 512
+PAGE_SHIFT = 9
+OFFSET_MASK = PAGE_BYTES - 1
+#: VPN within region: VA<29:9>.
+REGION_VPN_MASK = (1 << 21) - 1
+
+
+def region_of(va: int) -> int:
+    """Region code (P0/P1/S0/RESERVED) of a virtual address."""
+    return (va >> 30) & 3
+
+
+def vpn_of(va: int) -> int:
+    """Virtual page number within the address's region."""
+    return (va >> PAGE_SHIFT) & REGION_VPN_MASK
+
+
+def global_vpn(va: int) -> int:
+    """Region-qualified VPN (unique across the whole address space)."""
+    return (va & 0xFFFFFFFF) >> PAGE_SHIFT
+
+
+def offset_of(va: int) -> int:
+    """Byte offset within the page."""
+    return va & OFFSET_MASK
+
+
+def is_system_space(va: int) -> bool:
+    """True for S0 (and reserved) addresses — VA bit 31 set."""
+    return bool(va & 0x80000000)
+
+
+def make_va(region: int, vpn: int, offset: int = 0) -> int:
+    """Compose a virtual address from region, VPN and offset."""
+    return ((region & 3) << 30) | ((vpn & REGION_VPN_MASK) << PAGE_SHIFT) \
+        | (offset & OFFSET_MASK)
+
+
+#: Conventional base addresses of the three regions.
+P0_BASE = 0x00000000
+P1_BASE = 0x40000000
+S0_BASE = 0x80000000

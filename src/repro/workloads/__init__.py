@@ -1,0 +1,13 @@
+"""Workload generation: mix profiles, code generator, experiments."""
+
+from repro.workloads.codegen import GeneratedProgram, ProgramGenerator
+from repro.workloads.rte import ScriptedTerminalMux, ScriptedUser
+from repro.workloads.profiles import (COMMERCIAL, EDUCATIONAL, MixProfile,
+                                      SCIENTIFIC, STANDARD_PROFILES,
+                                      TIMESHARING_CPU_DEV,
+                                      TIMESHARING_RESEARCH)
+
+__all__ = ["GeneratedProgram", "ProgramGenerator", "COMMERCIAL",
+           "EDUCATIONAL", "MixProfile", "SCIENTIFIC", "STANDARD_PROFILES",
+           "TIMESHARING_CPU_DEV", "TIMESHARING_RESEARCH",
+           "ScriptedTerminalMux", "ScriptedUser"]

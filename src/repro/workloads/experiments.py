@@ -1,0 +1,68 @@
+"""The paper's five measurement experiments and their composite.
+
+Each experiment builds a fresh machine, boots the executive with one of
+the five standard workload profiles, runs a measurement window, and
+captures a :class:`~repro.analysis.measurement.Measurement`.  The
+composite — the basis of every table in the paper — is the sum of the
+five (§2.2: "we will report results for the composite of all five, that
+is, the sum of the five µPC histograms").
+
+Results are memoised per (profile, instructions, seed) so that the table
+benchmarks, which all consume the same composite, pay for the simulation
+once per process.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.measurement import Measurement, composite
+from repro.cpu.machine import VAX780
+from repro.osim.executive import Executive
+from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
+
+#: Default measurement window per workload, in measured instructions.
+#: ~60k per workload keeps a five-workload composite comfortably under a
+#: minute while leaving per-instruction ratios stable to ~1 %.
+DEFAULT_INSTRUCTIONS = 60_000
+
+_CACHE: dict = {}
+
+
+def run_workload(profile: MixProfile, instructions: int,
+                 seed: int = 1984) -> Measurement:
+    """Run one workload experiment and return its measurement."""
+    key = (profile.name, instructions, seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    machine = VAX780()
+    executive = Executive(machine, profile, seed=seed)
+    executive.boot()
+    executive.run(instructions)
+    measurement = Measurement.capture(profile.name, machine)
+    _CACHE[key] = measurement
+    return measurement
+
+
+def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
+                             seed: int = 1984) -> dict:
+    """Run all five standard experiments; returns name -> Measurement."""
+    return {profile.name: run_workload(profile, instructions, seed)
+            for profile in STANDARD_PROFILES}
+
+
+def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
+                       seed: int = 1984) -> Measurement:
+    """The five-workload composite measurement (memoised)."""
+    key = ("composite", instructions, seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    runs = run_standard_experiments(instructions, seed)
+    total = composite(runs.values())
+    _CACHE[key] = total
+    return total
+
+
+def clear_cache() -> None:
+    """Drop memoised measurements (tests that vary parameters use this)."""
+    _CACHE.clear()

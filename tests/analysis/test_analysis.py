@@ -1,0 +1,188 @@
+"""Analysis tests: reduction invariants and table computations."""
+
+import pytest
+
+from repro.analysis import (Measurement, Reduction, composite, section4,
+                            table1, table2, table3, table4, table5, table6,
+                            table7, table8, table9)
+from repro.arch.groups import OpcodeGroup
+from repro.ucode.rows import COLUMN_ORDER, Column, ROW_ORDER, Row
+from tests.helpers import run
+
+
+PROGRAM = """
+    movl #30, r6
+    clrl r1
+loop:
+    addl2 #1, r1
+    movl @#var, r2
+    cmpl r2, #5
+    beql skip
+    incl r3
+skip:
+    movl r1, @#var
+    sobgtr r6, loop
+    calls #0, @#sub
+    halt
+sub:
+    .word ^x0004
+    movc3 #12, @#buf, @#buf2
+    ret
+var:  .long 1
+buf:  .space 16
+buf2: .space 16
+"""
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    machine = run(PROGRAM)
+    return Measurement.capture("unit", machine), machine
+
+
+class TestReductionInvariants:
+    def test_cycles_conserved(self, measurement):
+        meas, machine = measurement
+        red = Reduction(meas.histogram)
+        assert red.total_cycles() == machine.cycles
+
+    def test_cells_sum_to_row_totals(self, measurement):
+        meas, _ = measurement
+        red = Reduction(meas.histogram)
+        for row in ROW_ORDER:
+            assert red.row_total(row) == sum(
+                red.cells[(row, col)] for col in COLUMN_ORDER)
+
+    def test_row_and_column_totals_agree(self, measurement):
+        meas, _ = measurement
+        red = Reduction(meas.histogram)
+        by_rows = sum(red.row_total(r) for r in ROW_ORDER)
+        by_cols = sum(red.column_total(c) for c in COLUMN_ORDER)
+        assert by_rows == by_cols == red.total_cycles()
+
+    def test_instructions_match_tracer(self, measurement):
+        meas, machine = measurement
+        red = Reduction(meas.histogram)
+        assert red.instructions == machine.tracer.instructions
+
+    def test_group_counts_match_tracer(self, measurement):
+        meas, machine = measurement
+        red = Reduction(meas.histogram)
+        for group, count in machine.tracer.group_counts.items():
+            assert red.group_instructions[group] == count
+
+    def test_branch_taken_counts_match_tracer(self, measurement):
+        meas, machine = measurement
+        red = Reduction(meas.histogram)
+        taken_hist = red.taken_count("BCOND")
+        taken_trace = machine.tracer.branches_taken["BCOND"]
+        assert taken_hist == taken_trace
+
+    def test_tb_miss_counts_match_tracer(self, measurement):
+        meas, machine = measurement
+        red = Reduction(meas.histogram)
+        total = sum(machine.tracer.tb_miss_services.values())
+        assert red.tb_miss_services() == total
+
+
+class TestTables:
+    def test_table1_sums_to_100(self, measurement):
+        meas, _ = measurement
+        t = table1(meas)
+        assert sum(t.frequency_percent.values()) == pytest.approx(100.0)
+
+    def test_table1_simple_dominates(self, measurement):
+        meas, _ = measurement
+        t = table1(meas)
+        assert t.frequency_percent[OpcodeGroup.SIMPLE] > 50
+
+    def test_table2_loop_branches_mostly_taken(self, measurement):
+        meas, _ = measurement
+        t = table2(meas)
+        loops = next(r for r in t.rows if r.label == "Loop branches")
+        assert loops.executed == 30
+        assert loops.taken == 29
+
+    def test_table3_counts(self, measurement):
+        meas, machine = measurement
+        t = table3(meas)
+        n = machine.tracer.instructions
+        assert t.first_specifiers * n == pytest.approx(
+            sum(v for (b, _), v in
+                machine.tracer.specifier_modes.items() if b == "spec1"))
+
+    def test_table4_percentages_sum(self, measurement):
+        meas, _ = measurement
+        t = table4(meas)
+        assert sum(t.total_percent.values()) == pytest.approx(100.0)
+
+    def test_table5_totals_are_row_sums(self, measurement):
+        meas, _ = measurement
+        t = table5(meas)
+        assert t.total_reads == pytest.approx(
+            sum(r for r, _ in t.rows.values()))
+        assert t.total_writes == pytest.approx(
+            sum(w for _, w in t.rows.values()))
+
+    def test_table6_size_accounting(self, measurement):
+        meas, machine = measurement
+        t = table6(meas)
+        n = machine.tracer.instructions
+        recomposed = (1.0 + t.specifiers_per_instruction
+                      * t.avg_specifier_size
+                      + t.branch_disp_bytes_per_instruction)
+        assert recomposed == pytest.approx(t.total_bytes, rel=1e-6)
+
+    def test_table7_infinite_when_absent(self, measurement):
+        meas, _ = measurement
+        t = table7(meas)
+        # The bare test program has no interrupts or switches.
+        assert t.context_switch_headway == float("inf")
+
+    def test_table8_total_consistency(self, measurement):
+        meas, _ = measurement
+        t = table8(meas)
+        assert t.cycles_per_instruction == pytest.approx(
+            sum(t.row_totals.values()))
+        assert t.cycles_per_instruction == pytest.approx(
+            sum(t.column_totals.values()))
+
+    def test_table9_character_heaviest(self, measurement):
+        meas, _ = measurement
+        t = table9(meas)
+        assert t.totals[OpcodeGroup.CHARACTER] > \
+            t.totals[OpcodeGroup.SIMPLE]
+
+    def test_section4_fields_populated(self, measurement):
+        meas, _ = measurement
+        s = section4(meas)
+        assert s.ib_references_per_instruction > 0
+        assert 0 < s.ib_bytes_per_reference <= 4
+        assert s.avg_instruction_bytes > 1
+
+
+class TestComposition:
+    def test_measurements_add(self, measurement):
+        meas, machine = measurement
+        double = meas + meas
+        assert double.tracer.instructions == 2 * meas.tracer.instructions
+        assert double.histogram.total_cycles() == \
+            2 * meas.histogram.total_cycles()
+
+    def test_composite_preserves_ratios(self, measurement):
+        meas, _ = measurement
+        combined = composite([meas, meas, meas])
+        t_single = table8(meas)
+        t_triple = table8(combined)
+        assert t_triple.cycles_per_instruction == pytest.approx(
+            t_single.cycles_per_instruction)
+
+    def test_composite_empty_rejected(self):
+        with pytest.raises(ValueError):
+            composite([])
+
+    def test_memory_stats_add(self, measurement):
+        meas, _ = measurement
+        double = meas + meas
+        assert double.memory.ib_references == 2 * meas.memory.ib_references
+        assert double.memory.tb_misses == 2 * meas.memory.tb_misses

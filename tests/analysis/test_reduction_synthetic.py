@@ -1,0 +1,131 @@
+"""Reduction on hand-built histograms: exact, deterministic expectations.
+
+These tests bypass the simulator entirely: they construct raw count
+arrays the way the board would have filled them and verify the analysis
+classifies every bucket exactly — the data-reduction logic tested in
+isolation from workload noise.
+"""
+
+import pytest
+
+from repro.analysis.measurement import Measurement, MemoryStats, TracerStats
+from repro.analysis.reduction import Reduction, reference_map
+from repro.analysis.tables import table1, table2, table8
+from repro.arch.groups import OpcodeGroup
+from repro.monitor.histogram import Histogram
+from repro.ucode.controlstore import CONTROL_STORE_SIZE
+from repro.ucode.rows import Column, Row
+
+
+def empty_counts():
+    return [0] * CONTROL_STORE_SIZE, [0] * CONTROL_STORE_SIZE
+
+
+def make_measurement(nonstalled, stalled):
+    return Measurement("synthetic", Histogram(nonstalled, stalled),
+                       TracerStats(), MemoryStats(), cycles=0)
+
+
+class TestSyntheticReduction:
+    def test_single_decode_bucket(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        ns[umap.ird["MOV"]] = 7
+        red = Reduction(Histogram(ns, st_counts))
+        assert red.instructions == 7
+        assert red.group_instructions[OpcodeGroup.SIMPLE] == 7
+        assert red.cells[(Row.DECODE, Column.COMPUTE)] == 7
+        assert red.total_cycles() == 7
+
+    def test_stall_classification(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        read_upc = umap.spec_flows[Row.SPEC1][
+            list(umap.spec_flows[Row.SPEC1])[0]].read
+        ns[read_upc] = 3
+        st_counts[read_upc] = 12
+        red = Reduction(Histogram(ns, st_counts))
+        assert red.cells[(Row.SPEC1, Column.READ)] == 3
+        assert red.cells[(Row.SPEC1, Column.RSTALL)] == 12
+        assert red.reads_by_row[Row.SPEC1] == 3
+        assert red.total_cycles() == 15
+
+    def test_ib_stall_bucket_is_cycles(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        ns[umap.ird_stall] = 9
+        red = Reduction(Histogram(ns, st_counts))
+        # §4.3: executions of the insufficient-bytes dispatch ARE the
+        # IB-stall cycles.
+        assert red.cells[(Row.DECODE, Column.IBSTALL)] == 9
+
+    def test_taken_count_from_redirect_slot(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        ns[umap.ird["BCOND"]] = 10
+        ns[umap.exec_flows["BCOND"]["redirect"]] = 6
+        red = Reduction(Histogram(ns, st_counts))
+        assert red.executed_count("BCOND") == 10
+        assert red.taken_count("BCOND") == 6
+        meas = make_measurement(ns, st_counts)
+        result = table2(meas)
+        top = result.rows[0]
+        assert top.executed == 10 and top.taken == 6
+        assert top.percent_taken == pytest.approx(60.0)
+
+    def test_tb_miss_accounting(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        ns[umap.tbm_entry] = 2
+        ns[umap.tbm_compute] = 24
+        ns[umap.tbm_pte_read] = 2
+        st_counts[umap.tbm_pte_read] = 7
+        ns[umap.tbm_insert] = 12
+        red = Reduction(Histogram(ns, st_counts))
+        assert red.tb_miss_services() == 2
+        assert red.tb_miss_cycles() == 2 + 24 + 2 + 7 + 12
+        assert red.tb_miss_stall_cycles() == 7
+
+    def test_table1_from_synthetic_dispatches(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        ns[umap.ird["MOV"]] = 80
+        ns[umap.ird["CALL"]] = 15
+        ns[umap.ird["MOVC"]] = 5
+        meas = make_measurement(ns, st_counts)
+        result = table1(meas)
+        assert result.instructions == 100
+        assert result.frequency_percent[OpcodeGroup.SIMPLE] == \
+            pytest.approx(80.0)
+        assert result.frequency_percent[OpcodeGroup.CALLRET] == \
+            pytest.approx(15.0)
+        assert result.frequency_percent[OpcodeGroup.CHARACTER] == \
+            pytest.approx(5.0)
+
+    def test_table8_per_instruction_normalisation(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        ns[umap.ird["MOV"]] = 4
+        ns[umap.exec_flows["MOV"]["exec"]] = 4
+        ns[umap.ird_stall] = 8
+        meas = make_measurement(ns, st_counts)
+        result = table8(meas)
+        assert result.cells[(Row.DECODE, Column.COMPUTE)] == 1.0
+        assert result.cells[(Row.DECODE, Column.IBSTALL)] == 2.0
+        assert result.cells[(Row.EX_SIMPLE, Column.COMPUTE)] == 1.0
+        assert result.cycles_per_instruction == pytest.approx(4.0)
+
+    def test_every_allocated_address_is_classifiable(self):
+        store, _ = reference_map()
+        ns, st_counts = empty_counts()
+        for ann in store.annotations():
+            ns[ann.address] = 1
+        red = Reduction(Histogram(ns, st_counts))
+        assert red.total_cycles() == store.allocated
+
+    def test_stall_on_compute_address_rejected(self):
+        _, umap = reference_map()
+        ns, st_counts = empty_counts()
+        st_counts[umap.tbm_entry] = 5  # compute slots cannot stall
+        with pytest.raises(AssertionError):
+            Reduction(Histogram(ns, st_counts))

@@ -1,0 +1,114 @@
+"""Unit tests for VAX datatype helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.datatypes import (DataType, add_with_flags, f_float_decode,
+                                  f_float_encode, is_negative, mask,
+                                  sign_extend, sub_with_flags)
+
+
+class TestDataType:
+    def test_sizes(self):
+        assert DataType.BYTE.size == 1
+        assert DataType.WORD.size == 2
+        assert DataType.LONG.size == 4
+        assert DataType.QUAD.size == 8
+        assert DataType.F_FLOAT.size == 4
+        assert DataType.D_FLOAT.size == 8
+
+    def test_bits(self):
+        assert DataType.LONG.bits == 32
+
+    def test_is_float(self):
+        assert DataType.F_FLOAT.is_float
+        assert not DataType.LONG.is_float
+
+
+class TestMaskAndSign:
+    def test_mask_truncates(self):
+        assert mask(0x1FF, 1) == 0xFF
+        assert mask(-1, 4) == 0xFFFFFFFF
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0xFF, 1) == -1
+        assert sign_extend(0x8000, 2) == -32768
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0x7F, 1) == 127
+
+    def test_is_negative(self):
+        assert is_negative(0x80, 1)
+        assert not is_negative(0x7FFFFFFF, 4)
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_sign_extend_roundtrip_long(self, value):
+        assert sign_extend(mask(value, 4), 4) == value
+
+
+class TestFlagArithmetic:
+    def test_add_carry(self):
+        result, n, z, v, c = add_with_flags(0xFFFFFFFF, 1, 4)
+        assert result == 0
+        assert z and c and not v and not n
+
+    def test_add_overflow(self):
+        result, n, z, v, c = add_with_flags(0x7FFFFFFF, 1, 4)
+        assert result == 0x80000000
+        assert v and n and not c and not z
+
+    def test_sub_borrow(self):
+        result, n, z, v, c = sub_with_flags(0, 1, 4)
+        assert result == 0xFFFFFFFF
+        assert c and n and not v
+
+    def test_sub_equal_sets_z(self):
+        result, n, z, v, c = sub_with_flags(42, 42, 4)
+        assert z and result == 0 and not c
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    def test_add_matches_python(self, a, b):
+        result, n, z, v, c = add_with_flags(a, b, 4)
+        assert result == (a + b) & 0xFFFFFFFF
+        assert c == (a + b > 0xFFFFFFFF)
+        signed = sign_extend(a, 4) + sign_extend(b, 4)
+        assert v == not_in_long_range(signed)
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+    def test_sub_matches_python(self, a, b):
+        result, n, z, v, c = sub_with_flags(a, b, 4)
+        assert result == (a - b) & 0xFFFFFFFF
+        assert c == (a < b)
+        signed = sign_extend(a, 4) - sign_extend(b, 4)
+        assert v == not_in_long_range(signed)
+
+
+def not_in_long_range(value):
+    return not -(2 ** 31) <= value <= 2 ** 31 - 1
+
+
+class TestFFloat:
+    def test_zero_roundtrip(self):
+        assert f_float_decode(f_float_encode(0.0)) == 0.0
+
+    @pytest.mark.parametrize("value", [1.0, -1.0, 0.5, 3.14159, -1234.5,
+                                       1e10, -1e-10])
+    def test_roundtrip_is_close(self, value):
+        decoded = f_float_decode(f_float_encode(value))
+        assert math.isclose(decoded, value, rel_tol=1e-6)
+
+    @given(st.floats(min_value=-1e30, max_value=1e30,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_property(self, value):
+        decoded = f_float_decode(f_float_encode(value))
+        if value == 0.0 or abs(value) < 1e-38:
+            assert decoded == 0.0 or math.isclose(decoded, value,
+                                                  rel_tol=1e-6, abs_tol=1e-37)
+        else:
+            assert math.isclose(decoded, value, rel_tol=1e-6)
+
+    def test_one_has_canonical_pattern(self):
+        # 1.0 = 0.5 * 2^1 -> exponent 129, zero fraction.
+        assert f_float_encode(1.0) == (129 << 23)

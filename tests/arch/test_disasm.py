@@ -1,0 +1,143 @@
+"""Disassembler tests, including assembler round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.disasm import (disassemble, disassemble_image,
+                               disassemble_machine, format_instruction)
+from repro.asm import assemble_text
+from repro.cpu.machine import VAX780
+from repro.vm.address import S0_BASE
+
+
+def disasm_text(source: str, count=None, base=0x200):
+    image = assemble_text(source, base=base)
+    return [line.text for line in disassemble_image(image, count)]
+
+
+class TestFormatting:
+    def test_register_to_register(self):
+        assert disasm_text("movl r0, r1") == ["movl    r0, r1"]
+
+    def test_literal_and_immediate(self):
+        lines = disasm_text("movl #5, r0\nmovl #100, r0")
+        assert lines[0] == "movl    s^#5, r0"
+        assert lines[1] == "movl    i^#100, r0"
+
+    def test_memory_modes(self):
+        lines = disasm_text("""
+            movl (r2), r3
+            movl (r2)+, r3
+            movl -(r2), r3
+            movl @(r2)+, r3
+            movl 8(r2), r3
+            movl @8(r2), r3
+            movl @#^x1000, r3
+        """)
+        assert lines == [
+            "movl    (r2), r3",
+            "movl    (r2)+, r3",
+            "movl    -(r2), r3",
+            "movl    @(r2)+, r3",
+            "movl    8(r2), r3",
+            "movl    @8(r2), r3",
+            "movl    @#^x1000, r3",
+        ]
+
+    def test_indexed(self):
+        assert disasm_text("movl 4(r2)[r7], r3") == \
+            ["movl    4(r2)[r7], r3"]
+
+    def test_negative_displacement(self):
+        assert disasm_text("movl -4(r2), r3") == ["movl    -4(r2), r3"]
+
+    def test_branch_target_absolute(self):
+        lines = disasm_text("brb next\nnext: nop", base=0x100)
+        assert lines[0] == "brb     ^x102"
+
+    def test_no_operand(self):
+        assert disasm_text("nop\nhalt") == ["nop", "halt"]
+
+    def test_case_table_targets(self):
+        lines = disasm_text("""
+            casel r0, #0, #1, (c0, c1)
+        c0: nop
+        c1: halt
+        """, base=0)
+        assert lines[0].startswith("casel   r0, s^#0, s^#1, (")
+        assert "^x" in lines[0]
+
+    def test_line_renders_with_bytes(self):
+        image = assemble_text("nop", base=0x200)
+        line = disassemble_image(image)[0]
+        text = str(line)
+        assert text.startswith("00000200")
+        assert "01" in text  # NOP opcode byte
+        assert "nop" in text
+
+    def test_undecodable_byte(self):
+        image = assemble_text(".byte ^xFF\nnop", base=0)
+
+        def fetch(addr):
+            return image.data[addr]
+
+        lines = disassemble(fetch, 0, 2)
+        assert lines[0].text == ".byte   ^xFF"
+        assert lines[1].text == "nop"
+
+
+class TestRoundTrip:
+    SOURCES = [
+        "movl #5, r0",
+        "addl3 r1, 4(r2), r3",
+        "movl @#^x2000, r5",
+        "incl -(r9)",
+        "extzv #4, #8, r3, r1",
+        "calls #0, @#^x3000",
+        "movc3 #40, 4(r10), 8(r10)",
+        "pushr #^x003F",
+        "cmpl (r8)+, @12(r11)",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_reassembles_to_same_bytes(self, source):
+        first = assemble_text(source, base=0x400)
+        text = disassemble_image(first)[0].text
+        second = assemble_text(text, base=0x400)
+        assert second.data == first.data
+
+    @given(st.integers(0, 11), st.integers(0, 11),
+           st.integers(-100, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_displacement_roundtrip_property(self, r1, r2, disp):
+        source = f"movl {disp}(r{r1}), r{r2}"
+        first = assemble_text(source, base=0)
+        text = disassemble_image(first)[0].text
+        assert assemble_text(text, base=0).data == first.data
+
+
+class TestMachineDisassembly:
+    def test_disassemble_live_machine(self):
+        image = assemble_text("""
+            movl #1, r0
+            addl2 #2, r0
+            halt
+        """, base=S0_BASE + 0x2000)
+        machine = VAX780()
+        machine.boot(image)
+        lines = disassemble_machine(machine, image.base, count=3)
+        assert lines[0].text == "movl    s^#1, r0"
+        assert lines[1].text == "addl2   s^#2, r0"
+        assert lines[2].text == "halt"
+
+    def test_disassemble_generated_workload(self):
+        from repro.workloads.codegen import ProgramGenerator
+        from repro.workloads.profiles import TIMESHARING_RESEARCH
+        prog = ProgramGenerator(TIMESHARING_RESEARCH, seed=3).generate()
+
+        def fetch(addr):
+            return prog.code[addr - prog.code_base]
+
+        lines = disassemble(fetch, prog.entry, 30)
+        assert len(lines) == 30
+        assert all(line.instruction is not None for line in lines)

@@ -1,0 +1,93 @@
+"""Unit tests for the opcode table."""
+
+import pytest
+
+from repro.arch.groups import GROUP_ORDER, OpcodeGroup
+from repro.arch.opcodes import (ALL_FAMILIES, ALL_OPCODES, OPCODES_BY_VALUE,
+                                opcode, opcodes_in_group)
+
+
+class TestOpcodeTable:
+    def test_known_values(self):
+        assert opcode("MOVL").value == 0xD0
+        assert opcode("ADDL2").value == 0xC0
+        assert opcode("BRB").value == 0x11
+        assert opcode("CALLS").value == 0xFB
+        assert opcode("RET").value == 0x04
+        assert opcode("MOVC3").value == 0x28
+        assert opcode("CHMK").value == 0xBC
+
+    def test_lookup_case_insensitive(self):
+        assert opcode("movl") is opcode("MOVL")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError):
+            opcode("FROB")
+
+    def test_values_unique(self):
+        assert len(OPCODES_BY_VALUE) == len(ALL_OPCODES)
+
+    def test_every_group_populated(self):
+        for group in GROUP_ORDER:
+            assert opcodes_in_group(group), f"empty group {group}"
+
+    def test_subset_size_is_substantial(self):
+        assert len(ALL_OPCODES) >= 140
+
+    def test_branch_operand_is_last(self):
+        for info in ALL_OPCODES:
+            for i, op in enumerate(info.operands):
+                if op.is_branch_displacement:
+                    assert i == len(info.operands) - 1, info.mnemonic
+
+    def test_specifier_operands_excludes_branch(self):
+        info = opcode("SOBGTR")
+        assert len(info.operands) == 2
+        assert len(info.specifier_operands) == 1
+        assert info.branch_operand is not None
+
+
+class TestMicrocodeSharing:
+    """The family field models the paper's microcode-sharing ambiguity."""
+
+    def test_add_sub_share(self):
+        assert opcode("ADDL2").family == opcode("SUBL2").family
+
+    def test_brb_shares_with_conditionals(self):
+        # Paper, Table 2 discussion: BRB and BRW are grouped with simple
+        # conditional branches because of microcode sharing.
+        assert opcode("BRB").family == opcode("BNEQ").family
+        assert opcode("BRW").family == opcode("BEQL").family
+
+    def test_chm_variants_share(self):
+        assert opcode("CHMK").family == opcode("CHME").family
+
+    def test_families_nonempty(self):
+        assert len(ALL_FAMILIES) > 30
+
+
+class TestGroupMembership:
+    @pytest.mark.parametrize("mnemonic,group", [
+        ("MOVL", OpcodeGroup.SIMPLE),
+        ("BLBS", OpcodeGroup.SIMPLE),
+        ("SOBGTR", OpcodeGroup.SIMPLE),
+        ("EXTV", OpcodeGroup.FIELD),
+        ("BBSS", OpcodeGroup.FIELD),
+        ("ADDF2", OpcodeGroup.FLOAT),
+        ("MULL3", OpcodeGroup.FLOAT),
+        ("CALLS", OpcodeGroup.CALLRET),
+        ("PUSHR", OpcodeGroup.CALLRET),
+        ("CHMK", OpcodeGroup.SYSTEM),
+        ("REI", OpcodeGroup.SYSTEM),
+        ("INSQUE", OpcodeGroup.SYSTEM),
+        ("MOVC3", OpcodeGroup.CHARACTER),
+        ("ADDP4", OpcodeGroup.DECIMAL),
+    ])
+    def test_membership(self, mnemonic, group):
+        assert opcode(mnemonic).group is group
+
+    def test_integer_muldiv_in_float_group(self):
+        # Table 1: FLOAT group includes integer multiply/divide.
+        assert opcode("MULL2").group is OpcodeGroup.FLOAT
+        assert opcode("DIVL3").group is OpcodeGroup.FLOAT
+        assert opcode("EMUL").group is OpcodeGroup.FLOAT

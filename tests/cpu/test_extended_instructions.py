@@ -1,0 +1,282 @@
+"""Semantics of the extended opcode subset (word/byte multiply-divide,
+D_floating, PSW operations, INDEX, ADAWI, ASHQ, MOVTC, conversions)."""
+
+from tests.helpers import run, regs
+
+
+class TestSizedMulDiv:
+    def test_mulw3(self):
+        m = run("movl #300, r0\nmulw3 #100, r0, r1\nhalt")
+        assert regs(m)[1] & 0xFFFF == 30000 & 0xFFFF
+
+    def test_mulb2_overflow_sets_v(self):
+        m = run("""
+            movl #100, r0
+            mulb2 #100, r0
+            bvs overflowed
+            halt
+        overflowed:
+            movl #1, r5
+            halt
+        """)
+        assert regs(m)[5] == 1  # 10000 does not fit a byte
+
+    def test_divw3(self):
+        m = run("movl #1000, r0\ndivw3 #30, r0, r1\nhalt")
+        assert regs(m)[1] & 0xFFFF == 33
+
+    def test_divb3_truncates_toward_zero(self):
+        m = run("""
+            movl #-7, r0
+            divb3 #2, r0, r1
+            halt
+        """)
+        assert regs(m)[1] & 0xFF == 0xFD  # -3
+
+
+class TestDFloat:
+    def test_cvtld_cvtdl_roundtrip(self):
+        m = run("cvtld #55, r2\ncvtdl r2, r6\nhalt")
+        assert regs(m)[6] == 55
+
+    def test_addd3(self):
+        m = run("""
+            cvtld #20, r2
+            cvtld #22, r4
+            addd3 r2, r4, r6
+            cvtdl r6, r0
+            halt
+        """)
+        assert regs(m)[0] == 42
+
+    def test_divd2(self):
+        m = run("""
+            cvtld #4, r2
+            cvtld #84, r4
+            divd2 r2, r4
+            cvtdl r4, r0
+            halt
+        """)
+        assert regs(m)[0] == 21
+
+    def test_cmpd(self):
+        m = run("""
+            cvtld #7, r2
+            cvtld #7, r4
+            cmpd r2, r4
+            beql same
+            halt
+        same:
+            movl #1, r0
+            halt
+        """)
+        assert regs(m)[0] == 1
+
+    def test_mnegd_tstd(self):
+        m = run("""
+            cvtld #3, r2
+            mnegd r2, r4
+            tstd r4
+            blss negative
+            halt
+        negative:
+            movl #1, r0
+            halt
+        """)
+        assert regs(m)[0] == 1
+
+    def test_cvtfd_cvtdf(self):
+        m = run("""
+            cvtlf #9, r2
+            cvtfd r2, r4
+            cvtdf r4, r6
+            cvtfl r6, r0
+            halt
+        """)
+        assert regs(m)[0] == 9
+
+
+class TestFloatConversions:
+    def test_cvtfb(self):
+        m = run("cvtlf #42, r2\ncvtfb r2, r0\nhalt")
+        assert regs(m)[0] & 0xFF == 42
+
+    def test_cvtbf(self):
+        m = run("movl #17, r0\ncvtbf r0, r2\ncvtfl r2, r1\nhalt")
+        assert regs(m)[1] == 17
+
+    def test_cvtrfl_rounds(self):
+        # 7/2 = 3.5 -> CVTRFL rounds to 4, CVTFL truncates to 3.
+        m = run("""
+            cvtlf #7, r2
+            cvtlf #2, r3
+            divf2 r3, r2
+            cvtrfl r2, r0
+            cvtfl r2, r1
+            halt
+        """)
+        assert regs(m)[0] == 4
+        assert regs(m)[1] == 3
+
+
+class TestPSWOps:
+    def test_bispsw_sets_condition_bits(self):
+        m = run("""
+            clrl r0             ; Z set by CLRL
+            bicpsw #^x000F      ; clear all condition codes
+            beql was_equal      ; Z now clear: not taken
+            movl #1, r1
+            halt
+        was_equal:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 1
+
+    def test_bispsw_forces_branch(self):
+        m = run("""
+            movl #1, r0         ; Z clear
+            bispsw #^x0004      ; set Z
+            beql taken
+            halt
+        taken:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 2
+
+
+class TestIndexInstruction:
+    def test_index_in_range(self):
+        # entry = (indexin + subscript) * size
+        m = run("index #3, #0, #9, #8, #0, r6\nhalt")
+        assert regs(m)[6] == 24
+
+    def test_index_accumulates(self):
+        m = run("index #2, #0, #9, #4, #10, r6\nhalt")
+        assert regs(m)[6] == 48  # (10 + 2) * 4
+
+
+class TestAdawi:
+    def test_adds_word_in_memory(self):
+        m = run("""
+            adawi #5, @#counter
+            adawi #3, @#counter
+            movzwl @#counter, r0
+            halt
+            .align 4
+        counter:
+            .word 100
+        """)
+        assert regs(m)[0] == 108
+
+
+class TestAshq:
+    def test_quad_shift_left(self):
+        m = run("""
+            movl #1, r2
+            clrl r3
+            ashq #33, r2, r4
+            halt
+        """)
+        assert regs(m)[4] == 0
+        assert regs(m)[5] == 2  # bit 33 set
+
+    def test_quad_shift_right(self):
+        m = run("""
+            clrl r2
+            movl #1, r3          ; quad value 1<<32
+            ashq #-32, r2, r4
+            halt
+        """)
+        assert regs(m)[4] == 1
+
+
+class TestMovtc:
+    def test_translates_through_table(self):
+        m = run("""
+            movtc #3, @#src, #0, @#table, #3, @#dst
+            movb @#dst, r6
+            halt
+        src:
+            .byte 0, 1, 2
+        dst:
+            .space 4
+            .align 4
+        table:
+            .byte ^x41, ^x42, ^x43, ^x44   ; 0->A, 1->B, 2->C
+            .space 252
+        """)
+        assert regs(m)[6] == 0x41
+
+    def test_fill_beyond_source(self):
+        m = run("""
+            movtc #1, @#src, #^x2E, @#table, #3, @#dst
+            movb @#dst+2, r6
+            halt
+        src:
+            .byte 0
+        dst:
+            .space 4
+            .align 4
+        table:
+            .byte ^x5A
+            .space 255
+        """)
+        assert regs(m)[6] == 0x2E  # fill character
+
+
+class TestConditionCodeDetails:
+    def test_cmp_clears_v(self):
+        m = run("""
+            movl #^x7FFFFFFF, r0
+            addl2 #1, r0        ; sets V
+            cmpl r0, r0         ; CMP clears V
+            bvc clear
+            halt
+        clear:
+            movl #1, r1
+            halt
+        """)
+        assert regs(m)[1] == 1
+
+    def test_tst_clears_c(self):
+        m = run("""
+            clrl r0
+            subl2 #1, r0        ; borrow: C set
+            tstl r0             ; TST clears C
+            bcc carry_clear
+            halt
+        carry_clear:
+            movl #1, r1
+            halt
+        """)
+        assert regs(m)[1] == 1
+
+    def test_incl_preserves_semantics_at_wraparound(self):
+        m = run("""
+            movl #^xFFFFFFFF, r0
+            incl r0
+            beql wrapped
+            halt
+        wrapped:
+            movl #1, r1
+            halt
+        """)
+        assert regs(m)[0] == 0
+        assert regs(m)[1] == 1
+
+    def test_mnegl_of_zero_clears_nzc(self):
+        m = run("""
+            clrl r0
+            mnegl r0, r1
+            beql zero
+            halt
+        zero:
+            bcc noborrow
+            halt
+        noborrow:
+            movl #1, r2
+            halt
+        """)
+        assert regs(m)[2] == 1

@@ -1,0 +1,184 @@
+"""Page faults, exception delivery and kernel restart behaviour."""
+
+from repro.asm import assemble_text
+from repro.cpu.machine import SCB_PAGE_FAULT, VAX780
+from repro.vm.address import S0_BASE
+from tests.helpers import CODE_BASE, regs
+
+
+def boot_with_fault_handler(user_code: str):
+    """Boot a machine with a minimal page-fault handler installed.
+
+    The handler pops the fault VA, marks the page resident via the PFFIX
+    hook, and REIs to restart the faulting instruction.
+    """
+    machine = VAX780()
+    machine.map_s0_identity()
+
+    handler = assemble_text("""
+    handler:
+        movl (sp)+, r10      ; fault parameter (the VA)
+        incl @#counter
+        mtpr r10, #63        ; PR_PFFIX: make the page resident
+        rei
+    counter:
+        .long 0
+    """, base=S0_BASE + 0x8000)
+    machine.load_s0_image(handler)
+
+    scb_pa = 0x7000
+    machine.scb_base = scb_pa
+    machine.ebox.scb_base = scb_pa
+    machine.mem.debug_write(scb_pa + SCB_PAGE_FAULT,
+                            handler.address_of("handler"), 4)
+
+    image = assemble_text(user_code, base=CODE_BASE)
+    machine.load_s0_image(image)
+    machine.ebox.psl.current_mode = 0
+    machine.ebox.registers[14] = CODE_BASE - 0x100
+    machine.ebox.pc = image.entry
+    machine.ebox.ib.flush(image.entry)
+    return machine, handler
+
+
+class TestPageFaults:
+    def test_data_fault_serviced_and_restarted(self):
+        machine, handler = boot_with_fault_handler("""
+            movl @#^x80060004, r0
+            halt
+        """)
+        # Make the target page non-resident.
+        machine.translator.set_valid(0x80060004, False)
+        machine.mem.debug_write(0x60004, 4242, 4)
+        machine.run(100)
+        assert machine.halted
+        assert regs(machine)[0] == 4242
+        assert machine.tracer.page_faults == 1
+        # The handler really ran (its counter incremented).
+        counter_pa = handler.address_of("counter") - S0_BASE
+        assert machine.mem.debug_read(counter_pa, 4) == 1
+
+    def test_fault_restores_register_side_effects(self):
+        machine, _ = boot_with_fault_handler("""
+            moval @#^x80060000, r2
+            movl (r2)+, r0
+            halt
+        """)
+        machine.translator.set_valid(0x80060000, False)
+        machine.mem.debug_write(0x60000, 7, 4)
+        machine.run(100)
+        assert machine.halted
+        assert regs(machine)[0] == 7
+        # (r2)+ executed exactly once architecturally despite the restart.
+        assert regs(machine)[2] == 0x80060004
+
+    def test_istream_fault_on_branch_target(self):
+        machine, _ = boot_with_fault_handler(f"""
+            brw target
+            .space {0x600 - 16}
+        target:
+            movl #5, r0
+            halt
+        """)
+        target_va = CODE_BASE + 0x600 - 13
+        src = assemble_text(f"""
+            brw target
+            .space {0x600 - 16}
+        target:
+            movl #5, r0
+            halt
+        """, base=CODE_BASE)
+        target_va = src.address_of("target")
+        machine.translator.set_valid(target_va, False)
+        machine.run(300)
+        assert machine.halted
+        assert regs(machine)[0] == 5
+        assert machine.tracer.page_faults >= 1
+
+    def test_exception_counted_in_tracer(self):
+        machine, _ = boot_with_fault_handler("""
+            movl @#^x80060000, r0
+            halt
+        """)
+        machine.translator.set_valid(0x80060000, False)
+        machine.run(100)
+        assert machine.tracer.exceptions == 1
+
+
+class TestInterruptDelivery:
+    def test_interrupt_vectors_to_handler(self):
+        machine = VAX780()
+        machine.map_s0_identity()
+        code = assemble_text("""
+        start:
+            movl #1, r0
+        spin:
+            brb spin
+        handler:
+            movl #2, r1
+            halt
+        """, base=CODE_BASE)
+        machine.load_s0_image(code)
+        scb_pa = 0x7000
+        machine.scb_base = scb_pa
+        machine.ebox.scb_base = scb_pa
+        machine.mem.debug_write(scb_pa + 0xC0,
+                                code.address_of("handler"), 4)
+        machine.ebox.psl.current_mode = 0
+        machine.ebox.registers[14] = CODE_BASE - 0x100
+        machine.ebox.pc = code.entry
+        machine.ebox.ib.flush(code.entry)
+        machine.run(5)
+        machine.post_interrupt(ipl=24, scb_offset=0xC0)
+        machine.run(20)
+        assert machine.halted
+        assert regs(machine)[1] == 2
+        assert machine.tracer.interrupts == 1
+        # Delivery raised the IPL to the device's level.
+        assert machine.ebox.psl.ipl == 24
+
+    def test_masked_interrupt_not_delivered(self):
+        machine = VAX780()
+        machine.map_s0_identity()
+        code = assemble_text("""
+            mtpr #31, #18     ; IPL = 31: everything masked
+            movl #1, r0
+            movl #2, r1
+            halt
+        """, base=CODE_BASE)
+        machine.load_s0_image(code)
+        machine.ebox.psl.current_mode = 0
+        machine.ebox.psl.ipl = 31      # masked from the start
+        machine.ebox.registers[14] = CODE_BASE - 0x100
+        machine.ebox.pc = code.entry
+        machine.ebox.ib.flush(code.entry)
+        machine.post_interrupt(ipl=20, scb_offset=0xC0)
+        machine.run(10)
+        assert machine.halted          # never diverted
+        assert machine.tracer.interrupts == 0
+
+    def test_software_interrupt_via_sirr(self):
+        machine = VAX780()
+        machine.map_s0_identity()
+        code = assemble_text("""
+            mtpr #3, #20      ; request software interrupt level 3
+            movl #1, r0
+            halt
+        handler:
+            movl #9, r1
+            halt
+        """, base=CODE_BASE)
+        machine.load_s0_image(code)
+        scb_pa = 0x7000
+        machine.scb_base = scb_pa
+        machine.ebox.scb_base = scb_pa
+        machine.mem.debug_write(scb_pa + 0x80 + 4 * 3,
+                                code.address_of("handler"), 4)
+        machine.ebox.psl.current_mode = 0
+        machine.ebox.registers[14] = CODE_BASE - 0x100
+        machine.ebox.pc = code.entry
+        machine.ebox.ib.flush(code.entry)
+        machine.run(20)
+        assert machine.halted
+        assert regs(machine)[1] == 9
+        assert machine.tracer.software_interrupt_requests == 1

@@ -1,0 +1,128 @@
+"""Unit tests for the instruction buffer / I-Fetch model."""
+
+from repro.cpu.ibuffer import InstructionBuffer
+from repro.mem.subsystem import MemorySubsystem
+from repro.params import VAX780
+from repro.vm.address import S0_BASE
+from repro.vm.tb import TranslationBuffer
+
+
+class FakeTranslator:
+    def pte_address(self, va):
+        return 0
+
+
+def make_ib(prefill_tb=True):
+    mem = MemorySubsystem(VAX780)
+    tb = TranslationBuffer(VAX780.tb_entries, VAX780.tb_ways)
+    if prefill_tb:
+        for page in range(16):
+            tb.insert(S0_BASE + (page << 9), page)
+    ib = InstructionBuffer(mem, tb, FakeTranslator(), VAX780)
+    ib.flush(S0_BASE)
+    return ib, mem, tb
+
+
+class TestFillEngine:
+    def test_fill_starts_empty(self):
+        ib, _, _ = make_ib()
+        assert ib.count == 0
+
+    def test_fill_delivers_after_latency(self):
+        ib, _, _ = make_ib()
+        now = 0
+        # issue on first tick; cold cache -> data at cycle 6.
+        for now in range(1, 10):
+            ib.tick(now, port_free=True)
+            if ib.count:
+                break
+        assert ib.count > 0
+        assert now >= 6
+
+    def test_fill_respects_capacity(self):
+        ib, _, _ = make_ib()
+        for now in range(1, 200):
+            ib.tick(now, port_free=True)
+        assert ib.count <= ib.capacity == 8
+
+    def test_no_fill_when_port_busy(self):
+        ib, _, _ = make_ib()
+        for now in range(1, 50):
+            ib.tick(now, port_free=False)
+        assert ib.count == 0
+        assert ib.references == 0
+
+    def test_partial_delivery_when_nearly_full(self):
+        ib, _, _ = make_ib()
+        for now in range(1, 100):
+            ib.tick(now, port_free=True)
+        # Drain one byte; the next fill can deliver at most... the free room.
+        ib.take(1)
+        refs_before = ib.references
+        bytes_before = ib.bytes_delivered
+        for now in range(100, 140):
+            ib.tick(now, port_free=True)
+            if ib.references > refs_before and ib.count == 8:
+                break
+        delivered = ib.bytes_delivered - bytes_before
+        assert 0 < delivered <= 4
+
+    def test_flush_resets(self):
+        ib, _, _ = make_ib()
+        for now in range(1, 50):
+            ib.tick(now, port_free=True)
+        ib.flush(S0_BASE + 0x100)
+        assert ib.count == 0
+        assert ib.pending is None
+        assert ib.prefetch_va == S0_BASE + 0x100
+
+    def test_take_underflow_raises(self):
+        ib, _, _ = make_ib()
+        try:
+            ib.take(1)
+        except AssertionError:
+            return
+        raise AssertionError("expected underflow assertion")
+
+
+class TestTBInteraction:
+    def test_tb_miss_blocks_filling(self):
+        ib, _, tb = make_ib(prefill_tb=False)
+        for now in range(1, 30):
+            ib.tick(now, port_free=True)
+        assert ib.tb_miss_va == S0_BASE
+        assert ib.count == 0
+
+    def test_clear_tb_miss_resumes(self):
+        ib, _, tb = make_ib(prefill_tb=False)
+        for now in range(1, 10):
+            ib.tick(now, port_free=True)
+        tb.insert(S0_BASE, 0)
+        ib.clear_tb_miss()
+        for now in range(10, 40):
+            ib.tick(now, port_free=True)
+        assert ib.count > 0
+
+    def test_i_stream_misses_counted(self):
+        ib, _, tb = make_ib(prefill_tb=False)
+        for now in range(1, 5):
+            ib.tick(now, port_free=True)
+        assert tb.stats.i_misses == 1
+
+
+class TestDeliveryStatistics:
+    def test_bytes_per_reference_under_four(self):
+        """The repeated-reference behaviour of §4.1: the IB re-references
+        longwords it only partially accepted, so bytes/ref < 4 under a
+        byte-at-a-time consumer."""
+        ib, _, _ = make_ib()
+        # Fill up, then consume one byte every third cycle: the IB stays
+        # nearly full, so fills re-reference partially-taken longwords.
+        for now in range(1, 40):
+            ib.tick(now, port_free=True)
+        for now in range(40, 700):
+            if now % 3 == 0 and ib.count >= 1:
+                ib.take(1)
+            ib.tick(now, port_free=True)
+        assert ib.references > 0
+        assert ib.bytes_delivered / ib.references < 4.0

@@ -1,0 +1,748 @@
+"""Architectural semantics of the simulated VAX subset, per family.
+
+Each test boots a small kernel-mode program and checks register/memory
+state at HALT.  These are the ground-truth checks everything timing-
+related builds on.
+"""
+
+from tests.helpers import run, regs
+
+
+class TestMoves:
+    def test_movl_immediate(self):
+        m = run("movl #1234567, r0\nhalt")
+        assert regs(m)[0] == 1234567
+
+    def test_movb_truncates(self):
+        m = run("movl #^xAABBCCDD, r0\nmovb r0, r1\nhalt")
+        assert regs(m)[1] & 0xFF == 0xDD
+
+    def test_movb_merges_into_register(self):
+        m = run("movl #^x11223344, r1\nmovb #5, r1\nhalt")
+        assert regs(m)[1] == 0x11223305
+
+    def test_movzbl(self):
+        m = run("movl #^xFFFFFFFF, r0\nmovzbl r0, r1\nhalt")
+        assert regs(m)[1] == 0xFF
+
+    def test_cvtlb_signed(self):
+        m = run("movl #^x1FF, r0\ncvtlb r0, r1\nhalt")
+        assert regs(m)[1] & 0xFF == 0xFF
+
+    def test_cvtbl_sign_extends(self):
+        m = run("movl #^xFF, r0\ncvtbl r0, r1\nhalt")
+        assert regs(m)[1] == 0xFFFFFFFF
+
+    def test_mcoml(self):
+        m = run("movl #0, r0\nmcoml r0, r1\nhalt")
+        assert regs(m)[1] == 0xFFFFFFFF
+
+    def test_mnegl(self):
+        m = run("movl #5, r0\nmnegl r0, r1\nhalt")
+        assert regs(m)[1] == 0xFFFFFFFB
+
+    def test_clrl(self):
+        m = run("movl #99, r3\nclrl r3\nhalt")
+        assert regs(m)[3] == 0
+
+    def test_movq(self):
+        m = run("""
+            movl #1, r0
+            movl #2, r1
+            movq r0, r4
+            halt
+        """)
+        assert regs(m)[4] == 1 and regs(m)[5] == 2
+
+    def test_moval(self):
+        m = run("moval @#^x80003000, r2\nhalt")
+        assert regs(m)[2] == 0x80003000
+
+    def test_pushl_and_memory(self):
+        m = run("""
+            movl #42, r0
+            pushl r0
+            movl (sp), r1
+            halt
+        """)
+        assert regs(m)[1] == 42
+
+
+class TestArithmetic:
+    def test_addl2(self):
+        m = run("movl #5, r0\naddl2 #7, r0\nhalt")
+        assert regs(m)[0] == 12
+
+    def test_subl3(self):
+        m = run("movl #10, r0\nsubl3 #3, r0, r1\nhalt")
+        assert regs(m)[1] == 7
+
+    def test_incl_decl(self):
+        m = run("movl #5, r0\nincl r0\nincl r0\ndecl r0\nhalt")
+        assert regs(m)[0] == 6
+
+    def test_addl2_memory_dest(self):
+        m = run("""
+            movl #10, @#var
+            addl2 #5, @#var
+            movl @#var, r0
+            halt
+        var: .long 0
+        """)
+        assert regs(m)[0] == 15
+
+    def test_adwc_uses_carry(self):
+        m = run("""
+            movl #^xFFFFFFFF, r0
+            addl2 #1, r0          ; sets C
+            movl #10, r1
+            adwc #0, r1           ; r1 += 0 + C
+            halt
+        """)
+        assert regs(m)[1] == 11
+
+    def test_ashl_left(self):
+        m = run("movl #3, r1\nashl #4, r1, r2\nhalt")
+        assert regs(m)[2] == 48
+
+    def test_ashl_right(self):
+        m = run("movl #48, r1\nashl #-4, r1, r2\nhalt")
+        assert regs(m)[2] == 3
+
+    def test_rotl(self):
+        m = run("movl #^x80000001, r1\nrotl #1, r1, r2\nhalt")
+        assert regs(m)[2] == 0x00000003
+
+    def test_mull3(self):
+        m = run("movl #6, r0\nmull3 #7, r0, r1\nhalt")
+        assert regs(m)[1] == 42
+
+    def test_divl3(self):
+        m = run("movl #45, r0\ndivl3 #7, r0, r1\nhalt")
+        assert regs(m)[1] == 6  # truncates toward zero
+
+    def test_emul(self):
+        m = run("""
+            movl #100000, r0
+            emul r0, r0, #0, r2
+            halt
+        """)
+        product = regs(m)[2] | (regs(m)[3] << 32)
+        assert product == 100000 * 100000
+
+    def test_ediv(self):
+        m = run("""
+            movl #100, r2
+            clrl r3
+            ediv #7, r2, r4, r5
+            halt
+        """)
+        assert regs(m)[4] == 14 and regs(m)[5] == 2
+
+
+class TestBoolean:
+    def test_bisl2(self):
+        m = run("movl #^x0F, r0\nbisl2 #^xF0, r0\nhalt")
+        assert regs(m)[0] == 0xFF
+
+    def test_bicl3(self):
+        m = run("movl #^xFF, r0\nbicl3 #^x0F, r0, r1\nhalt")
+        assert regs(m)[1] == 0xF0
+
+    def test_xorl2(self):
+        m = run("movl #^xFF, r0\nxorl2 #^x0F, r0\nhalt")
+        assert regs(m)[0] == 0xF0
+
+
+class TestBranches:
+    def test_beql_taken(self):
+        m = run("""
+            clrl r0
+            tstl r0
+            beql yes
+            movl #1, r1
+            halt
+        yes:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 2
+
+    def test_bneq_not_taken(self):
+        m = run("""
+            clrl r0
+            tstl r0
+            bneq yes
+            movl #1, r1
+            halt
+        yes:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 1
+
+    def test_unsigned_branch(self):
+        m = run("""
+            movl #^xFFFFFFFF, r0
+            cmpl r0, #1
+            bgtru big
+            movl #1, r1
+            halt
+        big:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 2  # 0xFFFFFFFF > 1 unsigned
+
+    def test_signed_branch(self):
+        m = run("""
+            movl #^xFFFFFFFF, r0
+            cmpl r0, #1
+            blss small
+            movl #1, r1
+            halt
+        small:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 2  # -1 < 1 signed
+
+    def test_sobgtr_loop_count(self):
+        m = run("""
+            movl #5, r0
+            clrl r1
+        loop:
+            incl r1
+            sobgtr r0, loop
+            halt
+        """)
+        assert regs(m)[1] == 5
+
+    def test_aoblss(self):
+        m = run("""
+            clrl r0
+            clrl r1
+        loop:
+            incl r1
+            aoblss #4, r0, loop
+            halt
+        """)
+        assert regs(m)[1] == 4
+
+    def test_acbl(self):
+        m = run("""
+            movl #1, r0
+            clrl r1
+        loop:
+            incl r1
+            acbl #10, #3, r0, loop
+            halt
+        """)
+        # r0: 1 -> 4 -> 7 -> 10 (each <= 10 taken), then 13 stops.
+        assert regs(m)[1] == 4
+
+    def test_blbs(self):
+        m = run("""
+            movl #7, r0
+            blbs r0, odd
+            movl #1, r1
+            halt
+        odd:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 2
+
+    def test_jsb_rsb(self):
+        m = run("""
+            jsb @#sub
+            movl #1, r1
+            halt
+        sub:
+            movl #9, r2
+            rsb
+        """)
+        assert regs(m)[1] == 1 and regs(m)[2] == 9
+
+    def test_bsbb(self):
+        m = run("""
+            bsbb sub
+            halt
+        sub:
+            movl #3, r2
+            rsb
+        """)
+        assert regs(m)[2] == 3
+
+    def test_jmp(self):
+        m = run("""
+            jmp @#target
+            movl #1, r1
+            halt
+        target:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 2
+
+    def test_casel_dispatch(self):
+        m = run("""
+            movl #1, r0
+            casel r0, #0, #2, (c0, c1, c2)
+            movl #99, r1
+            halt
+        c0: movl #10, r1
+            halt
+        c1: movl #11, r1
+            halt
+        c2: movl #12, r1
+            halt
+        """)
+        assert regs(m)[1] == 11
+
+    def test_casel_out_of_range_falls_through(self):
+        m = run("""
+            movl #9, r0
+            casel r0, #0, #1, (c0, c1)
+            movl #99, r1
+            halt
+        c0: movl #10, r1
+            halt
+        c1: movl #11, r1
+            halt
+        """)
+        assert regs(m)[1] == 99
+
+    def test_brw_long_range(self):
+        m = run("""
+            brw far
+            .space 200
+        far:
+            movl #7, r1
+            halt
+        """)
+        assert regs(m)[1] == 7
+
+
+class TestFieldInstructions:
+    def test_extzv_register(self):
+        m = run("movl #^xABCD, r3\nextzv #4, #8, r3, r1\nhalt")
+        assert regs(m)[1] == 0xBC
+
+    def test_extv_sign_extends(self):
+        m = run("movl #^xF0, r3\nextv #4, #4, r3, r1\nhalt")
+        assert regs(m)[1] == 0xFFFFFFFF
+
+    def test_insv_register(self):
+        m = run("clrl r3\nmovl #^xF, r0\ninsv r0, #4, #4, r3\nhalt")
+        assert regs(m)[3] == 0xF0
+
+    def test_extzv_memory(self):
+        m = run("""
+            extzv #8, #8, @#field, r1
+            halt
+        field: .long ^x00BB00
+        """)
+        assert regs(m)[1] == 0xBB
+
+    def test_insv_memory(self):
+        m = run("""
+            movl #^xAA, r0
+            insv r0, #8, #8, @#field
+            movl @#field, r1
+            halt
+        field: .long 0
+        """)
+        assert regs(m)[1] == 0xAA00
+
+    def test_ffs_finds_bit(self):
+        m = run("movl #^x10, r3\nffs #0, #32, r3, r1\nhalt")
+        assert regs(m)[1] == 4
+
+    def test_ffs_not_found_sets_z(self):
+        m = run("""
+            clrl r3
+            ffs #0, #32, r3, r1
+            beql notfound
+            halt
+        notfound:
+            movl #1, r2
+            halt
+        """)
+        assert regs(m)[2] == 1
+
+    def test_bbs_taken(self):
+        m = run("""
+            movl #4, r3
+            bbs #2, r3, set
+            movl #1, r1
+            halt
+        set:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 2
+
+    def test_bbss_sets_after_test(self):
+        m = run("""
+            clrl r3
+            bbss #0, r3, was_set
+            movl #1, r1     ; not taken: bit was clear
+            halt
+        was_set:
+            movl #2, r1
+            halt
+        """)
+        assert regs(m)[1] == 1
+        assert regs(m)[3] == 1  # bit set as side effect
+
+    def test_cmpv(self):
+        m = run("""
+            movl #^x50, r3
+            cmpv #4, #4, r3, #5
+            beql equal
+            halt
+        equal:
+            movl #1, r1
+            halt
+        """)
+        assert regs(m)[1] == 1
+
+
+class TestCallRet:
+    def test_calls_ret_roundtrip(self):
+        m = run("""
+            movl #5, r0
+            calls #0, @#double
+            halt
+        double:
+            .word ^x0004    ; save r2
+            movl #7, r2
+            addl2 r0, r0
+            ret
+        """)
+        assert regs(m)[0] == 10
+
+    def test_calls_preserves_masked_registers(self):
+        m = run("""
+            movl #111, r2
+            calls #0, @#clobber
+            halt
+        clobber:
+            .word ^x0004    ; save r2
+            movl #999, r2
+            ret
+        """)
+        assert regs(m)[2] == 111
+
+    def test_calls_arguments_on_stack(self):
+        m = run("""
+            pushl #30
+            pushl #12
+            calls #2, @#addem
+            halt
+        addem:
+            .word 0
+            addl3 4(ap), 8(ap), r0
+            ret
+        """)
+        assert regs(m)[0] == 42
+
+    def test_calls_sp_restored(self):
+        m = run("""
+            movl sp, r6
+            pushl #1
+            calls #1, @#nop_sub
+            subl3 sp, r6, r7
+            halt
+        nop_sub:
+            .word 0
+            ret
+        """)
+        assert regs(m)[7] == 0  # RET discarded frame and the argument
+
+    def test_nested_calls(self):
+        m = run("""
+            calls #0, @#outer
+            halt
+        outer:
+            .word ^x000C    ; save r2, r3
+            movl #1, r2
+            calls #0, @#inner
+            addl3 r2, r0, r0
+            ret
+        inner:
+            .word ^x0004
+            movl #2, r2
+            movl #40, r0
+            ret
+        """)
+        assert regs(m)[0] == 41
+
+    def test_pushr_popr(self):
+        m = run("""
+            movl #1, r0
+            movl #2, r1
+            movl #3, r2
+            pushr #^x0007
+            clrl r0
+            clrl r1
+            clrl r2
+            popr #^x0007
+            halt
+        """)
+        assert regs(m)[0] == 1 and regs(m)[1] == 2 and regs(m)[2] == 3
+
+    def test_callg(self):
+        m = run("""
+            callg @#arglist, @#takeargs
+            halt
+        takeargs:
+            .word 0
+            movl 4(ap), r0
+            ret
+        arglist:
+            .long 1
+            .long 77
+        """)
+        assert regs(m)[0] == 77
+
+
+class TestSystemInstructions:
+    def test_insque_remque_roundtrip(self):
+        m = run("""
+            insque @#entry, @#header
+            remque @#entry, r1
+            halt
+        header:
+            .long header
+            .long header
+        entry:
+            .long 0
+            .long 0
+        """)
+        assert regs(m)[1] == m.ebox.registers[1]  # returned entry address
+        assert regs(m)[1] != 0
+
+    def test_insque_empty_queue_sets_z(self):
+        m = run("""
+            insque @#entry, @#header
+            beql was_empty
+            halt
+        was_empty:
+            movl #1, r5
+            halt
+        header:
+            .long header
+            .long header
+        entry:
+            .long 0
+            .long 0
+        """)
+        assert regs(m)[5] == 1
+
+    def test_prober(self):
+        m = run("""
+            prober #0, #4, @#somewhere
+            movl #1, r1
+            halt
+        somewhere:
+            .long 0
+        """)
+        assert regs(m)[1] == 1
+
+    def test_mtpr_mfpr_ipl(self):
+        m = run("""
+            mtpr #5, #18       ; IPL
+            mfpr #18, r1
+            halt
+        """)
+        assert regs(m)[1] == 5
+        assert m.ebox.psl.ipl == 5
+
+    def test_mtpr_tbis_invalidates(self):
+        m = run("""
+            movl @#target, r0  ; brings translation into the TB
+            mtpr #^x80003000, #58
+            halt
+        target:
+            .long 1
+        """)
+        assert not m.tb.probe(0x80003000)
+
+
+class TestCharacterInstructions:
+    def test_movc3_copies(self):
+        m = run("""
+            movc3 #5, @#src, @#dst
+            movb @#dst, r6
+            halt
+        src:
+            .ascii "HELLO"
+        dst:
+            .space 8
+        """)
+        assert regs(m)[6] == ord("H")
+        assert regs(m)[0] == 0  # R0 = 0 after MOVC3
+
+    def test_movc5_fill(self):
+        m = run("""
+            movc5 #2, @#src, #^x2A, #5, @#dst
+            movb @#dst+4, r6
+            halt
+        src:
+            .ascii "AB"
+        dst:
+            .space 8
+        """)
+        assert regs(m)[6] == 0x2A  # filled past the source
+
+    def test_cmpc3_equal(self):
+        m = run("""
+            cmpc3 #4, @#a, @#b
+            beql same
+            halt
+        same:
+            movl #1, r6
+            halt
+        a:  .ascii "WXYZ"
+        b:  .ascii "WXYZ"
+        """)
+        assert regs(m)[6] == 1
+
+    def test_locc_finds(self):
+        m = run("""
+            locc #^x43, #5, @#text   ; find 'C'
+            halt
+        text:
+            .ascii "ABCDE"
+        """)
+        # R0 = remaining count including the found char.
+        assert regs(m)[0] == 3
+
+    def test_skpc(self):
+        m = run("""
+            skpc #^x41, #5, @#text   ; skip leading 'A's
+            halt
+        text:
+            .ascii "AABCD"
+        """)
+        assert regs(m)[0] == 3
+
+
+class TestDecimalInstructions:
+    def test_cvtlp_cvtpl_roundtrip(self):
+        m = run("""
+            movl #12345, r0
+            cvtlp r0, #7, @#packed
+            cvtpl #7, @#packed, r6
+            halt
+        packed:
+            .space 8
+        """)
+        assert regs(m)[6] == 12345
+
+    def test_cvtlp_negative(self):
+        m = run("""
+            movl #-321, r0
+            cvtlp r0, #5, @#packed
+            cvtpl #5, @#packed, r6
+            halt
+        packed:
+            .space 8
+        """)
+        assert regs(m)[6] == (-321) & 0xFFFFFFFF
+
+    def test_addp4(self):
+        m = run("""
+            movl #100, r0
+            cvtlp r0, #5, @#a
+            movl #23, r0
+            cvtlp r0, #5, @#b
+            addp4 #5, @#a, #5, @#b
+            cvtpl #5, @#b, r6
+            halt
+        a:  .space 8
+        b:  .space 8
+        """)
+        assert regs(m)[6] == 123
+
+    def test_cmpp3(self):
+        m = run("""
+            movl #55, r0
+            cvtlp r0, #5, @#a
+            movl #55, r0
+            cvtlp r0, #5, @#b
+            cmpp3 #5, @#a, @#b
+            beql equal
+            halt
+        equal:
+            movl #1, r6
+            halt
+        a:  .space 8
+        b:  .space 8
+        """)
+        assert regs(m)[6] == 1
+
+
+class TestFloat:
+    def test_movf_cvt_roundtrip(self):
+        m = run("""
+            movl #42, r0
+            cvtlf r0, r2
+            cvtfl r2, r6
+            halt
+        """)
+        assert regs(m)[6] == 42
+
+    def test_addf2(self):
+        m = run("""
+            cvtlf #5, r2
+            cvtlf #3, r3
+            addf2 r2, r3
+            cvtfl r3, r6
+            halt
+        """)
+        assert regs(m)[6] == 8
+
+    def test_mulf2(self):
+        m = run("""
+            cvtlf #6, r2
+            cvtlf #7, r3
+            mulf2 r2, r3
+            cvtfl r3, r6
+            halt
+        """)
+        assert regs(m)[6] == 42
+
+    def test_divf2(self):
+        m = run("""
+            cvtlf #4, r2
+            cvtlf #84, r3
+            divf2 r2, r3
+            cvtfl r3, r6
+            halt
+        """)
+        assert regs(m)[6] == 21
+
+    def test_cmpf(self):
+        m = run("""
+            cvtlf #3, r2
+            cvtlf #3, r3
+            cmpf r2, r3
+            beql equal
+            halt
+        equal:
+            movl #1, r6
+            halt
+        """)
+        assert regs(m)[6] == 1
+
+    def test_mnegf(self):
+        m = run("""
+            cvtlf #9, r2
+            mnegf r2, r3
+            cvtfl r3, r6
+            halt
+        """)
+        assert regs(m)[6] == (-9) & 0xFFFFFFFF

@@ -1,0 +1,84 @@
+"""Instruction tracer tests."""
+
+from repro.cpu.itrace import InstructionTracer
+from tests.helpers import boot
+
+
+class TestInstructionTracer:
+    def test_records_every_instruction(self):
+        machine = boot("""
+            movl #2, r0
+            addl2 #3, r0
+            halt
+        """)
+        with InstructionTracer(machine) as tracer:
+            machine.run(10)
+        assert [r.mnemonic for r in tracer.records] == \
+            ["MOVL", "ADDL2", "HALT"]
+
+    def test_cycle_deltas_sum_to_total(self):
+        machine = boot("""
+            movl #5, r0
+        loop:
+            sobgtr r0, loop
+            halt
+        """)
+        with InstructionTracer(machine) as tracer:
+            machine.run(100)
+        assert sum(r.cycles for r in tracer.records) == machine.cycles
+
+    def test_disassembly_in_records(self):
+        machine = boot("movl #5, r0\nhalt")
+        with InstructionTracer(machine) as tracer:
+            machine.run(5)
+        assert tracer.records[0].text == "movl    s^#5, r0"
+
+    def test_limit_respected(self):
+        machine = boot("""
+            movl #60, r0
+        loop:
+            sobgtr r0, loop
+            halt
+        """)
+        with InstructionTracer(machine, limit=10) as tracer:
+            machine.run(200)
+        assert len(tracer.records) == 10
+
+    def test_sink_called(self):
+        machine = boot("nop\nnop\nhalt")
+        seen = []
+        with InstructionTracer(machine, sink=seen.append):
+            machine.run(5)
+        assert len(seen) == 3
+
+    def test_render(self):
+        machine = boot("nop\nhalt")
+        with InstructionTracer(machine) as tracer:
+            machine.run(5)
+        text = tracer.render()
+        assert "nop" in text and "halt" in text
+        assert "K" in text  # kernel mode marker
+
+    def test_cycles_by_mnemonic(self):
+        machine = boot("""
+            movl #1, r0
+            movl #2, r1
+            halt
+        """)
+        with InstructionTracer(machine) as tracer:
+            machine.run(5)
+        profile = tracer.cycles_by_mnemonic()
+        assert profile["MOVL"] > profile["HALT"]
+
+    def test_detach_restores_hook(self):
+        machine = boot("nop\nhalt")
+        sentinel = []
+        machine.boundary_hook = lambda m: sentinel.append(1)
+        tracer = InstructionTracer(machine)
+        tracer.attach()
+        machine.run(2)
+        tracer.detach()
+        assert machine.boundary_hook is not None
+        machine.halted = False
+        machine.step()  # chained hook still fires
+        assert len(sentinel) >= 2

@@ -1,0 +1,202 @@
+"""Operand specifier evaluation: every addressing mode, with side effects."""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.helpers import run, regs
+
+
+class TestRegisterModes:
+    def test_register_source(self):
+        m = run("movl #9, r3\nmovl r3, r4\nhalt")
+        assert regs(m)[4] == 9
+
+    def test_short_literal(self):
+        m = run("movl #63, r0\nhalt")
+        assert regs(m)[0] == 63
+
+    def test_immediate(self):
+        m = run("movl #64, r0\nhalt")  # 64 > 63: auto-immediate
+        assert regs(m)[0] == 64
+
+    def test_float_short_literal(self):
+        # S^#1.0 in F_floating short literal form is value 8 (exp=1).
+        m = run("movf s^#8, r2\ncvtfl r2, r0\nhalt")
+        assert regs(m)[0] == 1
+
+
+class TestMemoryModes:
+    def test_register_deferred(self):
+        m = run("""
+            moval @#var, r2
+            movl (r2), r0
+            halt
+        var: .long 77
+        """)
+        assert regs(m)[0] == 77
+
+    def test_autoincrement_advances(self):
+        m = run("""
+            moval @#arr, r2
+            movl (r2)+, r0
+            movl (r2)+, r1
+            halt
+        arr:
+            .long 10
+            .long 20
+        """)
+        assert regs(m)[0] == 10 and regs(m)[1] == 20
+
+    def test_autoincrement_byte_steps_one(self):
+        m = run("""
+            moval @#arr, r2
+            movb (r2)+, r0
+            movb (r2)+, r1
+            halt
+        arr:
+            .byte 1, 2
+        """)
+        assert regs(m)[0] & 0xFF == 1 and regs(m)[1] & 0xFF == 2
+
+    def test_autodecrement(self):
+        m = run("""
+            moval @#arr+8, r2
+            movl -(r2), r0
+            movl -(r2), r1
+            halt
+        arr:
+            .long 10
+            .long 20
+        """)
+        assert regs(m)[0] == 20 and regs(m)[1] == 10
+
+    def test_displacement(self):
+        m = run("""
+            moval @#arr, r2
+            movl 4(r2), r0
+            halt
+        arr:
+            .long 1
+            .long 2
+        """)
+        assert regs(m)[0] == 2
+
+    def test_displacement_negative(self):
+        m = run("""
+            moval @#arr+4, r2
+            movl -4(r2), r0
+            halt
+        arr:
+            .long 5
+            .long 6
+        """)
+        assert regs(m)[0] == 5
+
+    def test_displacement_deferred(self):
+        m = run("""
+            moval @#ptr, r2
+            movl @0(r2), r0
+            halt
+        ptr:
+            .long target
+        target:
+            .long 99
+        """)
+        assert regs(m)[0] == 99
+
+    def test_autoincrement_deferred(self):
+        m = run("""
+            moval @#ptrs, r2
+            movl @(r2)+, r0
+            movl @(r2)+, r1
+            halt
+        ptrs:
+            .long a
+            .long b
+        a:  .long 11
+        b:  .long 22
+        """)
+        assert regs(m)[0] == 11 and regs(m)[1] == 22
+        # the cursor advanced by 4 per pointer
+        assert regs(m)[2] != 0
+
+    def test_absolute(self):
+        m = run("""
+            movl @#var, r0
+            halt
+        var: .long 123
+        """)
+        assert regs(m)[0] == 123
+
+    def test_indexed_displacement(self):
+        m = run("""
+            moval @#arr, r2
+            movl #2, r7
+            movl 0(r2)[r7], r0
+            halt
+        arr:
+            .long 100
+            .long 101
+            .long 102
+        """)
+        assert regs(m)[0] == 102
+
+    def test_indexed_scales_by_size(self):
+        m = run("""
+            moval @#arr, r2
+            movl #2, r7
+            movb 0(r2)[r7], r0
+            halt
+        arr:
+            .byte 5, 6, 7, 8
+        """)
+        assert regs(m)[0] & 0xFF == 7
+
+    def test_write_through_pointer(self):
+        m = run("""
+            moval @#var, r2
+            movl #55, (r2)
+            movl @#var, r0
+            halt
+        var: .long 0
+        """)
+        assert regs(m)[0] == 55
+
+    def test_modify_in_memory(self):
+        m = run("""
+            incl @#var
+            incl @#var
+            movl @#var, r0
+            halt
+        var: .long 10
+        """)
+        assert regs(m)[0] == 12
+
+
+class TestSpecifierStatistics:
+    def test_tracer_counts_positions(self):
+        m = run("""
+            movl #1, r0         ; spec1 literal, spec2 register
+            addl3 r0, r0, r1    ; three register specs
+            halt
+        """)
+        t = m.tracer
+        assert t.specifiers == 2 + 3 + 0
+        spec1 = sum(v for (bucket, _), v in t.specifier_modes.items()
+                    if bucket == "spec1")
+        assert spec1 == 2  # movl + addl3 first specs (halt has none)
+
+    def test_indexed_counted(self):
+        m = run("""
+            moval @#arr, r2
+            clrl r7
+            movl 0(r2)[r7], r0
+            halt
+        arr: .long 9
+        """)
+        assert m.tracer.indexed_specifiers == 1
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=15, deadline=None)
+    def test_literal_roundtrip_property(self, a, b):
+        m = run(f"movl #{a}, r0\naddl2 #{b}, r0\nhalt")
+        assert regs(m)[0] == a + b

@@ -1,0 +1,32 @@
+"""Shared test fixtures: boot small kernel-mode programs on a VAX780."""
+
+from __future__ import annotations
+
+from repro.asm import assemble_text
+from repro.cpu.machine import VAX780
+from repro.vm.address import S0_BASE
+
+#: Where test programs are assembled (S0, identity-mapped by boot()).
+CODE_BASE = S0_BASE + 0x2000
+
+
+def boot(asm_text: str, params=None, base: int = CODE_BASE) -> VAX780:
+    """Assemble ``asm_text`` at ``base`` and boot a machine on it."""
+    image = assemble_text(asm_text, base=base)
+    machine = VAX780(params) if params is not None else VAX780()
+    machine.boot(image)
+    return machine
+
+
+def run(asm_text: str, max_instructions: int = 100000, params=None,
+        base: int = CODE_BASE) -> VAX780:
+    """Boot and run to HALT; asserts the program actually halted."""
+    machine = boot(asm_text, params=params, base=base)
+    machine.run(max_instructions)
+    assert machine.halted, "program did not reach HALT"
+    return machine
+
+
+def regs(machine: VAX780):
+    """The general registers, for terse assertions."""
+    return machine.ebox.registers

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "5050" in result.stdout
+        assert "TABLE 8" in result.stdout
+
+    def test_timesharing_characterization(self):
+        result = run_example("timesharing_characterization.py", "4000")
+        assert result.returncode == 0, result.stderr
+        for marker in ("TABLE 1", "TABLE 8", "SECTION 4", "FIGURE 1"):
+            assert marker in result.stdout, marker
+
+    def test_workload_comparison(self):
+        result = run_example("workload_comparison.py", "4000")
+        assert result.returncode == 0, result.stderr
+        assert "CPI" in result.stdout
+
+    def test_microcode_hotspots(self):
+        result = run_example("microcode_hotspots.py", "4000")
+        assert result.returncode == 0, result.stderr
+        assert "routine.slot" in result.stdout
+
+    def test_tb_cache_sensitivity(self):
+        result = run_example("tb_cache_sensitivity.py", "3000")
+        assert result.returncode == 0, result.stderr
+        assert "11/780" in result.stdout

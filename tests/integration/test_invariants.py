@@ -1,0 +1,92 @@
+"""Property-based whole-machine invariants on randomly generated programs.
+
+Hypothesis drives the synthetic code generator with arbitrary seeds and
+small mix perturbations; every resulting program must execute without
+simulator errors, and the measurement invariants (cycle conservation,
+histogram/tracer agreement) must hold for all of them.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Measurement, Reduction, table8
+from repro.cpu.machine import VAX780
+from repro.osim.executive import Executive
+from repro.workloads.profiles import MixProfile
+
+
+def run_random_workload(seed: int, instructions: int = 3000,
+                        **profile_overrides):
+    profile = MixProfile(name=f"hyp-{seed}", description="hypothesis",
+                         processes=2, code_kb=16, data_kb=16,
+                         **profile_overrides)
+    machine = VAX780()
+    executive = Executive(machine, profile, seed=seed)
+    executive.boot()
+    executive.run(instructions, cycle_limit=instructions * 1000)
+    return machine
+
+
+class TestWholeMachineInvariants:
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=8, deadline=None)
+    def test_random_workloads_execute_cleanly(self, seed):
+        machine = run_random_workload(seed)
+        assert machine.tracer.instructions >= 3000
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=5, deadline=None)
+    def test_histogram_cycle_conservation(self, seed):
+        machine = run_random_workload(seed)
+        red = Reduction(machine.board.snapshot())
+        # Measured (gated) cycles can never exceed wall cycles, and when
+        # Null never ran they are equal.
+        assert red.total_cycles() <= machine.cycles
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=5, deadline=None)
+    def test_histogram_and_tracer_agree(self, seed):
+        machine = run_random_workload(seed)
+        red = Reduction(machine.board.snapshot())
+        assert red.instructions == machine.tracer.instructions
+        for group, count in machine.tracer.group_counts.items():
+            assert red.group_instructions[group] == count
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=5, deadline=None)
+    def test_cpi_in_plausible_band(self, seed):
+        machine = run_random_workload(seed)
+        result = table8(Measurement.capture("h", machine))
+        # Any VAX-like workload should land within a broad CPI band; a
+        # value outside it means broken accounting, not a slow workload.
+        assert 3.0 < result.cycles_per_instruction < 40.0
+
+    @given(st.integers(0, 10 ** 5),
+           st.floats(min_value=0.0, max_value=6.0),
+           st.floats(min_value=0.0, max_value=12.0))
+    @settings(max_examples=5, deadline=None)
+    def test_mix_perturbations_execute(self, seed, char_w, float_w):
+        machine = run_random_workload(seed, char_ops=char_w,
+                                      float_ops=float_w)
+        assert machine.tracer.instructions >= 3000
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=4, deadline=None)
+    def test_branch_taken_never_exceeds_executed(self, seed):
+        machine = run_random_workload(seed)
+        t = machine.tracer
+        for family, executed in t.branches_executed.items():
+            assert t.branches_taken[family] <= executed
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=4, deadline=None)
+    def test_stall_columns_nonnegative_and_bounded(self, seed):
+        machine = run_random_workload(seed)
+        result = table8(Measurement.capture("h", machine))
+        from repro.ucode.rows import Column
+        for col, per_instr in result.column_totals.items():
+            assert per_instr >= 0
+        # Stalls cannot exceed total cycles.
+        stalls = (result.column_totals[Column.RSTALL]
+                  + result.column_totals[Column.WSTALL]
+                  + result.column_totals[Column.IBSTALL])
+        assert stalls < result.cycles_per_instruction

@@ -1,0 +1,106 @@
+"""Unit tests for the cache timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.cache import Cache, D_STREAM, I_STREAM
+
+
+def make_cache(**kwargs):
+    defaults = dict(size_bytes=8 * 1024, ways=2, block_bytes=8)
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+class TestCacheGeometry:
+    def test_780_geometry(self):
+        cache = make_cache()
+        assert cache.sets == 512
+        assert cache.ways == 2
+        assert cache.block_bytes == 8
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(block_bytes=6)
+
+    def test_size_must_divide(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, ways=2, block_bytes=8)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.read(0x1000, D_STREAM)
+        assert cache.read(0x1000, D_STREAM)
+        assert cache.stats.read_misses[D_STREAM] == 1
+        assert cache.stats.read_hits[D_STREAM] == 1
+
+    def test_same_block_hits(self):
+        cache = make_cache()
+        cache.read(0x1000, D_STREAM)
+        assert cache.read(0x1004, D_STREAM)  # same 8-byte block
+
+    def test_adjacent_block_misses(self):
+        cache = make_cache()
+        cache.read(0x1000, D_STREAM)
+        assert not cache.read(0x1008, D_STREAM)
+
+    def test_two_way_associativity(self):
+        cache = make_cache()
+        # Two addresses mapping to the same set can coexist.
+        stride = cache.sets * cache.block_bytes
+        cache.read(0x0, D_STREAM)
+        cache.read(stride, D_STREAM)
+        assert cache.probe(0x0)
+        assert cache.probe(stride)
+
+    def test_eviction_on_third_way_conflict(self):
+        cache = make_cache()
+        stride = cache.sets * cache.block_bytes
+        cache.read(0, D_STREAM)
+        cache.read(stride, D_STREAM)
+        cache.read(2 * stride, D_STREAM)
+        survivors = [cache.probe(i * stride) for i in range(3)]
+        assert survivors.count(True) == 2
+        assert cache.probe(2 * stride)  # newest always present
+
+    def test_write_miss_does_not_allocate(self):
+        cache = make_cache()
+        assert not cache.write(0x2000)
+        assert not cache.probe(0x2000)
+        assert cache.stats.write_misses == 1
+
+    def test_write_hit_counted(self):
+        cache = make_cache()
+        cache.read(0x2000, D_STREAM)
+        assert cache.write(0x2000)
+        assert cache.stats.write_hits == 1
+
+    def test_streams_tracked_separately(self):
+        cache = make_cache()
+        cache.read(0x100, I_STREAM)
+        cache.read(0x900, D_STREAM)
+        assert cache.stats.read_misses[I_STREAM] == 1
+        assert cache.stats.read_misses[D_STREAM] == 1
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.read(0x100, D_STREAM)
+        cache.invalidate()
+        assert not cache.probe(0x100)
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.read(0x100, D_STREAM)
+        cache.read(0x100, D_STREAM)
+        cache.read(0x100, D_STREAM)
+        cache.read(0x100, D_STREAM)
+        assert cache.stats.read_miss_rate(D_STREAM) == 0.25
+
+    @given(st.lists(st.integers(0, 0xFFFFF8), min_size=1, max_size=200))
+    def test_repeat_of_recent_read_always_hits(self, addrs):
+        cache = make_cache()
+        for addr in addrs:
+            cache.read(addr, D_STREAM)
+            assert cache.read(addr, D_STREAM), "immediate re-read must hit"

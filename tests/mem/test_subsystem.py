@@ -1,0 +1,150 @@
+"""Unit tests for SBI, write buffer and the composed memory subsystem."""
+
+import pytest
+
+from repro.mem.physmem import MemoryError780, PhysicalMemory
+from repro.mem.sbi import SBI
+from repro.mem.subsystem import MemorySubsystem
+from repro.mem.writebuffer import WriteBuffer
+from repro.params import VAX780
+
+
+class TestPhysicalMemory:
+    def test_read_write_roundtrip(self):
+        mem = PhysicalMemory(1024)
+        mem.write(100, 0xDEADBEEF, 4)
+        assert mem.read(100, 4) == 0xDEADBEEF
+        assert mem.read_byte(100) == 0xEF  # little-endian
+
+    def test_partial_widths(self):
+        mem = PhysicalMemory(1024)
+        mem.write(0, 0x1234, 2)
+        assert mem.read(0, 2) == 0x1234
+        assert mem.read(0, 4) == 0x1234
+
+    def test_out_of_range_raises(self):
+        mem = PhysicalMemory(16)
+        with pytest.raises(MemoryError780):
+            mem.read(16, 1)
+        with pytest.raises(MemoryError780):
+            mem.write(14, 0, 4)
+
+    def test_load_image(self):
+        mem = PhysicalMemory(64)
+        mem.load_image(8, b"\x01\x02\x03")
+        assert mem.read_block(8, 3) == b"\x01\x02\x03"
+
+
+class TestSBI:
+    def test_idle_read_latency(self):
+        sbi = SBI(read_cycles=6, write_cycles=6)
+        assert sbi.read_transaction(100) == 106
+
+    def test_serialisation(self):
+        sbi = SBI(read_cycles=6, write_cycles=6)
+        first = sbi.read_transaction(100)
+        second = sbi.read_transaction(101)  # issued while busy
+        assert second == first + 6
+
+    def test_idle_gap_not_charged(self):
+        sbi = SBI(read_cycles=6, write_cycles=6)
+        sbi.read_transaction(0)
+        assert sbi.read_transaction(50) == 56
+
+
+class TestWriteBuffer:
+    def test_first_write_no_stall(self):
+        sbi = SBI(6, 6)
+        wb = WriteBuffer(sbi, depth=1)
+        assert wb.issue(10) == 0
+
+    def test_back_to_back_write_stalls(self):
+        sbi = SBI(6, 6)
+        wb = WriteBuffer(sbi, depth=1)
+        wb.issue(10)             # drains at 16
+        stall = wb.issue(12)
+        assert stall == 4        # waits until cycle 16
+
+    def test_write_after_drain_no_stall(self):
+        sbi = SBI(6, 6)
+        wb = WriteBuffer(sbi, depth=1)
+        wb.issue(10)
+        assert wb.issue(20) == 0
+
+    def test_six_cycle_spacing_avoids_stall(self):
+        # The paper notes character-string microcode writes only every
+        # sixth cycle precisely to avoid write stalls.
+        sbi = SBI(6, 6)
+        wb = WriteBuffer(sbi, depth=1)
+        now = 0
+        for _ in range(10):
+            assert wb.issue(now) == 0
+            now += 6
+
+    def test_stats(self):
+        sbi = SBI(6, 6)
+        wb = WriteBuffer(sbi, depth=1)
+        wb.issue(0)
+        wb.issue(1)
+        assert wb.writes == 2
+        assert wb.stall_cycles == 5
+
+
+class TestMemorySubsystem:
+    def make(self):
+        return MemorySubsystem(VAX780)
+
+    def test_read_hit_after_miss(self):
+        mem = self.make()
+        mem.debug_write(0x1000, 42, 4)
+        miss = mem.read_data(0x1000, 4, now=0)
+        assert miss.missed and miss.stall_cycles == 6
+        assert miss.value == 42
+        hit = mem.read_data(0x1000, 4, now=10)
+        assert not hit.missed and hit.stall_cycles == 0
+
+    def test_unaligned_read_two_refs(self):
+        mem = self.make()
+        result = mem.read_data(0x1002, 4, now=0)
+        assert result.physical_refs == 2
+        assert mem.unaligned_reads == 1
+
+    def test_aligned_read_one_ref(self):
+        mem = self.make()
+        result = mem.read_data(0x1000, 4, now=0)
+        assert result.physical_refs == 1
+
+    def test_write_through_updates_memory(self):
+        mem = self.make()
+        mem.write_data(0x2000, 0xABCD, 2, now=0)
+        assert mem.debug_read(0x2000, 2) == 0xABCD
+
+    def test_write_stall_on_back_to_back(self):
+        mem = self.make()
+        first = mem.write_data(0x2000, 1, 4, now=0)
+        second = mem.write_data(0x2004, 2, 4, now=1)
+        assert first.stall_cycles == 0
+        assert second.stall_cycles == 5
+
+    def test_ifetch_hit_ready_next_cycle(self):
+        mem = self.make()
+        mem.ifetch(0x3000, now=0)          # miss, fills block
+        assert mem.ifetch(0x3004, now=10) == 11  # same block: hit
+
+    def test_ifetch_miss_ready_after_sbi(self):
+        mem = self.make()
+        assert mem.ifetch(0x3000, now=0) == 6
+
+    def test_read_behind_ifetch_miss_queues(self):
+        mem = self.make()
+        mem.ifetch(0x3000, now=0)              # SBI busy until 6
+        result = mem.read_data(0x5000, 4, now=1)
+        assert result.stall_cycles == 11       # 6 queue + 6 service - 1
+
+    def test_reset_stats(self):
+        mem = self.make()
+        mem.read_data(0x0, 4, now=0)
+        mem.write_data(0x2, 1, 4, now=0)
+        mem.reset_stats()
+        assert mem.cache.stats.read_misses["d"] == 0
+        assert mem.unaligned_writes == 0

@@ -1,0 +1,118 @@
+"""Tests for the µPC histogram board and its Unibus interface."""
+
+from hypothesis import given, strategies as st
+
+from repro.monitor.histogram import Histogram, HistogramBoard
+from repro.monitor.unibus import (CSR_CLEAR, CSR_RUN, CSR_SELECT_STALL,
+                                  UnibusHistogramInterface)
+
+
+class TestBoard:
+    def test_counts_accumulate(self):
+        board = HistogramBoard(size=8)
+        board.count(3)
+        board.count(3, 2)
+        board.count_stall(3, 5)
+        snap = board.snapshot()
+        assert snap.executions(3) == 3
+        assert snap.stall_cycles(3) == 5
+
+    def test_gating(self):
+        board = HistogramBoard(size=8)
+        board.enabled = False
+        board.count(1)
+        board.count_stall(1, 4)
+        assert board.snapshot().total_cycles() == 0
+
+    def test_clear(self):
+        board = HistogramBoard(size=8)
+        board.count(0, 10)
+        board.clear()
+        assert board.snapshot().total_cycles() == 0
+
+    def test_snapshot_is_independent(self):
+        board = HistogramBoard(size=8)
+        board.count(0)
+        snap = board.snapshot()
+        board.count(0)
+        assert snap.executions(0) == 1
+
+    def test_passive_counting(self):
+        # Counting must be free: no time model, no side effects beyond
+        # the counters (the board is "totally passive", §2.2).
+        board = HistogramBoard(size=4)
+        for _ in range(1000):
+            board.count(2)
+        assert board.snapshot().executions(2) == 1000
+
+
+class TestHistogramArithmetic:
+    def test_addition_is_composite(self):
+        a = Histogram([1, 2], [0, 1])
+        b = Histogram([3, 4], [5, 6])
+        c = a + b
+        assert c.nonstalled == [4, 6]
+        assert c.stalled == [5, 7]
+
+    def test_size_mismatch_rejected(self):
+        a = Histogram([1], [0])
+        b = Histogram([1, 2], [0, 0])
+        try:
+            a + b
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+    @given(st.lists(st.integers(0, 1000), min_size=4, max_size=4),
+           st.lists(st.integers(0, 1000), min_size=4, max_size=4))
+    def test_total_cycles_additive(self, ns, stall):
+        a = Histogram(ns, stall)
+        b = Histogram(stall, ns)
+        assert (a + b).total_cycles() == \
+            a.total_cycles() + b.total_cycles()
+
+
+class TestUnibusInterface:
+    def test_run_bit_gates_board(self):
+        board = HistogramBoard(size=8)
+        bus = UnibusHistogramInterface(board)
+        bus.write_csr(0)
+        assert not board.enabled
+        bus.write_csr(CSR_RUN)
+        assert board.enabled
+        assert bus.read_csr() & CSR_RUN
+
+    def test_clear_command(self):
+        board = HistogramBoard(size=8)
+        board.count(2, 9)
+        bus = UnibusHistogramInterface(board)
+        bus.write_csr(CSR_CLEAR | CSR_RUN)
+        assert board.snapshot().total_cycles() == 0
+        assert board.enabled  # RUN survived the clear pulse
+
+    def test_bucket_readout(self):
+        board = HistogramBoard(size=8)
+        board.count(5, 7)
+        board.count_stall(5, 3)
+        bus = UnibusHistogramInterface(board)
+        bus.write_csr(CSR_RUN)
+        bus.write_address(5)
+        assert bus.read_data() == 7
+        bus.write_csr(CSR_RUN | CSR_SELECT_STALL)
+        assert bus.read_data() == 3
+
+    def test_address_bounds_checked(self):
+        bus = UnibusHistogramInterface(HistogramBoard(size=8))
+        try:
+            bus.write_address(8)
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")
+
+    def test_block_readout(self):
+        board = HistogramBoard(size=4)
+        board.count(1, 2)
+        board.count_stall(3, 4)
+        bus = UnibusHistogramInterface(board)
+        assert bus.read_all() == [0, 2, 0, 0]
+        assert bus.read_all(stalled=True) == [0, 0, 0, 4]

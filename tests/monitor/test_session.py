@@ -1,0 +1,80 @@
+"""Measurement session tests."""
+
+import pytest
+
+from repro.analysis import Reduction
+from repro.monitor.session import MeasurementSession
+from tests.helpers import boot
+
+
+class TestMeasurementSession:
+    def test_start_stop_captures_run(self):
+        machine = boot("""
+            movl #10, r0
+        loop:
+            addl2 #1, r1
+            sobgtr r0, loop
+            halt
+        """)
+        session = MeasurementSession(machine, name="unit")
+        session.start()
+        machine.run(1000)
+        measurement = session.stop()
+        assert measurement.name == "unit"
+        red = Reduction(measurement.histogram)
+        assert red.instructions == machine.tracer.instructions
+        assert red.total_cycles() == measurement.cycles
+
+    def test_start_clears_previous_counts(self):
+        machine = boot("nop\nnop\nhalt")
+        machine.run(10)
+        session = MeasurementSession(machine)
+        session.start()
+        measurement = session.stop()
+        assert measurement.histogram.total_cycles() == 0
+
+    def test_stop_without_start_raises(self):
+        machine = boot("halt")
+        session = MeasurementSession(machine)
+        with pytest.raises(RuntimeError):
+            session.stop()
+
+    def test_context_manager(self):
+        machine = boot("""
+            movl #3, r0
+        loop:
+            sobgtr r0, loop
+            halt
+        """)
+        with MeasurementSession(machine, name="ctx") as session:
+            machine.run(100)
+        assert session.result.histogram.total_cycles() > 0
+
+    def test_gate_closed_after_stop(self):
+        machine = boot("nop\nhalt")
+        session = MeasurementSession(machine)
+        session.start()
+        machine.run(5)
+        session.stop()
+        assert not machine.board.enabled
+
+    def test_two_sessions_independent(self):
+        machine = boot("""
+            movl #4, r0
+        loop:
+            sobgtr r0, loop
+            nop
+            nop
+            halt
+        """)
+        first = MeasurementSession(machine)
+        first.start()
+        machine.run(3)
+        a = first.stop()
+        second = MeasurementSession(machine)
+        second.start()
+        machine.run(100)
+        b = second.stop()
+        assert b.histogram.total_cycles() > 0
+        assert a.histogram.total_cycles() + b.histogram.total_cycles() \
+            == machine.cycles

@@ -1,0 +1,136 @@
+"""Report tests: reference data sanity, renderers, comparison helpers."""
+
+import pytest
+
+from repro.analysis import (Measurement, section4, table1, table2, table3,
+                            table4, table5, table6, table7, table8, table9)
+from repro.cpu.machine import VAX780
+from repro.report import paper
+from repro.report.compare import (ShapeReport, dominant_key, same_ordering,
+                                  within_factor, within_slack)
+from repro.report.format import (render_figure1, render_section4,
+                                 render_table1, render_table2,
+                                 render_table3, render_table4,
+                                 render_table5, render_table6,
+                                 render_table7, render_table8,
+                                 render_table9)
+from tests.helpers import run
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    machine = run("""
+        movl #20, r6
+    loop:
+        addl2 #1, r1
+        cmpl r1, #5
+        bneq skip
+        incl r3
+    skip:
+        sobgtr r6, loop
+        halt
+    """)
+    return Measurement.capture("report-test", machine), machine
+
+
+class TestPaperData:
+    def test_table1_sums_to_100(self):
+        assert sum(paper.TABLE1_FREQUENCY.values()) == pytest.approx(
+            99.93, abs=0.2)
+
+    def test_table8_rows_sum_to_cpi(self):
+        total = sum(paper.TABLE8_ROW_TOTALS.values())
+        # Row totals + the partially-legible B-Disp row = CPI.
+        assert total <= paper.CYCLES_PER_INSTRUCTION
+        assert total > 0.85 * paper.CYCLES_PER_INSTRUCTION
+
+    def test_table8_columns_sum_to_cpi(self):
+        assert sum(paper.TABLE8_COLUMN_TOTALS.values()) == pytest.approx(
+            paper.CYCLES_PER_INSTRUCTION, abs=0.01)
+
+    def test_table9_consistent_with_table8(self):
+        # group execute row total = Table 9 mean x Table 1 frequency.
+        for group, mean in paper.TABLE9_TOTALS.items():
+            freq = paper.TABLE1_FREQUENCY[group] / 100.0
+            expected = paper.TABLE8_ROW_TOTALS[group]
+            assert mean * freq == pytest.approx(expected, abs=0.03), group
+
+    def test_section4_split_sums(self):
+        s = paper.SECTION4
+        assert s["cache_i_misses_per_instruction"] + \
+            s["cache_d_misses_per_instruction"] == pytest.approx(
+                s["cache_read_misses_per_instruction"])
+        assert s["tb_d_misses_per_instruction"] + \
+            s["tb_i_misses_per_instruction"] == pytest.approx(
+                s["tb_misses_per_instruction"])
+
+
+class TestRenderers:
+    def test_all_renderers_produce_text(self, measurement):
+        meas, machine = measurement
+        outputs = [
+            render_table1(table1(meas)),
+            render_table2(table2(meas)),
+            render_table3(table3(meas)),
+            render_table4(table4(meas)),
+            render_table5(table5(meas)),
+            render_table6(table6(meas)),
+            render_table7(table7(meas)),
+            render_table8(table8(meas)),
+            render_table9(table9(meas)),
+            render_section4(section4(meas)),
+        ]
+        for i, text in enumerate(outputs, start=1):
+            assert isinstance(text, str) and len(text) > 50, f"table {i}"
+
+    def test_table8_render_includes_all_rows(self, measurement):
+        meas, _ = measurement
+        text = render_table8(table8(meas))
+        for row in ("Decode", "Spec 1", "Call/Ret", "Mem Mgmt", "TOTAL"):
+            assert row in text
+
+    def test_table1_render_includes_paper_column(self, measurement):
+        meas, _ = measurement
+        text = render_table1(table1(meas))
+        assert "83.60" in text  # the paper's SIMPLE share
+
+    def test_figure1_from_machine(self):
+        machine = VAX780()
+        text = render_figure1(machine)
+        for component in ("EBOX", "Instruction Buffer", "SBI",
+                          "Write Buffer", "Translation Buffer"):
+            assert component in text
+
+
+class TestCompareHelpers:
+    def test_within_factor(self):
+        assert within_factor(5.0, 10.0, 2.0)
+        assert not within_factor(4.9, 10.0, 2.0)
+        assert within_factor(20.0, 10.0, 2.0)
+        assert not within_factor(0.0, 10.0, 2.0)
+
+    def test_within_factor_zero_reference(self):
+        assert within_factor(0.0, 0.0, 2.0)
+        assert not within_factor(1.0, 0.0, 2.0)
+
+    def test_within_slack(self):
+        assert within_slack(10.2, 10.0, 0.5)
+        assert not within_slack(10.6, 10.0, 0.5)
+
+    def test_same_ordering(self):
+        a = {"x": 3, "y": 2, "z": 1}
+        b = {"x": 30, "y": 20, "z": 10}
+        c = {"x": 1, "y": 2, "z": 3}
+        assert same_ordering(a, b)
+        assert not same_ordering(a, c)
+
+    def test_dominant_key(self):
+        assert dominant_key({"a": 1, "b": 5, "c": 2}) == "b"
+
+    def test_shape_report(self):
+        report = ShapeReport("demo")
+        report.check("first", True)
+        report.check("second", False, "off by 2x")
+        assert not report.passed
+        text = report.render()
+        assert "PASS" in text and "FAIL" in text and "off by 2x" in text

@@ -1,0 +1,57 @@
+"""CLI tests (invoking main() directly)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "timesharing-research" in out
+        assert "rte-commercial" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "EBOX" in out and "SBI" in out
+
+    def test_disasm(self, tmp_path, capsys):
+        source = tmp_path / "prog.asm"
+        source.write_text("movl #5, r0\nhalt\n")
+        assert main(["disasm", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "movl    s^#5, r0" in out
+        assert "halt" in out
+
+    def test_run_workload(self, capsys):
+        assert main(["run-workload", "research",
+                     "--instructions", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles per instruction" in out
+        assert "TABLE 1" in out
+
+    def test_run_workload_unknown_profile(self, capsys):
+        assert main(["run-workload", "nonexistent"]) == 2
+
+    def test_hotspots(self, capsys):
+        assert main(["hotspots", "--instructions", "2500",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "routine.slot" in out
+        assert "decode" in out
+
+    def test_characterize_single_table(self, capsys):
+        assert main(["characterize", "--instructions", "1500",
+                     "--table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE 1" in out
+
+    def test_characterize_bad_table(self, capsys):
+        assert main(["characterize", "--instructions", "1500",
+                     "--table", "99"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

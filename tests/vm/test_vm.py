@@ -1,0 +1,146 @@
+"""Unit tests for virtual addressing, page tables and the TB."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.physmem import PhysicalMemory
+from repro.vm.address import (P0, P1, S0, S0_BASE, is_system_space, make_va,
+                              offset_of, region_of, vpn_of)
+from repro.vm.pagetable import (AddressSpace, PageFault, RegionTable,
+                                TranslationNotMapped, Translator)
+from repro.vm.tb import TranslationBuffer
+
+
+class TestAddressDecomposition:
+    def test_regions(self):
+        assert region_of(0x00000000) == P0
+        assert region_of(0x40000000) == P1
+        assert region_of(0x80000000) == S0
+
+    def test_vpn_and_offset(self):
+        va = make_va(P0, 5, 17)
+        assert vpn_of(va) == 5
+        assert offset_of(va) == 17
+
+    def test_system_space_predicate(self):
+        assert is_system_space(S0_BASE)
+        assert not is_system_space(0x1000)
+
+    @given(st.integers(0, 3), st.integers(0, (1 << 21) - 1),
+           st.integers(0, 511))
+    def test_make_va_roundtrip(self, region, vpn, offset):
+        va = make_va(region, vpn, offset)
+        assert region_of(va) == region
+        assert vpn_of(va) == vpn
+        assert offset_of(va) == offset
+
+
+def build_translator(pages=16):
+    mem = PhysicalMemory(1 << 20)
+    s0 = RegionTable(base_pa=0x8000, length=pages)
+    p0 = RegionTable(base_pa=0x9000, length=pages)
+    p1 = RegionTable(base_pa=0xA000, length=pages)
+    translator = Translator(mem, s0)
+    translator.set_space(AddressSpace(asid=1, p0=p0, p1=p1))
+    return mem, translator
+
+
+class TestTranslator:
+    def test_map_and_translate(self):
+        _, tr = build_translator()
+        tr.map_page(0x1000, pfn=7)
+        pa = tr.translate(0x1000 + 0x23)
+        assert pa == (7 << 9) | 0x23
+
+    def test_unmapped_page_faults(self):
+        _, tr = build_translator()
+        tr.map_page(0x1000, pfn=7, valid=False)
+        with pytest.raises(PageFault):
+            tr.translate(0x1000)
+
+    def test_out_of_table_raises(self):
+        _, tr = build_translator(pages=2)
+        with pytest.raises(TranslationNotMapped):
+            tr.translate(0x10000)
+
+    def test_s0_shared_across_spaces(self):
+        mem, tr = build_translator()
+        tr.map_page(S0_BASE, pfn=3)
+        other = AddressSpace(asid=2, p0=RegionTable(0xB000, 4),
+                             p1=RegionTable(0xC000, 4))
+        tr.set_space(other)
+        assert tr.translate(S0_BASE) == 3 << 9
+
+    def test_set_valid_flip(self):
+        _, tr = build_translator()
+        tr.map_page(0x200, pfn=1, valid=False)
+        tr.set_valid(0x200, True)
+        assert tr.translate(0x200) == 1 << 9
+
+    def test_pte_address_layout(self):
+        _, tr = build_translator()
+        assert tr.pte_address(0x0) == 0x9000
+        assert tr.pte_address(0x200) == 0x9004  # second page of P0
+
+
+class TestTranslationBuffer:
+    def make(self):
+        return TranslationBuffer(entries=128, ways=2)
+
+    def test_geometry(self):
+        tb = self.make()
+        assert tb.sets == 32  # 128 entries / 2 halves / 2 ways
+
+    def test_miss_then_hit(self):
+        tb = self.make()
+        assert tb.lookup(0x1000) is None
+        tb.insert(0x1000, pfn=9)
+        assert tb.lookup(0x1000) == 9
+        assert tb.stats.misses == 1
+        assert tb.stats.hits == 1
+
+    def test_streams_counted(self):
+        tb = self.make()
+        tb.lookup(0x1000, stream="i")
+        tb.lookup(0x2000, stream="d")
+        assert tb.stats.i_misses == 1
+        assert tb.stats.d_misses == 1
+
+    def test_halves_do_not_conflict(self):
+        tb = self.make()
+        tb.insert(0x1000, pfn=1)
+        tb.insert(S0_BASE | 0x1000, pfn=2)
+        assert tb.lookup(0x1000) == 1
+        assert tb.lookup(S0_BASE | 0x1000) == 2
+
+    def test_process_half_flush(self):
+        tb = self.make()
+        tb.insert(0x1000, pfn=1)
+        tb.insert(S0_BASE | 0x1000, pfn=2)
+        tb.invalidate_process_half()
+        assert not tb.probe(0x1000)
+        assert tb.probe(S0_BASE | 0x1000)
+        assert tb.stats.flushes == 1
+
+    def test_invalidate_single(self):
+        tb = self.make()
+        tb.insert(0x1000, pfn=1)
+        tb.invalidate_va(0x1000)
+        assert not tb.probe(0x1000)
+
+    def test_associativity(self):
+        tb = self.make()
+        stride = tb.sets << 9  # same set, different tag
+        tb.insert(0x0, 1)
+        tb.insert(stride, 2)
+        assert tb.probe(0x0) and tb.probe(stride)
+        tb.insert(2 * stride, 3)
+        present = [tb.probe(i * stride) for i in range(3)]
+        assert present.count(True) == 2
+
+    @given(st.lists(st.integers(0, 0x3FFFFFFF), min_size=1, max_size=64))
+    def test_insert_then_probe(self, vas):
+        tb = self.make()
+        for va in vas:
+            tb.insert(va, pfn=va >> 9 & 0xFF)
+            assert tb.probe(va)

@@ -1,0 +1,137 @@
+"""Workload generator tests: determinism, well-formedness, profiles."""
+
+import pytest
+
+from repro.arch.decode import decode_instruction
+from repro.arch.opcodes import OPCODES_BY_VALUE
+from repro.workloads.codegen import GeneratedProgram, ProgramGenerator
+from repro.workloads.profiles import (COMMERCIAL, SCIENTIFIC,
+                                      STANDARD_PROFILES,
+                                      TIMESHARING_RESEARCH)
+
+
+def generate(profile=TIMESHARING_RESEARCH, seed=4242):
+    return ProgramGenerator(profile, seed=seed).generate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = generate(seed=99)
+        b = generate(seed=99)
+        assert a.code == b.code
+        assert a.data_init == b.data_init
+        assert a.string_init == b.string_init
+
+    def test_different_seed_different_program(self):
+        assert generate(seed=1).code != generate(seed=2).code
+
+    def test_profiles_differ(self):
+        a = generate(TIMESHARING_RESEARCH, seed=5)
+        b = generate(SCIENTIFIC, seed=5)
+        assert a.code != b.code
+
+
+class TestWellFormedness:
+    def test_entry_points_inside_code(self):
+        prog = generate()
+        for entry in prog.subroutine_entries:
+            offset = entry - prog.code_base
+            assert 0 <= offset < len(prog.code)
+
+    def test_entry_masks_save_loop_registers(self):
+        prog = generate()
+        for entry in prog.subroutine_entries:
+            offset = entry - prog.code_base
+            mask = prog.code[offset] | (prog.code[offset + 1] << 8)
+            # r6-r9 must be preserved by every generated subroutine.
+            assert mask & 0x03C0 == 0x03C0
+
+    def test_main_decodes_from_entry(self):
+        prog = generate()
+
+        def fetch(addr):
+            return prog.code[addr - prog.code_base]
+
+        addr = prog.entry
+        for _ in range(20):
+            inst = decode_instruction(fetch, addr)
+            addr = inst.next_pc
+            assert inst.info.value in OPCODES_BY_VALUE
+
+    def test_subroutine_bodies_decode(self):
+        prog = generate()
+
+        def fetch(addr):
+            return prog.code[addr - prog.code_base]
+
+        for entry in prog.subroutine_entries[:5]:
+            addr = entry + 2  # skip the entry mask word
+            for _ in range(10):
+                inst = decode_instruction(fetch, addr)
+                addr = inst.next_pc
+
+    def test_data_regions_sized_to_profile(self):
+        prog = generate()
+        assert len(prog.data_init) == TIMESHARING_RESEARCH.data_kb * 1024
+        assert len(prog.string_init) == \
+            TIMESHARING_RESEARCH.string_kb * 1024
+
+    def test_pointer_table_points_into_region(self):
+        gen = ProgramGenerator(TIMESHARING_RESEARCH, seed=7)
+        prog = gen.generate()
+        import struct
+        for i in range(16):
+            offset = gen._ptr_table + 4 * i
+            target = struct.unpack_from("<I", prog.data_init, offset)[0]
+            assert prog.data_base <= target < \
+                prog.data_base + len(prog.data_init)
+
+    def test_queue_heads_self_referential(self):
+        gen = ProgramGenerator(TIMESHARING_RESEARCH, seed=7)
+        prog = gen.generate()
+        import struct
+        head_va = prog.data_base + gen._queue_area
+        flink = struct.unpack_from("<I", prog.data_init, gen._queue_area)[0]
+        assert flink == head_va
+
+    def test_decimal_area_valid_bcd(self):
+        from repro.workloads.codegen import (DECIMAL_AREA_OFFSET,
+                                             DECIMAL_SLOT_BYTES)
+        prog = generate(COMMERCIAL)
+        digits = COMMERCIAL.decimal_digits
+        nbytes = digits // 2 + 1
+        for slot in range(8):
+            base = DECIMAL_AREA_OFFSET + slot * DECIMAL_SLOT_BYTES
+            packed = prog.string_init[base:base + nbytes]
+            for i, byte in enumerate(packed):
+                high, low = byte >> 4, byte & 0xF
+                assert high <= 9
+                if i < nbytes - 1:
+                    assert low <= 9
+                else:
+                    assert low in (0xC, 0xD)  # sign nibble
+
+
+class TestProfiles:
+    def test_five_standard_profiles(self):
+        assert len(STANDARD_PROFILES) == 5
+        names = {p.name for p in STANDARD_PROFILES}
+        assert len(names) == 5
+
+    def test_commercial_is_decimal_heavy(self):
+        base = TIMESHARING_RESEARCH
+        assert COMMERCIAL.decimal_ops > base.decimal_ops
+
+    def test_scientific_is_float_heavy(self):
+        assert SCIENTIFIC.float_ops > TIMESHARING_RESEARCH.float_ops
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            TIMESHARING_RESEARCH.move = 1.0
+
+    @pytest.mark.parametrize("profile", STANDARD_PROFILES,
+                             ids=lambda p: p.name)
+    def test_every_profile_generates(self, profile):
+        prog = ProgramGenerator(profile, seed=11).generate()
+        assert isinstance(prog, GeneratedProgram)
+        assert len(prog.code) > 4096

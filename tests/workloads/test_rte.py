@@ -1,0 +1,84 @@
+"""RTE scripted-user pacing tests."""
+
+import random
+
+from repro.cpu.machine import SCB_TERMINAL, VAX780
+from repro.osim.executive import Executive
+from repro.workloads.profiles import MixProfile
+from repro.workloads.rte import ScriptedTerminalMux, ScriptedUser
+
+
+class TestScriptedUser:
+    def test_phases_cycle(self):
+        user = ScriptedUser(random.Random(1), base_period=1000)
+        phases = set()
+        for _ in range(2000):
+            user.next_arrival_gap()
+            phases.add(user.phase)
+        assert phases == {"think", "type", "output"}
+
+    def test_gaps_positive(self):
+        user = ScriptedUser(random.Random(2), base_period=1000)
+        for _ in range(500):
+            assert user.next_arrival_gap() > 0
+
+    def test_output_bursts_are_faster(self):
+        user = ScriptedUser(random.Random(3), base_period=1000)
+        gaps = {"type": [], "output": []}
+        for _ in range(5000):
+            phase = user.phase
+            gap = user.next_arrival_gap()
+            if phase in gaps:
+                gaps[phase].append(gap)
+        mean_type = sum(gaps["type"]) / len(gaps["type"])
+        mean_output = sum(gaps["output"]) / len(gaps["output"])
+        assert mean_output < mean_type
+
+
+class TestScriptedTerminalMux:
+    def test_posts_interrupts(self):
+        machine = VAX780()
+        mux = ScriptedTerminalMux(users=8, base_period_cycles=500,
+                                  scb_offset=SCB_TERMINAL)
+        machine.ebox.now = 10 ** 9  # everything due
+        mux.poll(machine)
+        assert mux.characters == 1
+        assert machine._hw_pending
+
+    def test_does_not_double_post(self):
+        machine = VAX780()
+        mux = ScriptedTerminalMux(users=4, base_period_cycles=500,
+                                  scb_offset=SCB_TERMINAL)
+        machine.ebox.now = 10 ** 9
+        mux.poll(machine)
+        mux.poll(machine)  # line still asserted
+        assert mux.characters == 1
+
+    def test_more_users_more_traffic(self):
+        def chars(users):
+            machine = VAX780()
+            mux = ScriptedTerminalMux(users=users,
+                                      base_period_cycles=8000,
+                                      scb_offset=SCB_TERMINAL, seed=5)
+            for now in range(0, 4_000_000, 250):
+                machine.ebox.now = now
+                machine._hw_pending.clear()  # auto-acknowledge
+                mux.poll(machine)
+            return mux.characters
+
+        assert chars(32) > chars(2)
+
+    def test_drop_in_for_executive(self):
+        profile = MixProfile(name="rte-test", description="t",
+                             processes=2)
+        machine = VAX780()
+        executive = Executive(machine, profile, seed=6)
+        # Swap the Poisson mux for the scripted one.
+        machine.devices.remove(executive.terminal)
+        scripted = ScriptedTerminalMux(users=16, base_period_cycles=3000,
+                                       scb_offset=SCB_TERMINAL, seed=6)
+        machine.devices.append(scripted)
+        executive.boot()
+        executive.run(4000)
+        assert scripted.characters > 0
+        assert machine.tracer.interrupts > 0
