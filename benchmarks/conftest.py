@@ -9,6 +9,9 @@ Environment knobs:
     REPRO_BENCH_INSTRUCTIONS   measured instructions per workload
                                (default 60000)
     REPRO_BENCH_SEED           workload generation seed (default 1984)
+    REPRO_BENCH_JOBS           worker processes for the five workloads
+                               (default 1 = serial; results are
+                               bit-identical either way)
 """
 
 import os
@@ -19,13 +22,14 @@ from repro.workloads.experiments import standard_composite
 
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 60000))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", 1984))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", 1))
 
 
 @pytest.fixture(scope="session")
 def composite_measurement():
     """The five-workload composite, simulated once per session."""
     return standard_composite(instructions=BENCH_INSTRUCTIONS,
-                              seed=BENCH_SEED)
+                              seed=BENCH_SEED, jobs=BENCH_JOBS)
 
 
 def emit(text: str) -> None:

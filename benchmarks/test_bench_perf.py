@@ -1,0 +1,67 @@
+"""End-to-end simulator throughput benchmark and perf-tool smoke test.
+
+``test_bench_composite_throughput`` times a fresh (uncached) composite
+and prints instructions/second and cycles/second — the same quantities
+``tools/perf_bench.py`` records in ``BENCH_perf.json``.  The counted
+cycles are asserted against the serial path so a throughput win can
+never ride on a timing-model change.
+
+Run with ``pytest benchmarks/test_bench_perf.py -s``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.workloads import experiments
+
+from .conftest import emit
+
+PERF_INSTRUCTIONS = int(os.environ.get("REPRO_PERF_INSTRUCTIONS", 10_000))
+PERF_SEED = 1984
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _fresh_composite():
+    experiments.clear_cache()
+    return experiments.standard_composite(instructions=PERF_INSTRUCTIONS,
+                                          seed=PERF_SEED)
+
+
+def test_bench_composite_throughput(benchmark):
+    """Simulated instructions/second over the five-workload composite."""
+    t0 = time.perf_counter()
+    reference = _fresh_composite()
+    reference_elapsed = time.perf_counter() - t0
+
+    measurement = benchmark.pedantic(_fresh_composite, rounds=1,
+                                     iterations=1)
+    assert measurement.cycles == reference.cycles
+    instructions = measurement.tracer.instructions
+    assert instructions == 5 * PERF_INSTRUCTIONS
+
+    rate = instructions / reference_elapsed
+    emit(f"composite of 5 x {PERF_INSTRUCTIONS}: "
+         f"{reference_elapsed:.2f}s  {rate:,.0f} instr/s  "
+         f"{measurement.cycles / reference_elapsed:,.0f} cycles/s")
+    assert rate > 1_000  # sanity floor, ~50x below observed
+
+
+def test_perf_bench_tool_writes_json(tmp_path):
+    """tools/perf_bench.py produces a well-formed BENCH_perf.json entry."""
+    out = tmp_path / "BENCH_perf.json"
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO, "tools", "perf_bench.py"),
+         "--instructions", "500", "--repeats", "1",
+         "--label", "after", "--output", str(out)],
+        capture_output=True, text=True, cwd=REPO)
+    assert result.returncode == 0, result.stderr
+    doc = json.loads(out.read_text())
+    entry = doc["after"]
+    assert entry["total_instructions"] == 2500
+    assert entry["composite_cycles"] > 0
+    assert entry["instructions_per_second"] > 0
+    assert entry["cycles_per_second"] > 0

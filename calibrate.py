@@ -11,9 +11,10 @@ from repro.analysis import (Measurement, section4, table1, table2, table3,
 from repro.workloads.experiments import standard_composite
 
 N = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
+JOBS = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 
 t0 = time.time()
-meas = standard_composite(instructions=N)
+meas = standard_composite(instructions=N, jobs=JOBS)
 print(f"[composite of 5 x {N} instructions in {time.time()-t0:.1f}s]\n")
 
 t1 = table1(meas)

@@ -47,11 +47,14 @@ _SIZES = {
     DataType.D_FLOAT: 8,
 }
 
-#: Masks per byte width, indexed by size in bytes.
-MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: 0xFFFFFFFFFFFFFFFF}
+#: Masks per byte width, indexed by size in bytes.  Every width 1..8 is
+#: present (not just the architectural operand sizes), so chunked access
+#: paths can index unconditionally — a page-straddling access can split
+#: at any byte count.
+MASKS = {size: (1 << (8 * size)) - 1 for size in range(1, 9)}
 
 #: Sign bits per byte width.
-SIGN_BITS = {1: 0x80, 2: 0x8000, 4: 0x80000000, 8: 0x8000000000000000}
+SIGN_BITS = {size: 1 << (8 * size - 1) for size in range(1, 9)}
 
 
 def mask(value: int, size: int) -> int:

@@ -144,11 +144,20 @@ _DISP_PACK = {1: "<b", 2: "<h", 4: "<i"}
 
 def encode_operand(op: Operand, kind: OperandKind) -> bytes:
     """Encode one operand specifier (with any index prefix) to bytes."""
+    mode = op.mode
+    if op.index_register is None:
+        # Single-byte encodings (registers and short literals dominate
+        # generated programs) skip the bytearray entirely.
+        if mode is AddressingMode.SHORT_LITERAL:
+            return bytes((op.value & 0x3F,))
+        nibble = _MODE_NIBBLE.get(mode)
+        if nibble is not None and mode is not AddressingMode.IMMEDIATE \
+                and mode is not AddressingMode.ABSOLUTE:
+            return bytes(((nibble << 4) | (op.register & 0xF),))
     out = bytearray()
     if op.index_register is not None:
         out.append(0x40 | (op.index_register & 0xF))
 
-    mode = op.mode
     if mode is AddressingMode.SHORT_LITERAL:
         out.append(op.value & 0x3F)
     elif mode is AddressingMode.IMMEDIATE:

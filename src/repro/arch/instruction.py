@@ -16,7 +16,8 @@ class Instruction:
     """
 
     __slots__ = ("info", "specifiers", "branch_displacement",
-                 "case_table", "length", "address")
+                 "case_table", "length", "address", "trace_rec",
+                 "fused_upc", "eval_plan", "exec_info")
 
     def __init__(self, info: OpcodeInfo, specifiers, branch_displacement,
                  case_table, length: int, address: int) -> None:
@@ -26,6 +27,16 @@ class Instruction:
         self.case_table = case_table
         self.length = length
         self.address = address
+        #: Lazily-built caches for the hot loop, all pure functions of
+        #: the decoded instruction and computed on first execution: the
+        #: tracer's per-instruction record, the literal/register
+        #: fused-cycle µPC (False = not fusable), the compiled operand
+        #: specifier evaluation plan, and the machine's per-instruction
+        #: dispatch tuple.
+        self.trace_rec = None
+        self.fused_upc = None
+        self.eval_plan = None
+        self.exec_info = None
 
     @property
     def mnemonic(self) -> str:

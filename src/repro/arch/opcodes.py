@@ -25,22 +25,25 @@ from dataclasses import dataclass
 from repro.arch.groups import OpcodeGroup
 
 
+_DTYPE_SIZES = {"b": 1, "w": 2, "l": 4, "q": 8, "f": 4, "d": 8}
+
+
 @dataclass(frozen=True)
 class OperandKind:
-    """One entry in an opcode's operand signature."""
+    """One entry in an opcode's operand signature.
+
+    ``is_branch_displacement`` and ``size`` are precomputed in
+    ``__post_init__``: the decoder and the specifier-evaluation hot loop
+    consult them on every instruction execution.
+    """
 
     access: str  #: one of r w m a v b
     dtype: str   #: one of b w l q f d
 
-    @property
-    def is_branch_displacement(self) -> bool:
-        """True for the raw branch-displacement pseudo-operands."""
-        return self.access == "b"
-
-    @property
-    def size(self) -> int:
-        """Operand data size in bytes."""
-        return {"b": 1, "w": 2, "l": 4, "q": 8, "f": 4, "d": 8}[self.dtype]
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_branch_displacement",
+                           self.access == "b")
+        object.__setattr__(self, "size", _DTYPE_SIZES[self.dtype])
 
     def __str__(self) -> str:
         return f"{self.access}{self.dtype}"
@@ -48,7 +51,12 @@ class OperandKind:
 
 @dataclass(frozen=True)
 class OpcodeInfo:
-    """Static description of one VAX opcode."""
+    """Static description of one VAX opcode.
+
+    ``specifier_operands`` and ``branch_operand`` are derived once in
+    ``__post_init__`` rather than per access — the instruction loop reads
+    both on every executed instruction.
+    """
 
     mnemonic: str
     value: int                    #: architectural opcode byte
@@ -56,19 +64,17 @@ class OpcodeInfo:
     group: OpcodeGroup            #: Table 1 group
     family: str                   #: shared execute micro-routine name
 
-    @property
-    def specifier_operands(self) -> tuple:
-        """Operands encoded as general operand specifiers."""
-        return tuple(op for op in self.operands
-                     if not op.is_branch_displacement)
-
-    @property
-    def branch_operand(self):
-        """The branch-displacement operand, or None."""
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "specifier_operands",
+            tuple(op for op in self.operands
+                  if not op.is_branch_displacement))
+        branch = None
         for op in self.operands:
             if op.is_branch_displacement:
-                return op
-        return None
+                branch = op
+                break
+        object.__setattr__(self, "branch_operand", branch)
 
     def __str__(self) -> str:
         return self.mnemonic

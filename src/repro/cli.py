@@ -52,6 +52,10 @@ def _build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--seed", type=int, default=1984)
     characterize.add_argument("--table", default="all",
                               help="which table: 1-9, s4, or 'all'")
+    characterize.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the five workloads (1 = serial; "
+             "results are bit-identical either way)")
 
     one = sub.add_parser("run-workload",
                          help="run one workload environment")
@@ -79,7 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_characterize(args) -> int:
     from repro.workloads.experiments import standard_composite
     composite = standard_composite(instructions=args.instructions,
-                                   seed=args.seed)
+                                   seed=args.seed, jobs=args.jobs)
     keys = list(_TABLES) if args.table == "all" else [args.table]
     for key in keys:
         if key not in _TABLES:

@@ -20,7 +20,7 @@ drive the EBOX through a small primitive vocabulary:
 
 from __future__ import annotations
 
-from repro.arch.datatypes import MASKS, is_negative, sign_extend
+from repro.arch.datatypes import MASKS, SIGN_BITS, is_negative, sign_extend
 from repro.arch.opcodes import OperandKind
 from repro.arch.registers import PC, SP, KERNEL, PSL
 from repro.arch.specifiers import AddressingMode
@@ -82,6 +82,25 @@ class EBox:
         self.tracer = tracer
         self.ib = InstructionBuffer(mem, tb, translator, params)
 
+        #: Hot-loop bindings.  Every one of these objects is created once
+        #: and then mutated in place for the life of the machine (the
+        #: stats objects reset via ``__init__`` on the same instance, the
+        #: maps and sets are cleared in place), so holding direct
+        #: references is safe and saves an attribute chain per microcycle.
+        self._tb_maps = tb._maps
+        self._tb_stats = tb.stats
+        self._cache_read = mem.cache.read
+        self._cache_stats = mem.cache.stats
+        self._cache_resident = mem.cache._resident
+        self._cache_block_shift = mem.cache._block_shift
+        self._sbi_read = mem.sbi.read_transaction
+        self._read_data = mem.read_data
+        self._write_data = mem.write_data
+        self._cache_write = mem.cache.write
+        self._wb_issue = mem.write_buffer.issue
+        self._mem_read = mem.memory.read
+        self._mem_write = mem.memory.write
+
         self.registers = [0] * 16
         self.psl = PSL()
         #: Per-access-mode stack pointers (the architectural KSP..USP).
@@ -107,15 +126,173 @@ class EBox:
     # ------------------------------------------------------------------
 
     def tick(self, cycles: int, port_free: bool = True) -> None:
-        """Advance simulated time; the I-Fetch engine runs in parallel."""
+        """Advance simulated time; the I-Fetch engine runs in parallel.
+
+        Equivalent, cycle for cycle, to :meth:`tick_reference` — but
+        windows where the fill engine is provably idle are fast-forwarded
+        in one step instead of being walked a cycle at a time.  The
+        engine is idle for a whole window when no fill is in flight and
+        none can start (port busy, IB full, or filling blocked on an
+        I-stream TB miss / page fault), or while an in-flight fill's
+        data has not arrived yet.  On such cycles the per-cycle engine
+        does nothing, so skipping them cannot change any count.
+
+        The fill engine itself (:meth:`InstructionBuffer.tick`) is
+        inlined here: it runs several times per instruction, and the
+        call plus re-resolved attribute chains were the single largest
+        interpreter cost in the simulator.
+        """
+        ib = self.ib
+        now = self.now
+        pending = ib.pending
+        # Whole-window idle preamble: no loop setup for the two most
+        # common cases (engine blocked, or a fill not ready until after
+        # the window).
+        if pending is None:
+            if (not port_free or ib.count >= ib.capacity
+                    or ib.tb_miss_va is not None
+                    or ib.fault_va is not None):
+                self.now = now + cycles
+                return
+        elif pending[0] - now - 1 >= cycles:
+            self.now = now + cycles
+            return
+        while cycles > 0:
+            if pending is None:
+                if (not port_free or ib.count >= ib.capacity
+                        or ib.tb_miss_va is not None
+                        or ib.fault_va is not None):
+                    now += cycles
+                    break
+                # The engine issues a reference this cycle.
+                now += 1
+                cycles -= 1
+                va = ib.prefetch_va
+                pfn = self._tb_maps[va >> 31].get(va >> 9)
+                tbs = self._tb_stats
+                if pfn is None:
+                    tbs.misses += 1
+                    tbs.i_misses += 1
+                    ib.tb_miss_va = va
+                    # Filling is now blocked for the rest of the window.
+                    now += cycles
+                    break
+                tbs.hits += 1
+                pa4 = ((pfn << PAGE_SHIFT) | (va & _PAGE_MASK)) & ~3
+                if (pa4 >> self._cache_block_shift) in self._cache_resident:
+                    self._cache_stats.read_hits["i"] += 1
+                    ib.references += 1
+                    if cycles > 0:
+                        # Cache hit: the data arrives next cycle, which
+                        # is still inside this window — fuse the issue
+                        # and delivery cycles into one iteration.
+                        now += 1
+                        cycles -= 1
+                        take = 4 - (va & 3)
+                        room = ib.capacity - ib.count
+                        if take > room:
+                            take = room
+                        ib.count += take
+                        ib.bytes_delivered += take
+                        ib.prefetch_va = (va + take) & _WORD
+                    else:
+                        pending = ib.pending = (now + 1, va)
+                else:
+                    self._cache_read(pa4, "i")
+                    ib.references += 1
+                    pending = ib.pending = (self._sbi_read(now), va)
+            else:
+                wait = pending[0] - now - 1
+                if wait >= cycles:
+                    now += cycles
+                    break
+                if wait > 0:
+                    now += wait
+                    cycles -= wait
+                # Delivery cycle: the data arrives and the IB accepts as
+                # many bytes as it has room for.
+                now += 1
+                cycles -= 1
+                va = pending[1]
+                take = 4 - (va & 3)
+                room = ib.capacity - ib.count
+                if take > room:
+                    take = room
+                ib.count += take
+                ib.bytes_delivered += take
+                ib.prefetch_va = (va + take) & _WORD
+                pending = ib.pending = None
+        self.now = now
+
+    def tick_reference(self, cycles: int, port_free: bool = True) -> None:
+        """The per-cycle reference loop :meth:`tick` must match.
+
+        Kept as the executable specification of the timing model; the
+        fast-forward regression tests run whole programs under both
+        implementations and require bit-identical histograms.
+        """
         ib_tick = self.ib.tick
         for _ in range(cycles):
             self.now += 1
             ib_tick(self.now, port_free)
 
     def _cycle_raw(self, upc: int, n: int = 1) -> None:
-        """Charge ``n`` compute cycles at ``upc`` (no fusing)."""
-        self.board.count(upc, n)
+        """Charge ``n`` compute cycles at ``upc`` (no fusing).
+
+        The histogram increment and :meth:`tick`'s idle-window fast path
+        are inlined: this runs several times per instruction and the two
+        extra calls were pure interpreter overhead.
+        """
+        board = self.board
+        if board.enabled:
+            board.nonstalled[upc] += n
+        ib = self.ib
+        pending = ib.pending
+        now = self.now
+        if pending is None:
+            if (ib.count >= ib.capacity or ib.tb_miss_va is not None
+                    or ib.fault_va is not None):
+                self.now = now + n
+                return
+            if n == 1:
+                # Single active cycle: the fill engine's issue step,
+                # inline (matches tick()'s issue branch with cycles=1).
+                self.now = now + 1
+                va = ib.prefetch_va
+                pfn = self._tb_maps[va >> 31].get(va >> 9)
+                tbs = self._tb_stats
+                if pfn is None:
+                    tbs.misses += 1
+                    tbs.i_misses += 1
+                    ib.tb_miss_va = va
+                    return
+                tbs.hits += 1
+                pa4 = ((pfn << PAGE_SHIFT) | (va & _PAGE_MASK)) & ~3
+                ib.references += 1
+                if (pa4 >> self._cache_block_shift) in self._cache_resident:
+                    self._cache_stats.read_hits["i"] += 1
+                    ib.pending = (now + 2, va)
+                else:
+                    self._cache_read(pa4, "i")
+                    ib.pending = (self._sbi_read(now + 1), va)
+                return
+        elif pending[0] - now - 1 >= n:
+            self.now = now + n
+            return
+        elif n == 1:
+            # Single cycle with the fill's data due: the delivery step,
+            # inline (matches tick()'s delivery branch with cycles=1).
+            self.now = now + 1
+            va = pending[1]
+            take = 4 - (va & 3)
+            room = ib.capacity - ib.count
+            if take > room:
+                take = room
+            ib.count += take
+            ib.bytes_delivered += take
+            ib.prefetch_va = (va + take) & _WORD
+            ib.pending = None
+            return
         self.tick(n)
 
     def cycle(self, upc: int, n: int = 1) -> None:
@@ -131,8 +308,7 @@ class EBox:
             self.tick(1)
             n -= 1
         if n > 0:
-            self.board.count(upc, n)
-            self.tick(n)
+            self._cycle_raw(upc, n)
 
     def arm_fused_cycle(self, upc: int) -> None:
         """Arm the fused first-execute-cycle optimisation."""
@@ -149,6 +325,12 @@ class EBox:
     def translate(self, va: int, stream: str = "d") -> int:
         """TB-translate ``va``, servicing misses via the microtrap flow."""
         va &= _WORD
+        # TB hit (the overwhelmingly common case): the flat VPN map is
+        # exactly the associative lookup, counted identically.
+        pfn = self._tb_maps[va >> 31].get(va >> 9)
+        if pfn is not None:
+            self._tb_stats.hits += 1
+            return (pfn << PAGE_SHIFT) | (va & _PAGE_MASK)
         while True:
             pfn = self.tb.lookup(va, stream)
             if pfn is not None:
@@ -202,12 +384,65 @@ class EBox:
 
     def read(self, va: int, size: int, upc: int) -> int:
         """D-stream read of 1-4 bytes, charged at ``upc``."""
+        va &= _WORD
+        if (va & _PAGE_MASK) + size <= PAGE_BYTES:
+            # Single-page access (the overwhelmingly common case).
+            pfn = self._tb_maps[va >> 31].get(va >> 9)
+            if pfn is not None:
+                self._tb_stats.hits += 1
+                pa = (pfn << PAGE_SHIFT) | (va & _PAGE_MASK)
+            else:
+                pa = self.translate(va)
+            if (pa + size - 1) >> 2 == pa >> 2:
+                # Aligned within one longword: same sequencing as
+                # MemorySubsystem.read_data, with no result object.
+                board = self.board
+                board.count(upc)
+                now = self.now
+                pending = self.ib.pending
+                if self._cache_read(pa & ~3, "d"):
+                    # The engine can only deliver during the reference
+                    # window (the EBOX holds the port): absorb the whole
+                    # window unless a fill's data is due inside it.
+                    if pending is None or pending[0] - now >= 2:
+                        self.now = now + 1
+                    else:
+                        self.tick(1, port_free=False)
+                    return self._mem_read(pa, size)
+                stall = self._sbi_read(now) - now
+                if pending is None or pending[0] - now - 1 >= 1 + stall:
+                    self.now = now + 1 + stall
+                    if stall:
+                        board.count_stall(upc, stall)
+                else:
+                    self.tick(1, port_free=False)
+                    if stall:
+                        board.count_stall(upc, stall)
+                        self.tick(stall, port_free=False)
+                return self._mem_read(pa, size)
+            result = self._read_data(pa, size, self.now)
+            board = self.board
+            board.count(upc)
+            stall = result.stall_cycles
+            if self.ib.pending is None:
+                self.now += 1 + stall
+                if stall:
+                    board.count_stall(upc, stall)
+            else:
+                self.tick(1, port_free=False)
+                if stall:
+                    board.count_stall(upc, stall)
+                    self.tick(stall, port_free=False)
+            if result.physical_refs > 1:
+                # Alignment microcode (Row.MEM_MGMT).
+                self._cycle_raw(self.u.unaligned_calc,
+                                result.physical_refs - 1)
+            return result.value
         value = 0
         shift = 0
-        chunks = self._chunks(va, size)
-        for i, (chunk_va, chunk_size) in enumerate(chunks):
+        for i, (chunk_va, chunk_size) in enumerate(self._chunks(va, size)):
             pa = self.translate(chunk_va, "d")
-            result = self.mem.read_data(pa, chunk_size, self.now)
+            result = self._read_data(pa, chunk_size, self.now)
             self.board.count(upc)
             self.tick(1, port_free=False)
             if result.stall_cycles:
@@ -215,7 +450,6 @@ class EBox:
                 self.tick(result.stall_cycles, port_free=False)
             extra_refs = result.physical_refs - 1 + (1 if i else 0)
             if extra_refs:
-                # Alignment microcode (Row.MEM_MGMT).
                 self._cycle_raw(self.u.unaligned_calc, extra_refs)
             value |= result.value << shift
             shift += 8 * chunk_size
@@ -223,14 +457,57 @@ class EBox:
 
     def write(self, va: int, value: int, size: int, upc: int) -> None:
         """D-stream write of 1-4 bytes through the write buffer."""
+        va &= _WORD
+        if (va & _PAGE_MASK) + size <= PAGE_BYTES:
+            pfn = self._tb_maps[va >> 31].get(va >> 9)
+            if pfn is not None:
+                self._tb_stats.hits += 1
+                pa = (pfn << PAGE_SHIFT) | (va & _PAGE_MASK)
+            else:
+                pa = self.translate(va)
+            if (pa + size - 1) >> 2 == pa >> 2:
+                # Aligned within one longword: same sequencing as
+                # MemorySubsystem.write_data, with no result object.
+                self._cache_write(pa & ~3)
+                now = self.now
+                stall = self._wb_issue(now)
+                self._mem_write(pa, value & MASKS[size], size)
+                board = self.board
+                board.count(upc)
+                pending = self.ib.pending
+                if pending is None or pending[0] - now - 1 >= 1 + stall:
+                    self.now = now + 1 + stall
+                    if stall:
+                        board.count_stall(upc, stall)
+                else:
+                    self.tick(1, port_free=False)
+                    if stall:
+                        board.count_stall(upc, stall)
+                        self.tick(stall, port_free=False)
+                return
+            result = self._write_data(pa, value & MASKS[size], size,
+                                      self.now)
+            board = self.board
+            board.count(upc)
+            stall = result.stall_cycles
+            if self.ib.pending is None:
+                self.now += 1 + stall
+                if stall:
+                    board.count_stall(upc, stall)
+            else:
+                self.tick(1, port_free=False)
+                if stall:
+                    board.count_stall(upc, stall)
+                    self.tick(stall, port_free=False)
+            if result.physical_refs > 1:
+                self._cycle_raw(self.u.unaligned_calc,
+                                result.physical_refs - 1)
+            return
         shift = 0
-        chunks = self._chunks(va, size)
-        for i, (chunk_va, chunk_size) in enumerate(chunks):
+        for i, (chunk_va, chunk_size) in enumerate(self._chunks(va, size)):
             pa = self.translate(chunk_va, "d")
-            chunk = (value >> shift) & MASKS[chunk_size] \
-                if chunk_size in MASKS else \
-                (value >> shift) & ((1 << (8 * chunk_size)) - 1)
-            result = self.mem.write_data(pa, chunk, chunk_size, self.now)
+            chunk = (value >> shift) & MASKS[chunk_size]
+            result = self._write_data(pa, chunk, chunk_size, self.now)
             self.board.count(upc)
             self.tick(1, port_free=False)
             if result.stall_cycles:
@@ -281,7 +558,42 @@ class EBox:
         Each stalled cycle executes the per-context insufficient-bytes
         dispatch microinstruction — its execution count *is* the IB-stall
         cycle count (§4.3).
+
+        Stall cycles are charged in batches: while a fill is in flight
+        the number of dispatch re-executions until its data arrives is
+        known up front, so the histogram increment and the time advance
+        are done once per fill rather than once per cycle.  The counts
+        are identical to :meth:`ib_take_reference`'s per-cycle loop.
         """
+        ib = self.ib
+        if ib.count >= nbytes:
+            ib.count -= nbytes
+            return
+        count = self.board.count
+        guard = 0
+        while ib.count < nbytes:
+            if ib.tb_miss_va is not None:
+                va = ib.tb_miss_va
+                self.service_tb_miss(va, "i")
+                ib.clear_tb_miss()
+                continue
+            pending = ib.pending
+            n = 1
+            if pending is not None:
+                wait = pending[0] - self.now
+                if wait > 1:
+                    n = wait
+            count(stall_upc, n)
+            self.tick(n, port_free=True)
+            guard += n
+            if guard > 100000:
+                raise SimulatorError(
+                    f"IB stall livelock waiting for {nbytes} bytes at "
+                    f"pc={self.pc:#010x}")
+        ib.count -= nbytes
+
+    def ib_take_reference(self, nbytes: int, stall_upc: int) -> None:
+        """Per-cycle reference for :meth:`ib_take` (executable spec)."""
         ib = self.ib
         guard = 0
         while ib.count < nbytes:
@@ -291,7 +603,7 @@ class EBox:
                 ib.clear_tb_miss()
                 continue
             self.board.count(stall_upc)
-            self.tick(1, port_free=True)
+            self.tick_reference(1, port_free=True)
             guard += 1
             if guard > 100000:
                 raise SimulatorError(
@@ -329,15 +641,291 @@ class EBox:
 
         Charges specifier-row cycles, reads read/modify operands, and
         returns one :class:`OperandRef` per specifier operand.
+
+        The per-specifier work is driven by a compiled *plan* cached on
+        the (decode-cached, re-executed) instruction: one closure per
+        specifier with the mode/access dispatch, the µPC constants and
+        any static addresses resolved at compile time.  Each plan step
+        performs exactly the operations of :meth:`_evaluate_one` — the
+        executable reference, still used directly for the rare modes —
+        so counts and state updates are identical.
         """
+        plan = inst.eval_plan
+        if plan is None:
+            plan = self._compile_plan(inst)
+        ib = self.ib
         refs = []
-        kinds = inst.info.specifier_operands
-        for position, (spec, kind) in enumerate(zip(inst.specifiers, kinds)):
-            row = Row.SPEC1 if position == 0 else Row.SPEC26
-            stall_upc = self.u.spec_stall[row]
-            self.ib_take(spec.length, stall_upc)
-            refs.append(self._evaluate_one(inst, spec, kind, row))
+        for nbytes, stall_upc, step in plan:
+            if ib.count >= nbytes:
+                ib.count -= nbytes
+            else:
+                self.ib_take(nbytes, stall_upc)
+            refs.append(step())
         return refs
+
+    def _compile_plan(self, inst):
+        """Compile the per-specifier evaluation plan for ``inst``."""
+        plan = []
+        kinds = inst.info.specifier_operands
+        for position, (spec, kind) in enumerate(zip(inst.specifiers,
+                                                    kinds)):
+            row = Row.SPEC1 if position == 0 else Row.SPEC26
+            plan.append((spec.length, self.u.spec_stall[row],
+                         self._compile_one(inst, spec, kind, row)))
+        plan = tuple(plan)
+        inst.eval_plan = plan
+        return plan
+
+    def _compile_one(self, inst, spec, kind, row):
+        """One specifier's plan step: a closure matching _evaluate_one.
+
+        Specifier evaluation is the simulator's hottest dispatch: the
+        closures bake in the addressing-mode branch, the operand access
+        type and size, the specifier-flow µPCs, and — for literals,
+        immediates and PC-relative operands — the fully constant result.
+        Constant OperandRefs are shared across executions; nothing in
+        the execute flows mutates an evaluated operand.  Anything
+        unusual (illegal combinations, unknown modes) falls back to the
+        reference evaluator so errors surface exactly where they did.
+        """
+        mode = spec.mode
+        access = kind.access
+        size = kind.size
+        registers = self.registers
+        cycle_raw = self._cycle_raw
+        read = self.read
+
+        def generic():
+            return self._evaluate_one(inst, spec, kind, row)
+
+        if mode is _M.SHORT_LITERAL:
+            if access not in ("r", "v"):
+                return generic
+            ref = OperandRef("value",
+                             expand_short_literal(spec.value, kind),
+                             0, 0, size)
+            return lambda: ref
+
+        if mode is _M.REGISTER:
+            if access == "a":
+                return generic
+            reg = spec.register
+            if access == "r":
+                if reg == PC:
+                    ref = OperandRef(
+                        "value", (inst.address + spec.end_offset) & _WORD,
+                        0, 0, size)
+                    return lambda: ref
+                if size <= 4:
+                    msk = MASKS[size]
+
+                    def step():
+                        return OperandRef("value", registers[reg] & msk,
+                                          0, 0, size)
+                    return step
+                reg2 = (reg + 1) & 0xF
+
+                def step():
+                    return OperandRef(
+                        "value", (registers[reg] & _WORD)
+                        | ((registers[reg2] & _WORD) << 32), 0, 0, size)
+                return step
+            if access == "m":
+                if reg != PC and size <= 4:
+                    msk = MASKS[size]
+
+                    def step():
+                        return OperandRef("reg", registers[reg] & msk,
+                                          reg, 0, size)
+                    return step
+                return generic
+
+            # Write-only register refs carry no execution-dependent
+            # state; share one constant ref like literals.
+            ref = OperandRef("reg", 0, reg, 0, size)
+            return lambda: ref
+
+        flows = self.u.spec_flows[row]
+
+        if mode is _M.IMMEDIATE:
+            if access not in ("r", "v") or mode not in flows:
+                return generic
+            imm_upc = flows[mode].imm
+            ncyc = 1 if size <= 4 else 2
+            val = spec.value
+
+            def step():
+                cycle_raw(imm_upc, ncyc)
+                return OperandRef("value", val, 0, 0, size)
+            return step
+
+        if mode not in flows:
+            return generic
+        flow = flows[mode]
+
+        # -- effective-address closure per mode ---------------------------
+        if mode is _M.REGISTER_DEFERRED:
+            reg = spec.register
+
+            def addr_fn():
+                return registers[reg]
+        elif mode is _M.AUTOINCREMENT:
+            reg = spec.register
+
+            def addr_fn():
+                addr = registers[reg]
+                registers[reg] = (addr + size) & _WORD
+                return addr
+        elif mode is _M.AUTODECREMENT:
+            reg = spec.register
+            update_upc = flow.update
+
+            def addr_fn():
+                addr = (registers[reg] - size) & _WORD
+                registers[reg] = addr
+                cycle_raw(update_upc)
+                return addr
+        elif mode is _M.AUTOINC_DEFERRED:
+            reg = spec.register
+            ptr_upc = flow.ptr
+
+            def addr_fn():
+                ptr = registers[reg]
+                registers[reg] = (ptr + 4) & _WORD
+                return read(ptr, 4, ptr_upc)
+        elif mode is _M.ABSOLUTE:
+            imm_upc = flow.imm
+            const_addr = spec.value
+
+            def addr_fn():
+                cycle_raw(imm_upc)
+                return const_addr
+        elif mode is _M.DISPLACEMENT:
+            reg = spec.register
+            disp = spec.displacement
+            if spec.disp_size > 1:
+                calc_upc = flow.calc
+
+                def addr_fn():
+                    cycle_raw(calc_upc)
+                    return (registers[reg] + disp) & _WORD
+            else:
+                def addr_fn():
+                    return (registers[reg] + disp) & _WORD
+        elif mode is _M.DISP_DEFERRED:
+            reg = spec.register
+            disp = spec.displacement
+            need_calc = spec.disp_size > 1
+            calc_upc = flow.calc
+            update_upc = flow.update
+            ptr_upc = flow.ptr
+
+            def addr_fn():
+                if need_calc:
+                    cycle_raw(calc_upc)
+                ptr = (registers[reg] + disp) & _WORD
+                cycle_raw(update_upc)  # indirect pointer staging
+                return read(ptr, 4, ptr_upc)
+        elif mode is _M.RELATIVE:
+            const_addr = (inst.address + spec.end_offset
+                          + spec.displacement) & _WORD
+            if spec.disp_size > 1:
+                calc_upc = flow.calc
+
+                def addr_fn():
+                    cycle_raw(calc_upc)
+                    return const_addr
+            else:
+                def addr_fn():
+                    return const_addr
+        elif mode is _M.RELATIVE_DEFERRED:
+            const_ptr = (inst.address + spec.end_offset
+                         + spec.displacement) & _WORD
+            need_calc = spec.disp_size > 1
+            calc_upc = flow.calc
+            update_upc = flow.update
+            ptr_upc = flow.ptr
+
+            def addr_fn():
+                if need_calc:
+                    cycle_raw(calc_upc)
+                cycle_raw(update_upc)
+                return read(const_ptr, 4, ptr_upc)
+        else:
+            return generic
+
+        if spec.indexed:
+            base_fn = addr_fn
+            xreg = spec.index_register
+            index_upc = self.u.index_calc
+
+            def addr_fn():
+                addr = base_fn()
+                addr = (addr + sign_extend(registers[xreg], 4) * size) \
+                    & _WORD
+                cycle_raw(index_upc)
+                return addr
+
+        # -- access-type closure ------------------------------------------
+        if access == "r":
+            read_upc = flow.read
+            if size <= 4:
+                def step():
+                    return OperandRef("value",
+                                      read(addr_fn(), size, read_upc),
+                                      0, 0, size)
+            else:
+                def step():
+                    addr = addr_fn()
+                    value = read(addr, 4, read_upc)
+                    value |= read((addr + 4) & _WORD, 4, read_upc) << 32
+                    return OperandRef("value", value, 0, 0, size)
+            return step
+        if access == "m":
+            read_upc = flow.read
+            write_upc = flow.write
+            if size <= 4:
+                def step():
+                    addr = addr_fn()
+                    return OperandRef("mem", read(addr, size, read_upc),
+                                      0, addr, size, write_upc)
+            else:
+                def step():
+                    addr = addr_fn()
+                    value = read(addr, 4, read_upc)
+                    value |= read((addr + 4) & _WORD, 4, read_upc) << 32
+                    return OperandRef("mem", value, 0, addr, size,
+                                      write_upc)
+            return step
+        if access == "w":
+            write_upc = flow.write
+
+            def step():
+                return OperandRef("mem", 0, 0, addr_fn(), size, write_upc)
+            return step
+        if access in ("a", "v"):
+            # Address formation for non-scalar data is specifier work
+            # (§3.2); deferred modes already paid their pointer read.
+            need_calc = mode in (_M.REGISTER_DEFERRED, _M.AUTOINCREMENT,
+                                 _M.AUTODECREMENT, _M.DISPLACEMENT,
+                                 _M.RELATIVE, _M.ABSOLUTE)
+            calc_upc = flow.calc
+            if access == "a":
+                def step():
+                    addr = addr_fn()
+                    if need_calc:
+                        cycle_raw(calc_upc)
+                    return OperandRef("value", addr, 0, 0, size)
+                return step
+            write_upc = flow.write
+
+            def step():
+                addr = addr_fn()
+                if need_calc:
+                    cycle_raw(calc_upc)
+                return OperandRef("mem", 0, 0, addr, size, write_upc)
+            return step
+        return generic
 
     def _evaluate_one(self, inst, spec, kind, row) -> OperandRef:
         mode = spec.mode
@@ -465,9 +1053,13 @@ class EBox:
         charge); memory stores are the specifier-row write the paper
         attributes to operand processing.
         """
-        if ref.kind == "reg":
-            self.reg_write(ref.reg, value, ref.size)
-        elif ref.kind == "mem":
+        kind = ref.kind
+        if kind == "reg":
+            if ref.size == 4:
+                self.registers[ref.reg] = value & _WORD
+            else:
+                self.reg_write(ref.reg, value, ref.size)
+        elif kind == "mem":
             if ref.size <= 4:
                 self.write(ref.addr, value, ref.size, ref.write_upc)
             else:
@@ -542,8 +1134,9 @@ class EBox:
                keep_c: bool = True) -> None:
         """The common N/Z update (C preserved unless ``keep_c`` is False)."""
         cc = self.psl.cc
-        cc.n = is_negative(value, size)
-        cc.z = (value & MASKS[size]) == 0
+        value &= MASKS[size]
+        cc.n = (value & SIGN_BITS[size]) != 0
+        cc.z = value == 0
         cc.v = v
         if not keep_c:
             cc.c = False

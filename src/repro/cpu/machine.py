@@ -31,7 +31,8 @@ from repro.ucode.map import MicrocodeMap
 from repro.ucode.registry import EXECUTORS
 from repro.ucode.rows import Row
 from repro.vm.address import PAGE_SHIFT, S0, S0_BASE, is_system_space, make_va
-from repro.vm.pagetable import PageFault, RegionTable, Translator
+from repro.vm.pagetable import (PTE_VALID, PageFault, RegionTable,
+                                Translator)
 from repro.vm.tb import TranslationBuffer
 
 # Import for side effects: registers every execute flow.
@@ -59,7 +60,12 @@ _REG_OR_LITERAL = (AddressingMode.REGISTER, AddressingMode.SHORT_LITERAL)
 
 
 class PendingInterrupt:
-    """One posted hardware interrupt."""
+    """One posted hardware interrupt.
+
+    The machine keeps posted interrupts sorted by ascending IPL (ties in
+    posting order), so selection reads the tail instead of scanning and
+    delivery deletes by index instead of ``list.remove``.
+    """
 
     __slots__ = ("ipl", "scb_offset")
 
@@ -103,6 +109,8 @@ class VAX780:
         self._decode_cache = {}
         self._patched_families = frozenset(params.patched_families)
         self._overlapped_decode = params.overlapped_decode
+        self._ird_stall = self.umap.ird_stall
+        self._bdisp_stall = self.umap.bdisp_stall
         #: True when the previous instruction changed the PC (pipeline
         #: restart: the decode cycle cannot be hidden).
         self._pc_changed = True
@@ -112,6 +120,10 @@ class VAX780:
         self.sisr = 0          # software interrupt summary register
         self._hw_pending = []  # posted hardware interrupts
         self.devices = []      # objects with poll(machine)
+        #: earliest cycle any device could be due; polls are skipped
+        #: until then (devices expose ``next_fire``; one without it is
+        #: simply polled every step).
+        self._device_due = 0
         self._spaces_by_pcb = {}
         self.halted = False
         #: optional executive hook called at every instruction boundary.
@@ -134,8 +146,11 @@ class VAX780:
         """Identity-map the first ``npages`` of S0 onto physical frames."""
         if npages is None:
             npages = self.params.memory_bytes >> PAGE_SHIFT
-        for page in range(npages):
-            self.translator.map_page(make_va(S0, page), pfn=page)
+        # One bulk image write: byte-identical to npages map_page calls.
+        self.mem.load_image(
+            self.s0_table.base_pa,
+            b"".join((PTE_VALID | page).to_bytes(4, "little")
+                     for page in range(npages)))
 
     def register_address_space(self, pcb_base: int, space) -> None:
         """Associate a PCB physical base with a process address space."""
@@ -168,7 +183,7 @@ class VAX780:
     # ------------------------------------------------------------------
 
     def _decode(self, va: int):
-        if is_system_space(va):
+        if va & 0x80000000:  # is_system_space, inlined for the hot path
             key = va
         else:
             space = self.translator.current_space
@@ -195,19 +210,33 @@ class VAX780:
     # ------------------------------------------------------------------
 
     def post_interrupt(self, ipl: int, scb_offset: int) -> None:
-        """Post a hardware interrupt at ``ipl`` with an SCB vector."""
-        self._hw_pending.append(PendingInterrupt(ipl, scb_offset))
+        """Post a hardware interrupt at ``ipl`` with an SCB vector.
+
+        Insertion keeps ``_hw_pending`` sorted by ascending IPL, equal
+        IPLs in posting order (the queue is nearly always empty or one
+        deep, so the tail scan is effectively O(1)).
+        """
+        lst = self._hw_pending
+        i = len(lst)
+        while i > 0 and lst[i - 1].ipl > ipl:
+            i -= 1
+        lst.insert(i, PendingInterrupt(ipl, scb_offset))
 
     def _select_interrupt(self):
-        """Highest-priority deliverable interrupt, or None."""
+        """Highest-priority deliverable interrupt, or None.
+
+        With the queue sorted, the winner — the earliest-posted among the
+        maximum-IPL entries — is the head of the tail run of equal IPLs.
+        """
         current_ipl = self.ebox.psl.ipl
-        best = None
-        for pending in self._hw_pending:
-            if pending.ipl > current_ipl and \
-                    (best is None or pending.ipl > best.ipl):
-                best = pending
-        if best is not None:
-            return best
+        lst = self._hw_pending
+        if lst:
+            top_ipl = lst[-1].ipl
+            if top_ipl > current_ipl:
+                i = len(lst) - 1
+                while i > 0 and lst[i - 1].ipl == top_ipl:
+                    i -= 1
+                return lst[i]
         if self.sisr:
             level = self.sisr.bit_length() - 1
             if level > current_ipl:
@@ -218,8 +247,17 @@ class VAX780:
     def _deliver_interrupt(self, pending: PendingInterrupt) -> None:
         e, u = self.ebox, self.umap
         self.tracer.interrupts += 1
-        if pending in self._hw_pending:
-            self._hw_pending.remove(pending)
+        # Hardware interrupts live in the sorted queue; find the entry by
+        # identity from the tail (it can only sit in the >=-IPL run) and
+        # delete it by index.  Anything else is a software interrupt.
+        lst = self._hw_pending
+        i = len(lst) - 1
+        while i >= 0 and lst[i].ipl >= pending.ipl:
+            if lst[i] is pending:
+                break
+            i -= 1
+        if i >= 0 and lst[i] is pending:
+            del lst[i]
         else:
             self.sisr &= ~(1 << pending.ipl)
         e._cycle_raw(u.irq_entry)
@@ -322,27 +360,51 @@ class VAX780:
         """Execute one instruction (plus any interrupt delivered first)."""
         if self.boundary_hook is not None:
             self.boundary_hook(self)
-        for device in self.devices:
-            device.poll(self)
-        pending = self._select_interrupt()
-        if pending is not None:
-            self._deliver_interrupt(pending)
-
         e = self.ebox
+        if e.now >= self._device_due:
+            devices = self.devices
+            if devices:
+                due = 1 << 62
+                for device in devices:
+                    device.poll(self)
+                    nf = getattr(device, "next_fire", 0)
+                    if nf < due:
+                        due = nf
+                self._device_due = due
+        if self._hw_pending or self.sisr:
+            pending = self._select_interrupt()
+            if pending is not None:
+                self._deliver_interrupt(pending)
+
         pc = e.pc
         e.restart_pc = pc
         saved_registers = list(e.registers)
-        try:
-            inst = self._decode(pc)
-        except PageFault as fault:
-            self.tracer.page_faults += 1
-            self._deliver_exception(PageFaultTrap(fault.va, pc))
-            return
+        if pc & 0x80000000:
+            inst = self._decode_cache.get(pc)
+        else:
+            space = self.translator.current_space
+            inst = self._decode_cache.get(
+                (pc, space.asid if space is not None else -1))
+        if inst is None:
+            try:
+                inst = self._decode(pc)
+            except PageFault as fault:
+                self.tracer.page_faults += 1
+                self._deliver_exception(PageFaultTrap(fault.va, pc))
+                return
 
+        hot = inst.exec_info
+        if hot is None:
+            hot = self._compile_step_info(inst)
+        ird_upc, patched, br_nbytes, func, slots = hot
         try:
-            e.ib_take(1, self.umap.ird_stall)
+            ib = e.ib
+            if ib.count >= 1:
+                ib.count -= 1
+            else:
+                e.ib_take(1, self._ird_stall)
             if not self._overlapped_decode or self._pc_changed:
-                e._cycle_raw(self.umap.ird[inst.info.family])
+                e._cycle_raw(ird_upc)
             else:
                 # 11/750-style overlap: the decode happened under the
                 # previous instruction's execution.  The dispatch is
@@ -350,16 +412,20 @@ class VAX780:
                 # instructions) but costs no EBOX cycle — on such a
                 # machine the histogram's decode counts are event
                 # counts, not cycle counts.
-                self.board.count(self.umap.ird[inst.info.family])
-            if inst.info.family in self._patched_families:
+                self.board.count(ird_upc)
+            if patched:
                 e._cycle_raw(self.umap.patch_abort)
-            ops = e.evaluate_specifiers(inst)
-            if inst.info.branch_operand is not None:
-                e.consume_branch_displacement(inst)
-            self._maybe_arm_fusion(inst)
-            func, slots = self._dispatch[inst.info.family]
+            plan = inst.eval_plan
+            ops = [] if plan == () else e.evaluate_specifiers(inst)
+            if br_nbytes:
+                e.ib_take(br_nbytes, self._bdisp_stall)
+            fused = inst.fused_upc
+            if fused is None:
+                fused = self._compute_fused_upc(inst)
+            if fused is not False:
+                e._fused_upc = fused
             next_pc = func(e, inst, ops, slots)
-            e.disarm_fused_cycle()
+            e._fused_upc = None
             self._pc_changed = next_pc is not None
             e.pc = inst.next_pc if next_pc is None else next_pc
             self.tracer.note_instruction(inst)
@@ -371,17 +437,38 @@ class VAX780:
             self.tracer.note_instruction(inst)
             self.halted = True
 
-    def _maybe_arm_fusion(self, inst) -> None:
+    def _compile_step_info(self, inst):
+        """Per-instruction dispatch constants, cached on the instruction.
+
+        (IRD µPC, patched-family flag, branch-displacement byte count,
+        execute function, µPC slot map) — everything :meth:`step` would
+        otherwise re-derive from the opcode info on every execution.
+        """
         info = inst.info
-        if info.family not in _FUSABLE_FAMILIES:
-            return
-        if not inst.specifiers:
-            return
-        for spec in inst.specifiers:
-            if spec.mode not in _REG_OR_LITERAL:
-                return
-        row = Row.SPEC1 if len(inst.specifiers) == 1 else Row.SPEC26
-        self.ebox.arm_fused_cycle(self.umap.spec_fused[row])
+        family = info.family
+        branch = info.branch_operand
+        br_nbytes = 0 if branch is None else (1 if branch.dtype == "b"
+                                              else 2)
+        func, slots = self._dispatch[family]
+        hot = (self.umap.ird[family], family in self._patched_families,
+               br_nbytes, func, slots)
+        inst.exec_info = hot
+        return hot
+
+    def _compute_fused_upc(self, inst):
+        """Fused-first-execute-cycle µPC for ``inst`` (cached on it).
+
+        Returns the µPC when the literal/register operand optimisation
+        applies, else False (None marks "not yet computed").
+        """
+        fused = False
+        if inst.info.family in _FUSABLE_FAMILIES and inst.specifiers and \
+                all(spec.mode in _REG_OR_LITERAL
+                    for spec in inst.specifiers):
+            row = Row.SPEC1 if len(inst.specifiers) == 1 else Row.SPEC26
+            fused = self.umap.spec_fused[row]
+        inst.fused_upc = fused
+        return fused
 
     def run(self, max_instructions: int = None) -> int:
         """Run until HALT (or the instruction budget); returns steps done."""

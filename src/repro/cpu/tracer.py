@@ -18,22 +18,32 @@ from collections import Counter
 
 
 class Tracer:
-    """Exact event counters, gated alongside the histogram board."""
+    """Exact event counters, gated alongside the histogram board.
+
+    Per-instruction counts are *deferred*: :meth:`note_instruction` only
+    bumps a pending-execution count keyed by the (cached, re-executed)
+    Instruction object, and the dozen-odd Counter updates each execution
+    implies are replayed in bulk the first time any derived counter is
+    read.  ``instructions`` itself stays a live attribute because the
+    executive's run loop polls it every step.
+    """
 
     def __init__(self) -> None:
         self.enabled = True
         self.instructions = 0
-        self.opcode_counts = Counter()     # mnemonic -> executions
-        self.family_counts = Counter()     # family -> executions
-        self.group_counts = Counter()      # OpcodeGroup -> executions
+        #: pending executions awaiting the bulk replay: inst -> count.
+        self._pending = {}
+        self._opcode_counts = Counter()     # mnemonic -> executions
+        self._family_counts = Counter()     # family -> executions
+        self._group_counts = Counter()      # OpcodeGroup -> executions
         self.branches_executed = Counter()  # family -> count
         self.branches_taken = Counter()     # family -> count
-        self.specifier_modes = Counter()    # (position, mode) -> count
-        self.indexed_specifiers = 0
-        self.specifiers = 0
-        self.branch_displacements = 0
-        self.branch_disp_bytes = 0
-        self.instruction_bytes = 0
+        self._specifier_modes = Counter()   # (position, mode) -> count
+        self._indexed_specifiers = 0
+        self._specifiers = 0
+        self._branch_displacements = 0
+        self._branch_disp_bytes = 0
+        self._instruction_bytes = 0
         self.interrupts = 0
         self.software_interrupt_requests = 0
         self.exceptions = 0
@@ -44,26 +54,113 @@ class Tracer:
         self.page_faults = 0
 
     def note_instruction(self, inst) -> None:
-        """Record one completed instruction."""
+        """Record one completed instruction (deferred; see class docs)."""
         if not self.enabled:
             return
-        info = inst.info
         self.instructions += 1
-        self.opcode_counts[info.mnemonic] += 1
-        self.family_counts[info.family] += 1
-        self.group_counts[info.group] += 1
-        self.instruction_bytes += inst.length
-        nspec = len(inst.specifiers)
-        self.specifiers += nspec
-        for position, spec in enumerate(inst.specifiers):
-            bucket = "spec1" if position == 0 else "spec26"
-            self.specifier_modes[(bucket, spec.mode)] += 1
-            if spec.indexed:
-                self.indexed_specifiers += 1
+        pending = self._pending
+        n = pending.get(inst)
+        pending[inst] = 1 if n is None else n + 1
+
+    def _flush(self) -> None:
+        """Replay pending executions into the per-instruction counters."""
+        if not self._pending:
+            return
+        opcodes = self._opcode_counts
+        families = self._family_counts
+        groups = self._group_counts
+        modes = self._specifier_modes
+        for inst, n in self._pending.items():
+            rec = inst.trace_rec
+            if rec is None:
+                rec = self._build_record(inst)
+            (mnemonic, family, group, length, nspec, mode_keys, n_indexed,
+             disp_bytes) = rec
+            opcodes[mnemonic] += n
+            families[family] += n
+            groups[group] += n
+            self._instruction_bytes += length * n
+            self._specifiers += nspec * n
+            for key in mode_keys:
+                modes[key] += n
+            if n_indexed:
+                self._indexed_specifiers += n_indexed * n
+            if disp_bytes:
+                self._branch_displacements += n
+                self._branch_disp_bytes += disp_bytes * n
+        self._pending.clear()
+
+    # Derived counters: reading any of them replays the pending log first.
+
+    @property
+    def opcode_counts(self):
+        """mnemonic -> executions."""
+        self._flush()
+        return self._opcode_counts
+
+    @property
+    def family_counts(self):
+        """family -> executions."""
+        self._flush()
+        return self._family_counts
+
+    @property
+    def group_counts(self):
+        """OpcodeGroup -> executions."""
+        self._flush()
+        return self._group_counts
+
+    @property
+    def specifier_modes(self):
+        """(position, mode) -> count."""
+        self._flush()
+        return self._specifier_modes
+
+    @property
+    def specifiers(self):
+        """Total operand specifiers processed."""
+        self._flush()
+        return self._specifiers
+
+    @property
+    def indexed_specifiers(self):
+        """Specifiers carrying an index prefix."""
+        self._flush()
+        return self._indexed_specifiers
+
+    @property
+    def branch_displacements(self):
+        """Branch-displacement operands processed."""
+        self._flush()
+        return self._branch_displacements
+
+    @property
+    def branch_disp_bytes(self):
+        """Total branch-displacement bytes."""
+        self._flush()
+        return self._branch_disp_bytes
+
+    @property
+    def instruction_bytes(self):
+        """Total encoded instruction bytes executed."""
+        self._flush()
+        return self._instruction_bytes
+
+    @staticmethod
+    def _build_record(inst):
+        """Precompute an instruction's tracer contribution (cached)."""
+        info = inst.info
+        mode_keys = tuple(
+            ("spec1" if position == 0 else "spec26", spec.mode)
+            for position, spec in enumerate(inst.specifiers))
+        n_indexed = sum(1 for spec in inst.specifiers if spec.indexed)
+        disp_bytes = 0
         if inst.branch_displacement is not None:
-            self.branch_displacements += 1
-            kind = info.branch_operand
-            self.branch_disp_bytes += 1 if kind.dtype == "b" else 2
+            disp_bytes = 1 if info.branch_operand.dtype == "b" else 2
+        rec = (info.mnemonic, info.family, info.group, inst.length,
+               len(inst.specifiers), mode_keys, n_indexed, disp_bytes)
+        inst.trace_rec = rec
+        return rec
 
     def note_branch(self, family: str, taken: bool) -> None:
         """Record a PC-changing instruction outcome."""

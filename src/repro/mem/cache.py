@@ -61,6 +61,13 @@ class Cache:
             raise ValueError("set count must be a power of two")
         #: tag arrays: _tags[way][set]; -1 means invalid.
         self._tags = [[-1] * self.sets for _ in range(ways)]
+        self._tag_shift = self.sets.bit_length() - 1
+        #: Flat mirror of the tag store: the set of resident block
+        #: numbers.  A read hit has no effect on the tag arrays
+        #: (replacement is random, drawn only on a miss), so membership
+        #: here is exactly an associative hit; every mutation updates
+        #: both structures.
+        self._resident = set()
         self._rng = random.Random(seed)
         self.stats = CacheStats()
 
@@ -69,34 +76,38 @@ class Cache:
         for way in self._tags:
             for i in range(self.sets):
                 way[i] = -1
+        self._resident.clear()
 
     def _locate(self, paddr: int):
         block = paddr >> self._block_shift
         index = block & self._set_mask
-        tag = block >> (self.sets.bit_length() - 1)
+        tag = block >> self._tag_shift
         return index, tag
 
     def read(self, paddr: int, stream: str) -> bool:
         """Look up a read; allocate on miss.  Returns True on hit."""
-        index, tag = self._locate(paddr)
-        for way in self._tags:
-            if way[index] == tag:
-                self.stats.read_hits[stream] += 1
-                return True
-        self.stats.read_misses[stream] += 1
-        victim = self._rng.randrange(self.ways)
-        self._tags[victim][index] = tag
+        block = paddr >> self._block_shift
+        stats = self.stats
+        if block in self._resident:
+            stats.read_hits[stream] += 1
+            return True
+        stats.read_misses[stream] += 1
+        index = block & self._set_mask
+        victim_way = self._tags[self._rng.randrange(self.ways)]
+        old_tag = victim_way[index]
+        if old_tag != -1:
+            self._resident.discard((old_tag << self._tag_shift) | index)
+        victim_way[index] = block >> self._tag_shift
+        self._resident.add(block)
         return False
 
     def write(self, paddr: int) -> bool:
         """Look up a write.  Write-through, no-write-allocate: the tag
         store is unchanged on a miss (§2.1: "if the write access misses,
         the cache is not updated").  Returns True on hit."""
-        index, tag = self._locate(paddr)
-        for way in self._tags:
-            if way[index] == tag:
-                self.stats.write_hits += 1
-                return True
+        if (paddr >> self._block_shift) in self._resident:
+            self.stats.write_hits += 1
+            return True
         self.stats.write_misses += 1
         return False
 

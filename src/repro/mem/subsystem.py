@@ -68,9 +68,17 @@ class MemorySubsystem:
         """EBOX read of ``size`` (1, 2 or 4) bytes at physical ``paddr``."""
         first = paddr >> 2
         last = (paddr + size - 1) >> 2
+        if first == last:
+            # Aligned within one longword: one reference, and on a cache
+            # hit no stall — the overwhelmingly common case.
+            if self.cache.read(paddr & ~3, D_STREAM):
+                return AccessResult(self.memory.read(paddr, size), 0, 1,
+                                    False)
+            ready = self.sbi.read_transaction(now)
+            return AccessResult(self.memory.read(paddr, size),
+                                ready - now, 1, True)
         refs = last - first + 1
-        if refs > 1:
-            self.unaligned_reads += 1
+        self.unaligned_reads += 1
         stall = 0
         missed = False
         when = now
@@ -90,9 +98,13 @@ class MemorySubsystem:
         """EBOX write of ``size`` bytes through the write buffer."""
         first = paddr >> 2
         last = (paddr + size - 1) >> 2
+        if first == last:
+            self.cache.write(paddr & ~3)
+            stall = self.write_buffer.issue(now)
+            self.memory.write(paddr, value, size)
+            return AccessResult(0, stall, 1, False)
         refs = last - first + 1
-        if refs > 1:
-            self.unaligned_writes += 1
+        self.unaligned_writes += 1
         stall = 0
         when = now
         for lw in range(first, last + 1):

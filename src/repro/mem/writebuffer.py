@@ -35,15 +35,26 @@ class WriteBuffer:
         returned value is the number of *additional* stalled cycles spent
         waiting for buffer space.
         """
-        self._in_flight = [t for t in self._in_flight if t > now]
+        inflight = self._in_flight
+        n = len(inflight)
+        i = 0
+        while i < n and inflight[i] <= now:
+            i += 1
+        if i:
+            del inflight[:i]
+            n -= i
         stall = 0
-        if len(self._in_flight) >= self.depth:
-            free_at = self._in_flight[len(self._in_flight) - self.depth]
+        if n >= self.depth:
+            free_at = inflight[n - self.depth]
             stall = free_at - now
             now = free_at
-            self._in_flight = [t for t in self._in_flight if t > now]
+            i = 0
+            while i < n and inflight[i] <= now:
+                i += 1
+            if i:
+                del inflight[:i]
         done = self._sbi.write_transaction(now)
-        self._in_flight.append(done)
+        inflight.append(done)
         self.writes += 1
         self.stall_cycles += stall
         return stall

@@ -18,7 +18,15 @@ The board is passive: counting has no effect on simulated time.
 
 from __future__ import annotations
 
+import operator
+from array import array
+
 from repro.ucode.controlstore import CONTROL_STORE_SIZE
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 class Histogram:
@@ -26,20 +34,37 @@ class Histogram:
 
     Snapshots support addition, which is how the paper's *composite*
     workload is formed: "the sum of the five µPC histograms" (§2.2).
+    The count sets are ``array('q')`` (signed 64-bit, like the board's
+    count locations) so that summation and totals run at C speed; the
+    live :class:`HistogramBoard` keeps plain lists, which are faster for
+    the single-bucket increments the µPC lines drive.
     """
 
     __slots__ = ("nonstalled", "stalled")
 
     def __init__(self, nonstalled, stalled) -> None:
-        self.nonstalled = list(nonstalled)
-        self.stalled = list(stalled)
+        self.nonstalled = array("q", nonstalled)
+        self.stalled = array("q", stalled)
 
     def __add__(self, other: "Histogram") -> "Histogram":
         if len(self.nonstalled) != len(other.nonstalled):
             raise ValueError("cannot sum histograms of different sizes")
+        if _np is not None:
+            out = Histogram.__new__(Histogram)
+            ns = _np.frombuffer(self.nonstalled, dtype=_np.int64) \
+                + _np.frombuffer(other.nonstalled, dtype=_np.int64)
+            st = _np.frombuffer(self.stalled, dtype=_np.int64) \
+                + _np.frombuffer(other.stalled, dtype=_np.int64)
+            nsa = array("q")
+            nsa.frombytes(ns.tobytes())
+            sta = array("q")
+            sta.frombytes(st.tobytes())
+            out.nonstalled = nsa
+            out.stalled = sta
+            return out
         return Histogram(
-            [a + b for a, b in zip(self.nonstalled, other.nonstalled)],
-            [a + b for a, b in zip(self.stalled, other.stalled)])
+            map(operator.add, self.nonstalled, other.nonstalled),
+            map(operator.add, self.stalled, other.stalled))
 
     @property
     def size(self) -> int:
@@ -48,6 +73,11 @@ class Histogram:
 
     def total_cycles(self) -> int:
         """All counted cycles: executions plus stall cycles."""
+        if _np is not None:
+            return int(_np.frombuffer(self.nonstalled, dtype=_np.int64)
+                       .sum()
+                       + _np.frombuffer(self.stalled, dtype=_np.int64)
+                       .sum())
         return sum(self.nonstalled) + sum(self.stalled)
 
     def executions(self, address: int) -> int:

@@ -28,15 +28,16 @@ class IntervalClock:
 
     def poll(self, machine) -> None:
         """Post a clock interrupt when the period elapses."""
-        if machine.cycles < self.next_fire:
+        now = machine.ebox.now
+        if now < self.next_fire:
             return
         if any(p.scb_offset == self.scb_offset
                for p in machine._hw_pending):
-            self.next_fire = machine.cycles + self.period
+            self.next_fire = now + self.period
             return
         machine.post_interrupt(IPL_CLOCK, self.scb_offset)
         self.ticks += 1
-        self.next_fire = machine.cycles + self.period
+        self.next_fire = now + self.period
 
 
 class TerminalMux:
@@ -60,12 +61,13 @@ class TerminalMux:
 
     def poll(self, machine) -> None:
         """Post a character interrupt when the next arrival is due."""
-        if machine.cycles < self.next_fire:
+        now = machine.ebox.now
+        if now < self.next_fire:
             return
         if any(p.scb_offset == self.scb_offset
                for p in machine._hw_pending):
-            self.next_fire = machine.cycles + self._draw()
+            self.next_fire = now + self._draw()
             return
         machine.post_interrupt(IPL_TERMINAL, self.scb_offset)
         self.characters += 1
-        self.next_fire = machine.cycles + self._draw()
+        self.next_fire = now + self._draw()

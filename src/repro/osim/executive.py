@@ -229,13 +229,15 @@ class Executive:
         """Run until the tracer has seen ``measured_instructions``."""
         m = self.machine
         tracer = m.tracer
+        ebox = m.ebox
+        step = m.step
         if cycle_limit is None:
             cycle_limit = measured_instructions * 400
         while tracer.instructions < measured_instructions:
             if m.halted:
                 raise RuntimeError("machine halted during workload run")
-            if m.cycles > cycle_limit:
+            if ebox.now > cycle_limit:
                 raise RuntimeError(
                     f"cycle limit hit: {tracer.instructions} of "
                     f"{measured_instructions} instructions measured")
-            m.step()
+            step()

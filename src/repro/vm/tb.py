@@ -52,11 +52,18 @@ class TranslationBuffer:
         if self.sets & (self.sets - 1):
             raise ValueError("sets per half must be a power of two")
         self._set_mask = self.sets - 1
+        self._tag_shift = self.sets.bit_length() - 1
         # _tags/_pfns[half][way][set]; tag -1 means invalid.
         self._tags = [[[-1] * self.sets for _ in range(ways)]
                       for _ in range(2)]
         self._pfns = [[[0] * self.sets for _ in range(ways)]
                       for _ in range(2)]
+        #: Flat mirrors of the associative arrays, vpn -> pfn, one per
+        #: half.  Lookups have no side effect on the arrays (replacement
+        #: is random, decided at insert time only), so a dict hit is
+        #: exactly an associative hit — the arrays stay the ground truth
+        #: and every mutation updates both.
+        self._maps = [{}, {}]
         self._rng = random.Random(seed)
         self.stats = TBStats()
 
@@ -64,22 +71,22 @@ class TranslationBuffer:
         half = 1 if is_system_space(va) else 0
         vpn = global_vpn(va)
         index = vpn & self._set_mask
-        tag = vpn >> self.sets.bit_length() - 1
+        tag = vpn >> self._tag_shift
         return half, index, tag
 
     def lookup(self, va: int, stream: str = "d"):
         """Translate ``va``; returns the PFN or None on a TB miss."""
-        half, index, tag = self._locate(va)
-        tags = self._tags[half]
-        for way in range(self.ways):
-            if tags[way][index] == tag:
-                self.stats.hits += 1
-                return self._pfns[half][way][index]
-        self.stats.misses += 1
+        va &= 0xFFFFFFFF
+        pfn = self._maps[va >> 31].get(va >> 9)  # half by VA<31>, VPN
+        stats = self.stats
+        if pfn is not None:
+            stats.hits += 1
+            return pfn
+        stats.misses += 1
         if stream == "i":
-            self.stats.i_misses += 1
+            stats.i_misses += 1
         else:
-            self.stats.d_misses += 1
+            stats.d_misses += 1
         return None
 
     def probe(self, va: int) -> bool:
@@ -92,14 +99,19 @@ class TranslationBuffer:
         """Install a translation (the tail of TB-miss service)."""
         half, index, tag = self._locate(va)
         tags = self._tags[half]
+        vmap = self._maps[half]
         for way in range(self.ways):
             if tags[way][index] == -1:
                 tags[way][index] = tag
                 self._pfns[half][way][index] = pfn
+                vmap[(tag << self._tag_shift) | index] = pfn
                 return
         victim = self._rng.randrange(self.ways)
+        old_tag = tags[victim][index]
+        vmap.pop((old_tag << self._tag_shift) | index, None)
         tags[victim][index] = tag
         self._pfns[half][victim][index] = pfn
+        vmap[(tag << self._tag_shift) | index] = pfn
 
     def invalidate_process_half(self) -> None:
         """Flush P0/P1 translations (LDPCTX behaviour)."""
@@ -107,6 +119,7 @@ class TranslationBuffer:
         for way in self._tags[0]:
             for i in range(self.sets):
                 way[i] = -1
+        self._maps[0].clear()
 
     def invalidate_all(self) -> None:
         """Flush everything (power-up)."""
@@ -114,6 +127,8 @@ class TranslationBuffer:
             for way in half:
                 for i in range(self.sets):
                     way[i] = -1
+        self._maps[0].clear()
+        self._maps[1].clear()
 
     def invalidate_va(self, va: int) -> None:
         """Invalidate a single translation (MTPR TBIS behaviour)."""
@@ -122,3 +137,4 @@ class TranslationBuffer:
         for way in range(self.ways):
             if tags[way][index] == tag:
                 tags[way][index] = -1
+        self._maps[half].pop((tag << self._tag_shift) | index, None)

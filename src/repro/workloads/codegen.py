@@ -135,9 +135,19 @@ class ProgramGenerator:
 
     def _build_string_init(self) -> bytes:
         rng = random.Random(self.rng.randrange(1 << 30))
-        text = bytes(rng.randrange(0x20, 0x7F)
-                     for _ in range(self.string_bytes))
-        out = bytearray(text)
+        # Printable bytes, drawn as randrange(0x20, 0x7F) would draw
+        # them: range 95 has bit_length 7, and CPython's _randbelow
+        # rejection-samples getrandbits(7) until the draw fits.  Calling
+        # getrandbits directly consumes the identical generator stream
+        # (byte-identical output) at a fraction of the interpreter cost —
+        # this is the largest single constructor expense.
+        getrandbits = rng.getrandbits
+        out = bytearray(self.string_bytes)
+        for i in range(self.string_bytes):
+            r = getrandbits(7)
+            while r >= 95:
+                r = getrandbits(7)
+            out[i] = 0x20 + r
         # Valid packed decimals in the decimal area.
         digits = self.profile.decimal_digits
         nbytes = digits // 2 + 1

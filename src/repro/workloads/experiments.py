@@ -44,20 +44,36 @@ def run_workload(profile: MixProfile, instructions: int,
 
 
 def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
-                             seed: int = 1984) -> dict:
-    """Run all five standard experiments; returns name -> Measurement."""
+                             seed: int = 1984, jobs: int = 1) -> dict:
+    """Run all five standard experiments; returns name -> Measurement.
+
+    With ``jobs > 1`` the five independent simulations are distributed
+    over worker processes (see :mod:`repro.workloads.parallel`); results
+    are bit-identical to the serial path, so they are memoised under the
+    same per-workload keys.
+    """
+    if jobs > 1:
+        from repro.workloads.parallel import run_standard_parallel
+
+        todo = [profile for profile in STANDARD_PROFILES
+                if (profile.name, instructions, seed) not in _CACHE]
+        if len(todo) > 1:
+            fresh = run_standard_parallel(instructions, seed, jobs)
+            for profile in todo:
+                _CACHE[(profile.name, instructions, seed)] = \
+                    fresh[profile.name]
     return {profile.name: run_workload(profile, instructions, seed)
             for profile in STANDARD_PROFILES}
 
 
 def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
-                       seed: int = 1984) -> Measurement:
+                       seed: int = 1984, jobs: int = 1) -> Measurement:
     """The five-workload composite measurement (memoised)."""
     key = ("composite", instructions, seed)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    runs = run_standard_experiments(instructions, seed)
+    runs = run_standard_experiments(instructions, seed, jobs=jobs)
     total = composite(runs.values())
     _CACHE[key] = total
     return total

@@ -1,0 +1,62 @@
+"""Process-level parallelism for the five workload experiments.
+
+Each of the paper's five experiments is an independent simulation — a
+fresh machine, its own executive, its own seed-derived programs — so the
+composite is embarrassingly parallel at workload granularity.  This
+module fans the five runs out over a :class:`ProcessPoolExecutor` (the
+cycle-level model is pure Python, so threads would serialize on the
+GIL) and reassembles the results in profile order.
+
+Determinism: a worker runs exactly the code the serial path runs —
+``run_workload`` on a fresh interpreter state — so for a fixed
+(instructions, seed) the per-workload measurements, and therefore the
+composite histogram, are bit-identical to a serial run.  The
+integration test ``tests/integration/test_determinism.py`` enforces
+this.
+
+On a single-core host the pool degenerates to sequential execution plus
+process overhead; callers default to the serial path unless ``jobs > 1``
+is requested explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.workloads.profiles import STANDARD_PROFILES
+
+
+def default_jobs() -> int:
+    """A sensible worker count: one per workload, capped by the host."""
+    return max(1, min(len(STANDARD_PROFILES), os.cpu_count() or 1))
+
+
+def _run_one(task) -> "Measurement":
+    """Worker entry point (top-level, so it pickles): one experiment."""
+    name, instructions, seed = task
+    from repro.workloads import experiments
+
+    profile = next(p for p in STANDARD_PROFILES if p.name == name)
+    return experiments.run_workload(profile, instructions, seed)
+
+
+def run_standard_parallel(instructions: int, seed: int = 1984,
+                          jobs: int = None) -> dict:
+    """Run all five standard experiments across worker processes.
+
+    Returns name -> Measurement in the paper's profile order, exactly as
+    :func:`repro.workloads.experiments.run_standard_experiments` does.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    tasks = [(profile.name, instructions, seed)
+             for profile in STANDARD_PROFILES]
+    if jobs <= 1:
+        results = [_run_one(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            # pool.map preserves submission order.
+            results = list(pool.map(_run_one, tasks))
+    return {profile.name: measurement
+            for profile, measurement in zip(STANDARD_PROFILES, results)}

@@ -51,8 +51,8 @@ class TestHistogramArithmetic:
         a = Histogram([1, 2], [0, 1])
         b = Histogram([3, 4], [5, 6])
         c = a + b
-        assert c.nonstalled == [4, 6]
-        assert c.stalled == [5, 7]
+        assert list(c.nonstalled) == [4, 6]
+        assert list(c.stalled) == [5, 7]
 
     def test_size_mismatch_rejected(self):
         a = Histogram([1], [0])

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""End-to-end simulator performance benchmark.
+
+Times the five-workload standard composite (construction + run +
+capture, nothing cached) and writes/updates ``BENCH_perf.json`` with
+instructions/second and cycles/second.  The composite's counted cycles
+are recorded alongside so a perf number can never silently ride on a
+timing-model change: two entries are comparable only if their
+``composite_cycles`` match.
+
+Usage:
+    python tools/perf_bench.py                    # measure, print
+    python tools/perf_bench.py --output BENCH_perf.json --label after
+    REPRO_SRC=/path/to/other/src python tools/perf_bench.py --label before
+
+``REPRO_SRC`` points the measurement at another source tree (e.g. a git
+worktree of the baseline commit) so before/after are produced by the
+same protocol on the same host, back to back.
+
+The JSON accumulates one entry per label plus a ``speedup`` block
+computed from ``before``/``after`` when both are present.
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.environ.get("REPRO_SRC", os.path.join(REPO, "src")))
+
+
+def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
+    from repro.workloads import experiments
+
+    runs = []
+    cycles = None
+    for _ in range(repeats):
+        experiments.clear_cache()
+        kwargs = {"jobs": jobs} if jobs != 1 else {}
+        t0 = time.perf_counter()
+        meas = experiments.standard_composite(instructions=instructions,
+                                              seed=seed, **kwargs)
+        elapsed = time.perf_counter() - t0
+        runs.append(round(elapsed, 3))
+        if cycles is None:
+            cycles = meas.cycles
+        elif cycles != meas.cycles:
+            raise SystemExit(f"non-deterministic cycle count: "
+                             f"{cycles} vs {meas.cycles}")
+    best = min(runs)
+    total_instructions = instructions * 5
+    return {
+        "instructions_per_workload": instructions,
+        "total_instructions": total_instructions,
+        "seed": seed,
+        "jobs": jobs,
+        "composite_cycles": cycles,
+        "wall_seconds": runs,
+        "best_seconds": best,
+        "instructions_per_second": round(total_instructions / best, 1),
+        "cycles_per_second": round(cycles / best, 1),
+        "python": platform.python_version(),
+        "source": _source_id(),
+    }
+
+
+def _source_id() -> str:
+    src = os.environ.get("REPRO_SRC", os.path.join(REPO, "src"))
+    tree = os.path.dirname(os.path.abspath(src)) or REPO
+    try:
+        rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=tree, capture_output=True, text=True)
+        if rev.returncode == 0:
+            dirty = subprocess.run(["git", "status", "--porcelain"],
+                                   cwd=tree, capture_output=True, text=True)
+            suffix = "-dirty" if dirty.stdout.strip() else ""
+            return rev.stdout.strip() + suffix
+    except OSError:
+        pass
+    return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--instructions", type=int, default=60_000,
+                        help="measured instructions per workload")
+    parser.add_argument("--seed", type=int, default=1984)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions; best is reported")
+    parser.add_argument("--label", default="after",
+                        choices=("before", "after"),
+                        help="which entry of the JSON to write")
+    parser.add_argument("--output", default=None,
+                        help="JSON file to update (e.g. BENCH_perf.json)")
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    if args.instructions < 1:
+        parser.error("--instructions must be at least 1")
+
+    entry = measure(args.instructions, args.seed, args.jobs, args.repeats)
+    print(f"[{args.label}] composite of 5 x {args.instructions}: "
+          f"best {entry['best_seconds']:.2f}s of {entry['wall_seconds']}  "
+          f"{entry['instructions_per_second']:,.0f} instr/s  "
+          f"{entry['cycles_per_second']:,.0f} cycles/s  "
+          f"cycles={entry['composite_cycles']}")
+
+    if args.output:
+        doc = {}
+        if os.path.exists(args.output):
+            try:
+                with open(args.output) as fh:
+                    doc = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"{args.output} exists but is not valid JSON ({exc}); "
+                    "move it aside or pass a different --output")
+        doc[args.label] = entry
+        before, after = doc.get("before"), doc.get("after")
+        if before and after:
+            if before["composite_cycles"] != after["composite_cycles"]:
+                raise SystemExit(
+                    "before/after disagree on counted cycles "
+                    f"({before['composite_cycles']} vs "
+                    f"{after['composite_cycles']}) — not comparable")
+            doc["speedup"] = round(before["best_seconds"]
+                                   / after["best_seconds"], 2)
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}"
+              + (f" (speedup {doc['speedup']}x)" if "speedup" in doc
+                 else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
