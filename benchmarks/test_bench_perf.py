@@ -65,3 +65,7 @@ def test_perf_bench_tool_writes_json(tmp_path):
     assert entry["composite_cycles"] > 0
     assert entry["instructions_per_second"] > 0
     assert entry["cycles_per_second"] > 0
+    ubench = entry["ubench"]
+    assert ubench["kernels"] > 0
+    assert ubench["sweep_cycles"] > 0
+    assert ubench["kernels_per_second"] > 0

@@ -10,6 +10,8 @@ Commands:
 * ``disasm`` — assemble a VAX MACRO source file and print its listing.
 * ``figure1`` — render the 11/780 block diagram from the machine model.
 * ``profiles`` — list the five standard workload profiles.
+* ``ubench`` — run the microbenchmark kernel sweep (per-instruction
+  cycle characterization, measured vs. analytical model).
 """
 
 from __future__ import annotations
@@ -37,11 +39,23 @@ _TABLES = {
 }
 
 
+def _version() -> str:
+    """Package version: installed metadata, else the source tree's."""
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        import repro
+        return getattr(repro, "__version__", "unknown")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="VAX-11/780 characterization study reproduction "
                     "(Emer & Clark, ISCA 1984)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     characterize = sub.add_parser(
@@ -77,19 +91,50 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figure1", help="render the block diagram")
     sub.add_parser("profiles", help="list the workload profiles")
+
+    ubench = sub.add_parser(
+        "ubench", help="microbenchmark sweep: per-instruction cycles, "
+                       "measured vs. analytical model")
+    ubench.add_argument("--group", default=None,
+                        help="only kernels of one opcode group "
+                             "(simple, field, float, callret, system, "
+                             "character, decimal)")
+    ubench.add_argument("--mode", default=None,
+                        help="only kernels of one operand-specifier "
+                             "mode (e.g. register, immediate, "
+                             "displacement-byte)")
+    ubench.add_argument("--variant", default=None,
+                        choices=("warm", "cold"),
+                        help="only warm or cold cache/TB kernels")
+    ubench.add_argument("--smoke", action="store_true",
+                        help="run the small fixed smoke subset")
+    ubench.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the kernel fan-out "
+                             "(results bit-identical for any value)")
+    ubench.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the machine-readable "
+                             "UBENCH.json document to PATH")
+    ubench.add_argument("--no-check", dest="check", action="store_false",
+                        help="skip the composite consistency pass")
+    ubench.add_argument("--check-instructions", type=int, default=20_000,
+                        help="instructions per workload for the "
+                             "consistency composite")
+    ubench.add_argument("--seed", type=int, default=1984)
     return parser
 
 
 def _cmd_characterize(args) -> int:
-    from repro.workloads.experiments import standard_composite
-    composite = standard_composite(instructions=args.instructions,
-                                   seed=args.seed, jobs=args.jobs)
     keys = list(_TABLES) if args.table == "all" else [args.table]
     for key in keys:
+        # Validate before the (expensive) composite run.
         if key not in _TABLES:
             print(f"unknown table {key!r}; choose from "
                   f"{', '.join(_TABLES)}", file=sys.stderr)
             return 2
+    from repro.workloads.experiments import standard_composite
+    composite = standard_composite(instructions=args.instructions,
+                                   seed=args.seed, jobs=args.jobs)
+    for key in keys:
         compute, render = _TABLES[key]
         print(render(compute(composite)))
         print()
@@ -167,6 +212,55 @@ def _cmd_profiles(args) -> int:
     return 0
 
 
+def _cmd_ubench(args) -> int:
+    import json
+
+    from repro.report.ubench import render_ubench, ubench_json
+    from repro.ubench import runner, suite
+
+    kernels = suite.select(group=args.group, mode=args.mode,
+                           variant=args.variant, smoke=args.smoke)
+    if not kernels:
+        print(f"no kernels match group={args.group!r} mode={args.mode!r} "
+              f"variant={args.variant!r}; groups: "
+              f"{', '.join(suite.groups())}; modes: "
+              f"{', '.join(suite.modes())}", file=sys.stderr)
+        return 2
+    results = runner.run_suite(kernels, jobs=args.jobs)
+
+    check = None
+    if args.check:
+        from repro.ubench.consistency import check_composite
+        from repro.workloads.experiments import standard_composite
+        composite = standard_composite(
+            instructions=args.check_instructions, seed=args.seed,
+            jobs=args.jobs)
+        check = check_composite(composite)
+
+    print(render_ubench(results, check))
+    if args.json:
+        doc = ubench_json(results, check, meta={
+            "suite": "smoke" if args.smoke else "standard",
+            "kernel_count": len(kernels),
+            "seed": args.seed,
+        })
+        with open(args.json, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+
+    failed = [r["kernel"] for r in results
+              if not (r["exact"] and r["reconciled"])]
+    if failed:
+        print(f"inexact kernels: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    if check is not None and not check["ok"]:
+        print("consistency check failed (see table above)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "run-workload": _cmd_run_workload,
@@ -174,6 +268,7 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "figure1": _cmd_figure1,
     "profiles": _cmd_profiles,
+    "ubench": _cmd_ubench,
 }
 
 

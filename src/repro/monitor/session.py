@@ -48,7 +48,10 @@ class MeasurementSession:
     def stop(self) -> Measurement:
         """Close the gate, read the board out, and capture everything."""
         if not self._running:
-            raise RuntimeError("session was not started")
+            raise RuntimeError(
+                f"measurement session {self.name!r} was not started: "
+                "call start() (or use the session as a context manager) "
+                "before stop()")
         self.interface.write_csr(0)
         self._running = False
         nonstalled = self.interface.read_all(stalled=False)

@@ -1,0 +1,26 @@
+"""repro.ubench: nanoBench-style microbenchmarks for the simulated 11/780.
+
+Where the paper (and :mod:`repro.analysis`) recovers *aggregate* cycle
+costs from a composite workload's µPC histogram, this package measures
+*per-instruction* costs directly, the way nanoBench / uops.info do on
+modern hardware: tiny steady-state kernels, one opcode and one operand
+specifier mode at a time, run under a hardware-style measurement session
+and confronted with an analytical prediction derived from the microcode
+flows.  Exactness is the contract — see :mod:`repro.ubench.runner`.
+
+    from repro.ubench import runner, suite
+    results = runner.run_suite(suite.SMOKE_SUITE, jobs=1)
+"""
+
+from repro.ubench.kernels import (Instr, Kernel, KernelError,
+                                  MEASURED_COPIES, WARMUP_COPIES, emit)
+from repro.ubench.model import (BUCKETS, CAUSES, ModelError,
+                                predict_kernel)
+from repro.ubench.runner import UbenchError, run_kernel, run_suite
+from repro.ubench.suite import (SMOKE_SUITE, STANDARD_SUITE,
+                                kernel_by_name, select)
+
+__all__ = ["Instr", "Kernel", "KernelError", "MEASURED_COPIES",
+           "WARMUP_COPIES", "emit", "BUCKETS", "CAUSES", "ModelError",
+           "predict_kernel", "UbenchError", "run_kernel", "run_suite",
+           "SMOKE_SUITE", "STANDARD_SUITE", "kernel_by_name", "select"]

@@ -1,0 +1,255 @@
+"""Analytical cycle-cost model for microbenchmark kernels.
+
+Predicts, from the microcode address map alone, how many *busy* cycles
+one copy of a kernel spends in each stage of the 11/780's instruction
+flow: I-Decode, specifier evaluation, the fused specifier+execute
+optimization, branch-displacement processing, the ECO patch detour, and
+the execute micro-routine.  These are the cycles the machine charges to
+COMPUTE/READ/WRITE micro-addresses independent of machine state, so for
+a steady-state kernel the prediction must match the measured histogram
+*exactly* — any difference appears in the runner's itemized overhead
+causes (IB stalls, cache-miss stalls, TB-miss service, ...), never as an
+unexplained busy-cycle delta.
+
+The busy-bucket predictions mirror, stage by stage, what
+``VAX780.step`` / ``EBox.evaluate_specifiers`` / the executor tables
+charge; ``tests/ubench/test_exactness.py`` holds the two accountable to
+each other for every kernel in the suite.
+"""
+
+from __future__ import annotations
+
+from repro.arch.opcodes import opcode
+from repro.cpu.machine import _FUSABLE_FAMILIES
+
+#: Families routed through the ECO "patch board" detour by default
+#: (mirrors MachineParams.patched_families): one extra cycle per decode.
+PATCHED_FAMILIES = frozenset({"ADDSUB", "CALL", "CHM", "MOVC"})
+
+#: Busy-cycle buckets reported per kernel, in pipeline order.
+BUCKETS = ("decode", "patch", "spec", "fused", "bdisp", "execute")
+
+#: Itemized overhead causes (measured, never predicted to a constant).
+CAUSES = ("ib-stall", "read-stall", "write-stall", "tb-miss",
+          "unaligned", "interrupt", "other")
+
+
+class ModelError(Exception):
+    """A kernel the analytical model cannot cost."""
+
+
+# Addressing modes whose a/v access pays a one-cycle address compute
+# (the deferred modes already computed the pointer during the deref).
+_ADDR_CALC_MODES = frozenset({"regdef", "autoinc", "autodec", "disp",
+                              "absolute"})
+_MEMORY_MODES = frozenset({"regdef", "autoinc", "autodec", "autoincdef",
+                           "absolute", "disp", "dispdef"})
+
+
+def specifier_cost(op, kind) -> int:
+    """Busy cycles one operand specifier costs (evaluation + store).
+
+    ``op`` is a :class:`repro.ubench.kernels.Op`; ``kind`` the matching
+    :class:`~repro.arch.opcodes.OperandKind`.  Result-store writes for
+    ``w``/``m`` access are included here: the machine charges them to the
+    same specifier flow rows when the executor stores the result.
+    """
+    access, size = kind.access, kind.size
+    mode = op.mode
+    cost = 0
+    if mode in ("literal", "register"):
+        return 0
+    if mode == "immediate":
+        # Literal bytes come from the I-stream; one compute cycle per
+        # longword assembled.
+        return 1 if size <= 4 else 2
+    if mode == "absolute":
+        cost += 1                       # assemble the address longword
+    elif mode == "autodec":
+        cost += 1                       # register update cycle
+    elif mode == "autoincdef":
+        cost += 1                       # pointer read through the table
+    elif mode == "disp":
+        cost += 1 if op.disp_size > 1 else 0    # word/long displacement add
+    elif mode == "dispdef":
+        cost += (1 if op.disp_size > 1 else 0) + 1 + 1  # calc + upd + ptr
+    if op.index is not None:
+        cost += 1                       # [Rx] scale-and-add cycle
+    nrefs = 1 if size <= 4 else 2
+    if access == "r":
+        cost += nrefs
+    elif access == "m":
+        cost += 2 * nrefs               # read at evaluation, write at store
+    elif access == "w":
+        cost += nrefs                   # write at store
+    elif access in ("a", "v"):
+        if mode in _ADDR_CALC_MODES:
+            cost += 1                   # materialize the address
+    return cost
+
+
+def _is_fused(info, ops) -> bool:
+    """Does the decode fuse the last specifier cycle into execute?"""
+    if info.family not in _FUSABLE_FAMILIES or not ops:
+        return False
+    return all(op.mode in ("literal", "register") for op in ops)
+
+
+def exec_busy(info, params) -> int:
+    """Busy cycles charged to the family's execute micro-routine.
+
+    ``params`` supplies the data-dependent knobs a kernel fixes by
+    construction (branch taken, field located in memory, string lengths,
+    ...).  Raises :class:`ModelError` for families this model does not
+    cover (e.g. MTPR/MFPR, which need privileged-register hooks).
+    """
+    f = info.family
+    mn = info.mnemonic
+    p = params
+    taken = 1 if p.get("taken") else 0
+    if f in ("MOV", "MOVZ", "MCOM", "MNEG", "CLR", "CVT_INT", "MOVA",
+             "NOP"):
+        return 1
+    if f in ("MOVQ", "CLRQ", "PSW"):
+        return 2
+    if f in ("PUSHA", "PUSHL"):
+        return 2                        # compute + push write
+    if f in ("ADDSUB", "INCDEC", "ADWC", "LOGICAL", "BIT", "CMP", "TST"):
+        return 1
+    if f == "ADAWI":
+        return 3
+    if f == "INDEX":
+        return 12
+    if f == "ASH":
+        return 3
+    if f == "ASHQ":
+        return 5
+    if f == "ROT":
+        return 2
+    if f in ("BCOND", "BLB", "AOB", "SOB"):
+        return 1 + taken
+    if f == "ACB":
+        return 2 + taken
+    if f == "JMP":
+        return 2
+    if f in ("BSB", "JSB", "RSB"):
+        return 3                        # setup + push/pop + redirect
+    if f == "CASE":
+        # Always redirects; the dispatch-table read happens only for an
+        # in-range selector.
+        return 3 + (1 if p.get("in_range", True) else 0)
+    if f in ("EXT", "CMPV"):
+        return 9 + p.get("field_reads", 0)
+    if f == "INSV":
+        return 9 + (2 if p.get("field_rmw") else 0)
+    if f == "FF":
+        return 6 + p.get("field_reads", 0) + (p.get("scanned", 0) >> 3)
+    if f == "BB":
+        cost = 4 + p.get("field_reads", 0) + taken
+        if p.get("field_rmw"):
+            cost += 2
+        if p.get("interlocked"):
+            cost += 2
+        return cost
+    if f in ("FADDSUB", "DADDSUB"):
+        return 7
+    if f == "FMULDIV":
+        return 12 if mn.startswith("DIV") else 11
+    if f == "DMULDIV":
+        return 16 if mn.startswith("DIV") else 11
+    if f == "MULDIV_INT":
+        return 16 if mn.startswith("DIV") else 9
+    if f == "FCVT":
+        return 6
+    if f == "DCVT":
+        return 8
+    if f in ("FMOV", "FCMP", "DMOV"):
+        return 3
+    if f == "DCMP":
+        return 4
+    if f == "EMUL":
+        return 11
+    if f == "EDIV":
+        return 22
+    if f == "CALL":
+        # entry 6 + mask read + finish 7 + redirect, plus 5 per pushed
+        # longword (4 work + 1 write): PC/FP/AP/status always, the numarg
+        # push for CALLS, and one per entry-mask register.
+        return 35 + (5 if mn == "CALLS" else 0) + 5 * p.get("save_regs", 0)
+    if f == "RET":
+        return (21 + (1 if p.get("calls_frame") else 0)
+                + 3 * p.get("save_regs", 0))
+    if f in ("PUSHR", "POPR"):
+        return 2 + 3 * p.get("nregs", 0)
+    if f == "CHM":
+        return 21
+    if f == "REI":
+        return 16
+    if f == "PROBE":
+        return 4
+    if f == "INSQUE":
+        return 12
+    if f == "REMQUE":
+        return 9
+    if f == "HALT":
+        return 1
+    if f == "SVPCTX":
+        return 43
+    if f == "LDPCTX":
+        return 45
+    if f == "MOVC":
+        # entry 4 + exit 4; 9 per full longword moved (read+7 work+write),
+        # 4 per tail byte, 3 per MOVC5 fill byte.
+        return (8 + 9 * p.get("full", 0) + 4 * p.get("tail", 0)
+                + 3 * p.get("fill", 0))
+    if f == "CMPC":
+        # entry 3 + exit 2; each byte position costs one work cycle plus
+        # its operand reads (2 while both strings cover the position).
+        return 5 + p.get("iters", 0) + p.get("reads", 0)
+    if f in ("LOCC", "SKPC"):
+        return 4 + 4 * p.get("chunks", 0)   # read + 3 work per 4-byte chunk
+    if f in ("SCANC", "SPANC"):
+        return 4 + 4 * p.get("iters", 0)    # 2 reads + 2 work per byte
+    if f == "MOVTC":
+        return 8 + 5 * p.get("moved", 0) + 2 * p.get("fill", 0)
+    if f in ("MOVP", "CMPP", "ADDP", "SUBP", "CVTLP", "CVTPL"):
+        # entry 10 + exit 8; every packed byte read or written costs its
+        # reference plus six decimal-work cycles.
+        return 18 + 7 * (p.get("pbytes_read", 0) + p.get("pbytes_written", 0))
+    raise ModelError(f"no execute-cost model for family {f!r} ({mn})")
+
+
+def predict_instr(instr) -> dict:
+    """Busy-cycle buckets for one instruction of a kernel copy."""
+    info = opcode(instr.mnemonic)
+    out = dict.fromkeys(BUCKETS, 0)
+    out["decode"] = 1
+    if info.family in PATCHED_FAMILIES:
+        out["patch"] = 1
+    kinds = info.specifier_operands
+    if len(instr.ops) != len(kinds):
+        raise ModelError(
+            f"{instr.mnemonic} takes {len(kinds)} specifiers, kernel "
+            f"supplies {len(instr.ops)}")
+    for op, kind in zip(instr.ops, kinds):
+        out["spec"] += specifier_cost(op, kind)
+    execute = exec_busy(info, instr.params)
+    if _is_fused(info, instr.ops):
+        # The first execute cycle issues from the fused-specifier
+        # address; total busy cycles are unchanged, attribution moves.
+        out["fused"] = 1
+        execute -= 1
+    out["execute"] = execute
+    if info.branch_operand is not None and instr.params.get("taken"):
+        out["bdisp"] = 1
+    return out
+
+
+def predict_kernel(kernel) -> dict:
+    """Busy-cycle buckets for one copy of the kernel (all instructions)."""
+    out = dict.fromkeys(BUCKETS, 0)
+    for instr in kernel.instrs:
+        for bucket, cycles in predict_instr(instr).items():
+            out[bucket] += cycles
+    out["total"] = sum(out[b] for b in BUCKETS)
+    return out

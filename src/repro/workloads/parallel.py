@@ -32,6 +32,26 @@ def default_jobs() -> int:
     return max(1, min(len(STANDARD_PROFILES), os.cpu_count() or 1))
 
 
+def run_tasks(worker, tasks, jobs: int = None) -> list:
+    """Map ``worker`` over ``tasks``, optionally across processes.
+
+    The generic fan-out shared by the composite experiments and the
+    microbenchmark runner: order-preserving, degenerating to a plain
+    serial loop for ``jobs <= 1`` (so single-job runs carry no pool
+    overhead and the jobs=1 / jobs=N results are trivially comparable).
+    ``worker`` and each task must pickle (top-level function, plain
+    data).
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        # pool.map preserves submission order.
+        return list(pool.map(worker, tasks))
+
+
 def _run_one(task) -> "Measurement":
     """Worker entry point (top-level, so it pickles): one experiment."""
     name, instructions, seed = task
@@ -48,15 +68,8 @@ def run_standard_parallel(instructions: int, seed: int = 1984,
     Returns name -> Measurement in the paper's profile order, exactly as
     :func:`repro.workloads.experiments.run_standard_experiments` does.
     """
-    if jobs is None:
-        jobs = default_jobs()
     tasks = [(profile.name, instructions, seed)
              for profile in STANDARD_PROFILES]
-    if jobs <= 1:
-        results = [_run_one(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            # pool.map preserves submission order.
-            results = list(pool.map(_run_one, tasks))
+    results = run_tasks(_run_one, tasks, jobs=jobs)
     return {profile.name: measurement
             for profile, measurement in zip(STANDARD_PROFILES, results)}

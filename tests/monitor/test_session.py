@@ -3,7 +3,10 @@
 import pytest
 
 from repro.analysis import Reduction
-from repro.monitor.session import MeasurementSession
+from repro.monitor.session import (COUNTER_LIMIT, CounterSaturation,
+                                   MeasurementSession)
+from repro.monitor.unibus import (CSR_CLEAR, CSR_RUN, CSR_SELECT_STALL,
+                                  UnibusHistogramInterface)
 from tests.helpers import boot
 
 
@@ -38,6 +41,95 @@ class TestMeasurementSession:
         session = MeasurementSession(machine)
         with pytest.raises(RuntimeError):
             session.stop()
+
+    def test_stop_without_start_names_the_session(self):
+        machine = boot("halt")
+        session = MeasurementSession(machine, name="orphan")
+        with pytest.raises(RuntimeError, match="'orphan' was not started"):
+            session.stop()
+
+    def test_stop_twice_raises(self):
+        machine = boot("nop\nhalt")
+        session = MeasurementSession(machine)
+        session.start()
+        machine.run(2)
+        session.stop()
+        with pytest.raises(RuntimeError, match="was not started"):
+            session.stop()
+
+    def test_counter_saturation_nonstalled(self):
+        machine = boot("nop\nhalt")
+        session = MeasurementSession(machine)
+        session.start()
+        machine.run(1)
+        machine.board.nonstalled[0] = COUNTER_LIMIT
+        with pytest.raises(CounterSaturation):
+            session.stop()
+
+    def test_counter_saturation_stalled(self):
+        machine = boot("nop\nhalt")
+        session = MeasurementSession(machine)
+        session.start()
+        machine.run(1)
+        machine.board.stalled[3] = COUNTER_LIMIT + 7
+        with pytest.raises(CounterSaturation):
+            session.stop()
+
+    def test_saturated_session_still_closes_gate(self):
+        machine = boot("nop\nhalt")
+        session = MeasurementSession(machine)
+        session.start()
+        machine.run(1)
+        machine.board.nonstalled[0] = COUNTER_LIMIT
+        with pytest.raises(CounterSaturation):
+            session.stop()
+        assert not machine.board.enabled
+
+    def test_csr_lifecycle(self):
+        machine = boot("""
+            movl #5, r0
+        loop:
+            sobgtr r0, loop
+            halt
+        """)
+        session = MeasurementSession(machine)
+        iface = session.interface
+        iface.write_csr(0)              # close the power-up gate
+        assert not iface.read_csr() & CSR_RUN
+        session.start()
+        # RUN reads back set; CLEAR is self-clearing, never latched.
+        assert iface.read_csr() & CSR_RUN
+        assert not iface.read_csr() & CSR_CLEAR
+        machine.run(20)
+        measurement = session.stop()
+        assert not iface.read_csr() & CSR_RUN
+        assert measurement.histogram.total_cycles() > 0
+        # With the gate closed, further execution counts nothing.
+        frozen = list(machine.board.nonstalled)
+        machine.run(100)
+        assert list(machine.board.nonstalled) == frozen
+
+    def test_csr_clear_zeroes_both_planes(self):
+        machine = boot("nop\nnop\nhalt")
+        machine.board.enabled = True
+        machine.run(2)
+        iface = UnibusHistogramInterface(machine.board)
+        assert sum(iface.read_all(stalled=False)) > 0
+        iface.write_csr(CSR_CLEAR)
+        assert sum(iface.read_all(stalled=False)) == 0
+        assert sum(iface.read_all(stalled=True)) == 0
+
+    def test_csr_plane_select_readout(self):
+        machine = boot("nop\nhalt")
+        machine.board.enabled = True
+        machine.run(1)
+        machine.board.stalled[5] = 99
+        iface = UnibusHistogramInterface(machine.board)
+        iface.write_address(5)
+        nonstalled_view = iface.read_data()
+        iface.write_csr(CSR_SELECT_STALL)
+        assert iface.read_data() == 99
+        assert nonstalled_view == machine.board.nonstalled[5]
 
     def test_context_manager(self):
         machine = boot("""

@@ -52,6 +52,57 @@ class TestCLI:
         assert main(["characterize", "--instructions", "1500",
                      "--table", "99"]) == 2
 
+    def test_characterize_bad_table_lists_valid_keys(self, capsys):
+        assert main(["characterize", "--table", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown table 'nope'" in err
+        for key in ("1", "9", "s4"):
+            assert key in err
+        # Validation happens before the composite run: nothing printed.
+        assert capsys.readouterr().out == ""
+
+    def test_version(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert repro.__version__ in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_ubench_smoke(self, tmp_path, capsys):
+        import json
+        out_json = tmp_path / "UBENCH.json"
+        assert main(["ubench", "--smoke", "--no-check", "--jobs", "1",
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "UBENCH - per-kernel cycles" in out
+        assert "specifier mode cost" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["all_exact"] and doc["all_reconciled"]
+        assert doc["total_kernels"] == len(doc["kernels"])
+        assert doc["meta"]["suite"] == "smoke"
+
+    def test_ubench_filters(self, capsys):
+        assert main(["ubench", "--group", "float", "--mode", "register",
+                     "--no-check", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mulf2_rr" in out
+        assert "movl_register" not in out
+
+    def test_ubench_no_match(self, capsys):
+        assert main(["ubench", "--group", "bogus", "--no-check"]) == 2
+        err = capsys.readouterr().err
+        assert "no kernels match" in err
+        assert "simple" in err and "decimal" in err
+
+    def test_ubench_with_consistency_check(self, capsys):
+        assert main(["ubench", "--group", "callret", "--jobs", "1",
+                     "--check-instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "consistency vs. composite" in out
+        assert "paper Table 5: 10.6" in out

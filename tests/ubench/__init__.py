@@ -1,0 +1,1 @@
+"""Microbenchmark subsystem tests."""

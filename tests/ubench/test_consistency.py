@@ -1,0 +1,52 @@
+"""Microbenchmark model vs. composite measurement coherence.
+
+The consistency pass predicts each opcode group's execute-row busy
+cycles in the *composite* workload from the same per-family constants
+the kernel model uses; agreement must be within the 5% tolerance (in
+practice it is exact — the slack exists for data-dependent slots
+carried at measured values and for aborted instructions).
+"""
+
+import pytest
+
+from repro.ubench.consistency import check_composite
+from repro.workloads import experiments
+
+INSTRUCTIONS = 1500
+SEED = 1984
+
+
+@pytest.fixture(scope="module")
+def composite():
+    return experiments.standard_composite(instructions=INSTRUCTIONS,
+                                          seed=SEED)
+
+
+def test_groups_within_tolerance(composite):
+    check = check_composite(composite)
+    assert check["ok"], [
+        (r["group"], r["rel_err"]) for r in check["rows"] if not r["ok"]]
+
+
+def test_rows_cover_populated_groups(composite):
+    check = check_composite(composite)
+    groups = {r["group"] for r in check["rows"]}
+    # The composite always executes simple/callret/system code at least.
+    assert "simple+field" in groups
+    assert "callret" in groups
+    assert "system" in groups
+
+
+def test_modeled_fraction_reported(composite):
+    check = check_composite(composite)
+    for row in check["rows"]:
+        assert 0.0 <= row["modeled_fraction"] <= 1.0
+
+
+def test_summary_fields(composite):
+    check = check_composite(composite)
+    assert check["instructions"] == 5 * INSTRUCTIONS
+    assert check["cycles"] == composite.cycles
+    assert check["cpi"] == pytest.approx(
+        composite.cycles / (5 * INSTRUCTIONS))
+    assert check["paper_cpi"] == 10.6

@@ -1,0 +1,31 @@
+"""Serial/parallel equivalence of the microbenchmark fan-out.
+
+Same pattern as ``tests/integration/test_determinism.py``: the process
+pool may only change when wall-clock time is spent, never what is
+measured.  Each kernel runs on a fresh machine, so the full result
+dicts — histogram-derived buckets, itemized overheads, cycle totals —
+must be bit-identical for any ``jobs`` value.
+"""
+
+from repro.ubench import runner, suite
+
+_KERNELS = [suite.kernel_by_name(name) for name in
+            ("movl_register", "movl_disp_byte", "addl2_rr",
+             "sobgtr_taken", "calls_ret", "movl_disp_cold")]
+
+
+def test_jobs_1_vs_jobs_n_identical():
+    serial = runner.run_suite(_KERNELS, jobs=1, warmup=2, copies=8)
+    parallel = runner.run_suite(_KERNELS, jobs=3, warmup=2, copies=8)
+    assert serial == parallel
+
+
+def test_repeated_serial_runs_identical():
+    first = runner.run_suite(_KERNELS, jobs=1, warmup=2, copies=8)
+    second = runner.run_suite(_KERNELS, jobs=1, warmup=2, copies=8)
+    assert first == second
+
+
+def test_order_preserved():
+    results = runner.run_suite(_KERNELS, jobs=3, warmup=2, copies=8)
+    assert [r["kernel"] for r in results] == [k.name for k in _KERNELS]

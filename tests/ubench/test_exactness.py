@@ -1,0 +1,77 @@
+"""The subsystem's core contract: measured busy cycles == model, exactly.
+
+Every kernel in the standard suite must satisfy two properties:
+
+* **exact** — each busy bucket (decode / patch / spec / fused / bdisp /
+  execute) of the measured µPC histogram equals ``copies x`` the
+  analytical prediction; busy cycles are state-independent, so any
+  mismatch is a bug in the engine or the model;
+* **reconciled** — busy buckets plus the itemized overhead causes
+  (IB stall, cache stalls, TB-miss service, unaligned, interrupts)
+  account for every cycle the session measured: nothing is dropped,
+  nothing double-counted.
+"""
+
+import pytest
+
+from repro.ubench import model, runner, suite
+
+_SMALL = dict(warmup=2, copies=8)
+
+
+@pytest.mark.parametrize("kernel", suite.STANDARD_SUITE,
+                         ids=lambda k: k.name)
+def test_kernel_exact_and_reconciled(kernel):
+    result = runner.run_kernel(kernel, **_SMALL)
+    assert result["reconciled"], (
+        f"{kernel.name}: busy + overhead != total cycles")
+    assert result["exact"], (
+        f"{kernel.name}: busy-bucket delta {result['busy_delta']}")
+
+
+def test_suite_covers_every_opcode_group():
+    assert set(suite.groups()) == {"simple", "field", "float", "callret",
+                                   "system", "character", "decimal"}
+
+
+def test_smoke_suite_is_a_subset():
+    names = {k.name for k in suite.STANDARD_SUITE}
+    assert {k.name for k in suite.SMOKE_SUITE} <= names
+    assert 10 <= len(suite.SMOKE_SUITE) <= 20
+
+
+def test_cold_variant_pays_itemized_misses():
+    kernel = suite.kernel_by_name("movl_disp_cold")
+    result = runner.run_kernel(kernel, **_SMALL)
+    # Busy cycles stay exact; compulsory misses are itemized, not lost.
+    assert result["exact"]
+    assert result["overhead"].get("tb-miss", 0) > 0
+    assert result["overhead"].get("read-stall", 0) > 0
+
+
+def test_warm_counterpart_has_no_miss_overhead():
+    kernel = suite.kernel_by_name("movl_disp_long")
+    result = runner.run_kernel(kernel, **_SMALL)
+    assert result["overhead"].get("tb-miss", 0) == 0
+    assert result["overhead"].get("read-stall", 0) == 0
+
+
+def test_predictions_are_stable_constants():
+    # The model consults only the kernel description, never a machine:
+    # repeated calls agree, and every bucket is a non-negative int.
+    for kernel in suite.STANDARD_SUITE:
+        first = model.predict_kernel(kernel)
+        assert first == model.predict_kernel(kernel)
+        for bucket in model.BUCKETS:
+            assert first[bucket] >= 0
+        assert first["total"] == sum(first[b] for b in model.BUCKETS)
+
+
+def test_classification_is_total():
+    # Every control-store address classifies for both planes.
+    from repro.analysis.reduction import reference_map
+    cat, stall_cat = runner.classification()
+    store, _ = reference_map()
+    for ann in store.annotations():
+        assert ann.address in cat
+        assert ann.address in stall_cat

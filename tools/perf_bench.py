@@ -2,8 +2,9 @@
 """End-to-end simulator performance benchmark.
 
 Times the five-workload standard composite (construction + run +
-capture, nothing cached) and writes/updates ``BENCH_perf.json`` with
-instructions/second and cycles/second.  The composite's counted cycles
+capture, nothing cached) plus the fixed microbenchmark smoke sweep, and
+writes/updates ``BENCH_perf.json`` with instructions/second and
+cycles/second.  The composite's counted cycles
 are recorded alongside so a perf number can never silently ride on a
 timing-model change: two entries are comparable only if their
 ``composite_cycles`` match.
@@ -65,6 +66,39 @@ def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
         "cycles_per_second": round(cycles / best, 1),
         "python": platform.python_version(),
         "source": _source_id(),
+        "ubench": measure_ubench(repeats),
+    }
+
+
+def measure_ubench(repeats: int) -> dict:
+    """Time the fixed microbenchmark smoke sweep (serial, no pool).
+
+    Like ``composite_cycles`` above, the sweep's summed cycle count is
+    recorded so before/after entries are only comparable when the
+    kernels counted the same work.
+    """
+    from repro.ubench import runner, suite
+
+    runs = []
+    total_cycles = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        results = runner.run_suite(suite.SMOKE_SUITE, jobs=1)
+        elapsed = time.perf_counter() - t0
+        runs.append(round(elapsed, 3))
+        cycles = sum(r["total_cycles"] for r in results)
+        if total_cycles is None:
+            total_cycles = cycles
+        elif total_cycles != cycles:
+            raise SystemExit(f"non-deterministic ubench cycles: "
+                             f"{total_cycles} vs {cycles}")
+    best = min(runs)
+    return {
+        "kernels": len(suite.SMOKE_SUITE),
+        "sweep_cycles": total_cycles,
+        "wall_seconds": runs,
+        "best_seconds": best,
+        "kernels_per_second": round(len(suite.SMOKE_SUITE) / best, 2),
     }
 
 
@@ -110,6 +144,11 @@ def main() -> int:
           f"{entry['instructions_per_second']:,.0f} instr/s  "
           f"{entry['cycles_per_second']:,.0f} cycles/s  "
           f"cycles={entry['composite_cycles']}")
+    ub = entry["ubench"]
+    print(f"[{args.label}] ubench sweep of {ub['kernels']} kernels: "
+          f"best {ub['best_seconds']:.2f}s  "
+          f"{ub['kernels_per_second']:.1f} kernels/s  "
+          f"cycles={ub['sweep_cycles']}")
 
     if args.output:
         doc = {}
