@@ -69,3 +69,9 @@ def test_perf_bench_tool_writes_json(tmp_path):
     assert ubench["kernels"] > 0
     assert ubench["sweep_cycles"] > 0
     assert ubench["kernels_per_second"] > 0
+    explore = entry["explore"]
+    assert explore["spec"] == "smoke"
+    assert explore["tasks"] == explore["points"] * 5
+    assert explore["sweep_cycles"] > 0
+    # The warm pass reads the store instead of simulating.
+    assert explore["best_warm_seconds"] < explore["best_cold_seconds"]

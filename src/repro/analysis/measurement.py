@@ -83,7 +83,9 @@ class TracerStats:
                 "instruction_bytes", "interrupts",
                 "software_interrupt_requests", "exceptions",
                 "context_switches", "tb_miss_cycles",
-                "tb_miss_stall_cycles", "page_faults")
+                "tb_miss_stall_cycles", "page_faults",
+                "decode_dispatches", "pc_change_dispatches",
+                "overlapped_decodes")
 
     def __init__(self, tracer=None) -> None:
         for name in self._COUNTERS:

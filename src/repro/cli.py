@@ -12,6 +12,9 @@ Commands:
 * ``profiles`` — list the five standard workload profiles.
 * ``ubench`` — run the microbenchmark kernel sweep (per-instruction
   cycle characterization, measured vs. analytical model).
+* ``explore`` — design-space sweep: simulate MachineParams variations
+  (§5's engineering what-ifs) with a persistent result store and print
+  sensitivity tables.
 """
 
 from __future__ import annotations
@@ -120,6 +123,49 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="instructions per workload for the "
                              "consistency composite")
     ubench.add_argument("--seed", type=int, default=1984)
+
+    explore = sub.add_parser(
+        "explore", help="design-space sweep over MachineParams axes "
+                        "with a persistent result store")
+    explore.add_argument("--spec", default="paper-sensitivity",
+                         help="named sweep spec (paper-sensitivity, "
+                              "smoke)")
+    explore.add_argument("--axis", action="append", default=[],
+                         metavar="NAME=V1,V2,...",
+                         help="sweep axis (repeatable); replaces the "
+                              "spec's axes")
+    explore.add_argument("--mode", default=None,
+                         choices=("ofat", "cartesian"),
+                         help="point enumeration: one-factor-at-a-time "
+                              "or the full grid (default: the spec's)")
+    explore.add_argument("--points", action="store_true",
+                         help="list the enumerated points and their "
+                              "store status without simulating")
+    explore.add_argument("--smoke", action="store_true",
+                         help="run the small fixed smoke sweep")
+    explore.add_argument("--instructions", type=int, default=None,
+                         help="measured instructions per workload "
+                              "(default: the spec's)")
+    explore.add_argument("--seed", type=int, default=None)
+    explore.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the point fan-out "
+                              "(results bit-identical for any value)")
+    explore.add_argument("--resume", action="store_true", default=True,
+                         help="reuse stored results (default)")
+    explore.add_argument("--no-resume", dest="resume",
+                         action="store_false",
+                         help="re-simulate every point (the store is "
+                              "still updated)")
+    explore.add_argument("--store", default=".explore/store",
+                         metavar="DIR",
+                         help="result store directory "
+                              "(default: .explore/store)")
+    explore.add_argument("--no-store", dest="use_store",
+                         action="store_false", default=True,
+                         help="do not read or write the result store")
+    explore.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the machine-readable "
+                              "EXPLORE.json document to PATH")
     return parser
 
 
@@ -261,6 +307,89 @@ def _cmd_ubench(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.explore import (ResultStore, SPECS, SpaceError, SweepSpec,
+                               code_version, parse_axis, result_key,
+                               run_sweep, sensitivity)
+    from repro.report.explore import explore_json, render_sensitivity
+
+    # Validate every axis before any simulation, mirroring
+    # ``characterize --table``'s pre-validation.
+    axes = []
+    for text in args.axis:
+        try:
+            axes.append(parse_axis(text))
+        except SpaceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    name = "smoke" if args.smoke else args.spec
+    base = SPECS.get(name)
+    if base is None:
+        print(f"unknown spec {name!r}; choose from "
+              f"{', '.join(sorted(SPECS))}", file=sys.stderr)
+        return 2
+    overrides = {}
+    if axes:
+        overrides["axes"] = tuple(axes)
+        overrides["name"] = "custom"
+    if args.mode is not None:
+        overrides["mode"] = args.mode
+    if args.instructions is not None:
+        overrides["instructions"] = args.instructions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        spec = replace(base, **overrides) if overrides else base
+    except SpaceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    store = ResultStore(args.store) if args.use_store else None
+
+    if args.points:
+        code = code_version()
+        print(f"spec '{spec.name}' ({spec.mode}): "
+              f"{len(spec.points())} points x "
+              f"{len(spec.workloads)} workloads")
+        for point in spec.points():
+            params = point.params()
+            cached = sum(
+                1 for workload in spec.workloads
+                if store is not None and result_key(
+                    params, workload, point.instructions, point.seed,
+                    code=code) in store)
+            print(f"  {point.label():40s} {cached}/"
+                  f"{len(spec.workloads)} cached")
+        return 0
+
+    result = run_sweep(spec, store=store, jobs=args.jobs,
+                       resume=args.resume,
+                       progress=lambda line: print(line,
+                                                   file=sys.stderr))
+    report = sensitivity(result)
+    print(render_sensitivity(report, result.stats))
+    if args.json:
+        doc = explore_json(result, report, meta={
+            "spec": spec.name,
+            "store": args.store if args.use_store else None,
+            "code_version": code_version(),
+        })
+        with open(args.json, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    claim = report.get("decode_claim")
+    if claim is not None and not claim["ok"]:
+        print("overlapped-decode claim check failed (see above)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "run-workload": _cmd_run_workload,
@@ -269,6 +398,7 @@ _COMMANDS = {
     "figure1": _cmd_figure1,
     "profiles": _cmd_profiles,
     "ubench": _cmd_ubench,
+    "explore": _cmd_explore,
 }
 
 

@@ -272,6 +272,9 @@ class VAX780:
         e.psl.ipl = pending.ipl
         e.pc = handler & _WORD
         e.ib.flush(e.pc)
+        # The redirect restarts the pipeline: the next decode cannot
+        # have overlapped the interrupted flow.
+        self._pc_changed = True
 
     def _deliver_exception(self, fault: PageFaultTrap) -> None:
         e, u = self.ebox, self.umap
@@ -287,6 +290,7 @@ class VAX780:
         e.push(fault.va, u.exc_push_param)
         e.pc = handler & _WORD
         e.ib.flush(e.pc)
+        self._pc_changed = True
 
     # ------------------------------------------------------------------
     # MTPR / MFPR / LDPCTX hooks
@@ -403,16 +407,29 @@ class VAX780:
                 ib.count -= 1
             else:
                 e.ib_take(1, self._ird_stall)
-            if not self._overlapped_decode or self._pc_changed:
+            # The decode counters share the histogram board's gate so
+            # they stay 1:1 with the histogram's IRD dispatch counts.
+            tracer = self.tracer
+            if self._pc_changed:
+                if tracer.enabled:
+                    tracer.decode_dispatches += 1
+                    tracer.pc_change_dispatches += 1
                 e._cycle_raw(ird_upc)
-            else:
+            elif self._overlapped_decode:
                 # 11/750-style overlap: the decode happened under the
                 # previous instruction's execution.  The dispatch is
                 # still counted (it is how the analysis counts
                 # instructions) but costs no EBOX cycle — on such a
                 # machine the histogram's decode counts are event
                 # counts, not cycle counts.
+                if tracer.enabled:
+                    tracer.decode_dispatches += 1
+                    tracer.overlapped_decodes += 1
                 self.board.count(ird_upc)
+            else:
+                if tracer.enabled:
+                    tracer.decode_dispatches += 1
+                e._cycle_raw(ird_upc)
             if patched:
                 e._cycle_raw(self.umap.patch_abort)
             plan = inst.eval_plan

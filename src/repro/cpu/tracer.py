@@ -44,6 +44,14 @@ class Tracer:
         self._branch_displacements = 0
         self._branch_disp_bytes = 0
         self._instruction_bytes = 0
+        #: IRD dispatches, split by whether the previous instruction (or
+        #: an interrupt/exception) changed the PC.  §5: a machine with
+        #: overlapped decode (the 11/750) saves one cycle on each
+        #: non-PC-changing dispatch; ``overlapped_decodes`` counts the
+        #: dispatches where this model actually skipped the cycle.
+        self.decode_dispatches = 0
+        self.pc_change_dispatches = 0
+        self.overlapped_decodes = 0
         self.interrupts = 0
         self.software_interrupt_requests = 0
         self.exceptions = 0

@@ -1,0 +1,32 @@
+"""repro.explore: design-space exploration for the simulated 11/780.
+
+The paper's §5 costs out engineering changes on paper; this package
+actually runs them.  A declarative :class:`SweepSpec` names axes over
+:class:`~repro.params.MachineParams` fields (plus seed/instructions),
+the sharded runner simulates every point across worker processes, a
+content-addressed :class:`ResultStore` makes re-runs and interrupted
+sweeps incremental, and the sensitivity module reduces it all to
+§5-style tables — including the exact check of the 11/750's
+overlapped-decode saving.
+
+    from repro.explore import PAPER_SENSITIVITY, ResultStore, run_sweep
+    from repro.explore.sensitivity import sensitivity
+
+    store = ResultStore(".explore/store")
+    result = run_sweep(PAPER_SENSITIVITY, store=store, jobs=4)
+    report = sensitivity(result)
+"""
+
+from repro.explore.space import (Axis, PAPER_SENSITIVITY, Point, SMOKE,
+                                 SPECS, SpaceError, SweepSpec, parse_axis,
+                                 valid_axes)
+from repro.explore.store import ResultStore, code_version, result_key
+from repro.explore.runner import SweepResult, compose, run_sweep
+from repro.explore.sensitivity import (axis_table, decode_claim,
+                                       point_metrics, sensitivity)
+
+__all__ = ["Axis", "PAPER_SENSITIVITY", "Point", "SMOKE", "SPECS",
+           "SpaceError", "SweepSpec", "parse_axis", "valid_axes",
+           "ResultStore", "code_version", "result_key", "SweepResult",
+           "compose", "run_sweep", "axis_table", "decode_claim",
+           "point_metrics", "sensitivity"]

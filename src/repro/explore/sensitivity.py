@@ -1,0 +1,122 @@
+"""Paper-style sensitivity analysis over sweep results.
+
+§5 of the paper walks through "where performance may be improved, and
+where it may not": stall cycles, decode overlap, IB fills.  This module
+turns a :class:`~repro.explore.runner.SweepResult` into that section's
+tables — per-axis rows of CPI and read/write/IB stall cycles per
+instruction — plus a quantitative reproduction of §5's overlapped-decode
+estimate: "saving the non-overlapped I-Decode cycle could save one
+cycle on each non-PC-changing instruction.  (The later VAX model 11/750
+did exactly this.)"
+"""
+
+from __future__ import annotations
+
+from repro.explore.space import VAX780
+from repro.ucode.rows import Column
+
+#: Stall/reference columns reported per instruction in the axis tables.
+_COLUMNS = (Column.READ, Column.RSTALL, Column.WRITE, Column.WSTALL,
+            Column.IBSTALL)
+
+
+def point_metrics(entry: dict) -> dict:
+    """Headline metrics of one point's composite record.
+
+    ``cpi`` counts cycles the machine actually spent: in overlapped-
+    decode configurations the histogram's decode counts are event
+    counts (see the machine model), so the overlapped dispatches are
+    backed out of the classified total.
+    """
+    composite = entry["composite"]
+    instructions = composite["instructions_measured"] or 1
+    classified = sum(cycles for cols in composite["cells"].values()
+                     for cycles in cols.values())
+    decode = composite["decode"]
+    spent = classified - decode["overlapped_decodes"]
+    metrics = {
+        "label": entry["label"],
+        "instructions": composite["instructions_measured"],
+        "classified_cycles": classified,
+        "machine_cycles": composite["cycles"],
+        "cpi": spent / instructions,
+        "decode_cycles_per_instruction":
+            (decode["dispatches"] - decode["overlapped_decodes"])
+            / (decode["dispatches"] or 1),
+    }
+    for column in _COLUMNS:
+        total = sum(cols.get(column.name, 0)
+                    for cols in composite["cells"].values())
+        metrics[column.name.lower() + "_per_instruction"] = \
+            total / instructions
+    return metrics
+
+
+def axis_table(result, axis) -> dict:
+    """One axis's sensitivity rows, in the axis's value order."""
+    rows = []
+    for value in axis.values:
+        if axis.name not in ("seed", "instructions") \
+                and value == getattr(VAX780, axis.name):
+            entry = result.point()
+        else:
+            entry = result.point(**{axis.name: value})
+        if entry is None:
+            continue
+        metrics = point_metrics(entry)
+        metrics["value"] = value
+        metrics["is_default"] = entry["point"].overrides == ()
+        rows.append(metrics)
+    return {"axis": axis.name, "rows": rows}
+
+
+def decode_claim(result) -> dict:
+    """§5's overlapped-decode estimate, checked exactly.
+
+    Within the ``overlapped_decode=True`` run, two independently
+    maintained counters must agree: the dispatches whose decode cycle
+    was actually skipped, and the dispatches that no PC change
+    preceded.  Their equality — plus the decode-cycle accounting
+    against the baseline run — is the paper's "one cycle per
+    non-PC-changing instruction", made exact.
+    """
+    baseline = result.point()
+    overlapped = result.point(overlapped_decode=True)
+    if baseline is None or overlapped is None:
+        return None
+    base_d = baseline["composite"]["decode"]
+    over_d = overlapped["composite"]["decode"]
+    non_pc = over_d["dispatches"] - over_d["pc_change_dispatches"]
+    saved = over_d["overlapped_decodes"]
+    base_cycles = base_d["dispatches"] - base_d["overlapped_decodes"]
+    over_cycles = over_d["dispatches"] - over_d["overlapped_decodes"]
+    instructions = overlapped["composite"]["instructions_measured"] or 1
+    return {
+        "baseline_decode_cycles": base_cycles,
+        "overlapped_decode_cycles": over_cycles,
+        "overlapped_dispatches": over_d["dispatches"],
+        "non_pc_changing_dispatches": non_pc,
+        "cycles_saved": saved,
+        "cycles_saved_per_instruction": saved / instructions,
+        "baseline_cpi": point_metrics(baseline)["cpi"],
+        "overlapped_cpi": point_metrics(overlapped)["cpi"],
+        # §5, exactly: every skipped decode cycle is a non-PC-changing
+        # dispatch, and no non-PC-changing dispatch paid for decode.
+        "ok": saved == non_pc and saved > 0
+            and over_cycles == over_d["pc_change_dispatches"],
+    }
+
+
+def sensitivity(result) -> dict:
+    """The full report: one table per axis plus the §5 decode claim."""
+    return {
+        "spec": result.spec.name,
+        "mode": result.spec.mode,
+        "instructions": result.spec.instructions,
+        "seed": result.spec.seed,
+        "workloads": list(result.spec.workloads),
+        "axes": [axis_table(result, axis) for axis in result.spec.axes],
+        "decode_claim": decode_claim(result),
+        "baseline": point_metrics(result.point())
+        if result.point() is not None else None,
+    }

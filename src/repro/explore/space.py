@@ -1,0 +1,237 @@
+"""Declarative sweep specifications over the 11/780's design space.
+
+The paper's §5 costs out engineering changes to the 11/780 on paper —
+overlapped decode, fewer stall cycles, fatter IB fills.  A
+:class:`SweepSpec` names those what-ifs declaratively: each
+:class:`Axis` ranges over one :class:`~repro.params.MachineParams`
+field (or over the special ``seed``/``instructions`` axes), and the
+spec enumerates concrete simulation :class:`Point`\\ s either
+one-factor-at-a-time (the paper's style: vary one thing against the
+stock machine) or as a full Cartesian grid.
+
+Every enumerated point is validated eagerly — axis names must be real
+parameter fields and each point's :class:`MachineParams` must pass the
+geometry checks — so a sweep fails before the first simulation, not
+hours into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.params import MachineParams, VAX780
+from repro.workloads.profiles import STANDARD_PROFILES
+
+
+class SpaceError(ValueError):
+    """An invalid axis name, axis value, or enumerated point."""
+
+
+#: Axes that parameterize the experiment rather than the machine.
+SPECIAL_AXES = ("seed", "instructions")
+
+
+def valid_axes() -> tuple:
+    """All legal axis names: MachineParams fields plus the special axes."""
+    return MachineParams.field_names() + SPECIAL_AXES
+
+
+def _check_axis_name(name: str) -> None:
+    if name not in valid_axes():
+        raise SpaceError(
+            f"unknown axis {name!r}; valid axes: "
+            f"{', '.join(valid_axes())}")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named dimension of a sweep and the values it takes."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        _check_axis_name(self.name)
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise SpaceError(f"axis {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise SpaceError(
+                f"axis {self.name!r} repeats a value: {self.values}")
+
+
+@dataclass(frozen=True)
+class Point:
+    """One concrete simulation configuration of a sweep.
+
+    ``overrides`` is a sorted tuple of (axis, value) pairs relative to
+    the stock machine and the spec's instructions/seed, so equal points
+    hash equal and the one-factor-at-a-time baseline is shared between
+    axes for free.
+    """
+
+    overrides: tuple
+    instructions: int
+    seed: int
+
+    @property
+    def param_overrides(self) -> dict:
+        """The MachineParams-field subset of the overrides."""
+        return {name: value for name, value in self.overrides
+                if name not in SPECIAL_AXES}
+
+    def params(self) -> MachineParams:
+        """The machine configuration this point simulates."""
+        return VAX780.with_overrides(**self.param_overrides)
+
+    def label(self) -> str:
+        """Human-readable point name, e.g. ``cache_bytes=4096``."""
+        if not self.overrides:
+            return "baseline"
+        return ",".join(f"{name}={value}"
+                        for name, value in self.overrides)
+
+
+def _point(overrides: dict, instructions: int, seed: int) -> Point:
+    instructions = overrides.pop("instructions", instructions)
+    seed = overrides.pop("seed", seed)
+    # An override equal to the stock value IS the baseline; dropping it
+    # makes the shared one-factor-at-a-time baseline point compare equal.
+    overrides = {name: value for name, value in overrides.items()
+                 if getattr(VAX780, name) != value}
+    point = Point(tuple(sorted(overrides.items())), instructions, seed)
+    try:
+        point.params()
+    except ValueError as exc:
+        raise SpaceError(f"invalid point {point.label()}: {exc}") from exc
+    return point
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named design-space sweep: axes, enumeration mode, workloads."""
+
+    name: str
+    axes: tuple
+    #: ``ofat`` (one-factor-at-a-time, the paper's §5 style) or
+    #: ``cartesian`` (the full grid).
+    mode: str = "ofat"
+    instructions: int = 20_000
+    seed: int = 1984
+    workloads: tuple = field(
+        default_factory=lambda: tuple(p.name for p in STANDARD_PROFILES))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        if self.mode not in ("ofat", "cartesian"):
+            raise SpaceError(
+                f"unknown mode {self.mode!r}; use 'ofat' or 'cartesian'")
+        seen = set()
+        for axis in self.axes:
+            if axis.name in seen:
+                raise SpaceError(f"duplicate axis {axis.name!r}")
+            seen.add(axis.name)
+        known = {p.name for p in STANDARD_PROFILES}
+        for workload in self.workloads:
+            if workload not in known:
+                raise SpaceError(
+                    f"unknown workload {workload!r}; valid workloads: "
+                    f"{', '.join(sorted(known))}")
+        if not self.workloads:
+            raise SpaceError("spec selects no workloads")
+        # Enumerate eagerly so a bad point fails at construction.
+        self.points()
+
+    def points(self) -> list:
+        """All concrete points, deduplicated, baseline first."""
+        baseline = _point({}, self.instructions, self.seed)
+        points = [baseline]
+        seen = {baseline}
+        if self.mode == "ofat":
+            candidates = ({axis.name: value}
+                          for axis in self.axes for value in axis.values)
+        else:
+            candidates = (dict(zip([a.name for a in self.axes], combo))
+                          for combo in product(
+                              *[a.values for a in self.axes]))
+        for overrides in candidates:
+            point = _point(overrides, self.instructions, self.seed)
+            if point not in seen:
+                seen.add(point)
+                points.append(point)
+        return points
+
+
+def parse_axis(text: str) -> Axis:
+    """Parse a CLI axis spec like ``cache_bytes=4096,8192,16384``.
+
+    Values are coerced to the field's type: integers for the counts and
+    sizes, ``true/false/on/off/1/0`` for booleans.
+    """
+    name, sep, values_text = text.partition("=")
+    name = name.strip()
+    _check_axis_name(name)
+    if not sep or not values_text.strip():
+        raise SpaceError(
+            f"axis {text!r} has no values; expected name=v1,v2,...")
+    if name in SPECIAL_AXES:
+        kind = int
+    else:
+        kind = type(getattr(VAX780, name))
+    values = []
+    for part in values_text.split(","):
+        part = part.strip()
+        if kind is bool:
+            lowered = part.lower()
+            if lowered in ("true", "on", "1", "yes"):
+                values.append(True)
+            elif lowered in ("false", "off", "0", "no"):
+                values.append(False)
+            else:
+                raise SpaceError(
+                    f"axis {name!r}: {part!r} is not a boolean")
+        elif kind is int:
+            try:
+                values.append(int(part, 0))
+            except ValueError:
+                raise SpaceError(
+                    f"axis {name!r}: {part!r} is not an integer") from None
+        else:
+            raise SpaceError(
+                f"axis {name!r} ({kind.__name__}) cannot be swept "
+                "from the command line")
+    return Axis(name, tuple(values))
+
+
+#: §5's engineering what-ifs, one factor at a time against the stock
+#: 11/780: cache size, TB size, write-buffer recycle, read-miss
+#: penalty, and the 11/750's overlapped decode.
+PAPER_SENSITIVITY = SweepSpec(
+    name="paper-sensitivity",
+    axes=(
+        Axis("cache_bytes", (4 * 1024, 8 * 1024, 16 * 1024)),
+        Axis("tb_entries", (64, 128, 256)),
+        Axis("write_recycle", (4, 6, 8)),
+        Axis("read_miss_penalty", (4, 6, 8)),
+        Axis("overlapped_decode", (False, True)),
+    ),
+    mode="ofat",
+    instructions=20_000,
+)
+
+#: A tiny fixed sweep for CI and the perf harness: two machine axes
+#: (one of them the §5 decode claim) at smoke-test instruction counts.
+SMOKE = SweepSpec(
+    name="smoke",
+    axes=(
+        Axis("cache_bytes", (4 * 1024, 8 * 1024)),
+        Axis("overlapped_decode", (False, True)),
+    ),
+    mode="ofat",
+    instructions=1_500,
+)
+
+#: Named specs addressable from the CLI.
+SPECS = {spec.name: spec for spec in (PAPER_SENSITIVITY, SMOKE)}

@@ -1,0 +1,129 @@
+"""Content-addressed on-disk store for design-space results.
+
+Every simulated point is stored under a key derived from everything
+that determines its outcome: the full :class:`MachineParams`, the
+workload name, the instruction budget, the seed, and a digest of the
+simulator's own source (the *code version*).  Re-running a sweep
+therefore only simulates points the store has never seen — interrupted
+sweeps resume for free, and a simulator change silently invalidates
+every stale result instead of serving it.
+
+Records are small JSON summaries (cycle counts, histogram totals and
+digest, the Table 8 reduction cells, decode/stall counters) rather than
+raw histograms: the reduction is linear, so per-workload cells sum into
+per-point composites exactly as the paper sums its five histograms.
+Writes are atomic (temp file + rename), so a killed sweep never leaves
+a truncated record behind.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.params import MachineParams
+
+#: Bump when the record layout changes; part of every key.
+SCHEMA = 1
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the simulator source that determines stored results.
+
+    Hashes every module of the ``repro`` package except the explore
+    subsystem itself, the report renderers and the CLI — those shape
+    presentation, not simulation, so iterating on them keeps a warm
+    store warm.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(("explore/", "report/")) or rel == "cli.py":
+            continue
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def result_key(params: MachineParams, workload: str, instructions: int,
+               seed: int, code: str = None) -> str:
+    """The content address of one (params, workload, seed) simulation."""
+    payload = {
+        "schema": SCHEMA,
+        "code": code_version() if code is None else code,
+        "workload": workload,
+        "instructions": instructions,
+        "seed": seed,
+        "params": {name: (list(value) if isinstance(value, tuple)
+                          else value)
+                   for name, value in asdict(params).items()},
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultStore:
+    """A directory of content-addressed result records.
+
+    Layout: ``<root>/objects/<key[:2]>/<key>.json``.  ``hits`` and
+    ``misses`` count lookups since construction, so callers (and the
+    warm-store tests) can see exactly how much simulation a sweep
+    skipped.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str):
+        """The stored record for ``key``, or None."""
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))

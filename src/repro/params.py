@@ -14,12 +14,24 @@ of monkey-patching the machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and not (n & (n - 1))
 
 
 @dataclass(frozen=True)
 class MachineParams:
-    """Implementation parameters of the simulated 11/780."""
+    """Implementation parameters of the simulated 11/780.
+
+    Construction validates the geometry: sizes must be positive, the
+    cache and TB must divide evenly into their ways and blocks, and the
+    derived set counts must be powers of two (both structures index by
+    address bits, not modulo).  Inconsistent configurations raise
+    :class:`ValueError` with the offending numbers instead of silently
+    mis-deriving ``cache_sets``/``tb_sets_per_half``.
+    """
 
     #: EBOX microinstruction time in nanoseconds (the paper's cycle).
     cycle_ns: int = 200
@@ -67,9 +79,60 @@ class MachineParams:
     #: patch"); the measured machines ran patched microcode.
     patched_families: tuple = ("ADDSUB", "CALL", "CHM", "MOVC")
 
+    def __post_init__(self) -> None:
+        positive = ("cycle_ns", "memory_bytes", "cache_bytes",
+                    "cache_ways", "cache_block_bytes", "write_buffer_depth",
+                    "ib_bytes", "ib_fill_bytes", "tb_entries", "tb_ways",
+                    "page_bytes")
+        for name in positive:
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError(
+                    f"{name} must be a positive integer, got {value!r}")
+        for name in ("read_miss_penalty", "write_recycle"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError(
+                    f"{name} must be a non-negative integer, got {value!r}")
+        row = self.cache_ways * self.cache_block_bytes
+        if self.cache_bytes % row:
+            raise ValueError(
+                f"cache_bytes={self.cache_bytes} is not divisible by "
+                f"cache_ways*cache_block_bytes={row}")
+        if not _is_pow2(self.cache_bytes // row):
+            raise ValueError(
+                f"cache geometry {self.cache_bytes}B/{self.cache_ways}-way/"
+                f"{self.cache_block_bytes}B-block implies "
+                f"{self.cache_bytes // row} sets, which is not a power "
+                "of two (the cache indexes by address bits)")
+        if self.tb_entries % (2 * self.tb_ways):
+            raise ValueError(
+                f"tb_entries={self.tb_entries} is not divisible by "
+                f"2*tb_ways={2 * self.tb_ways} (the TB is split into "
+                "system and process halves)")
+        if not _is_pow2(self.tb_entries // (2 * self.tb_ways)):
+            raise ValueError(
+                f"tb_entries={self.tb_entries}, tb_ways={self.tb_ways} "
+                f"imply {self.tb_entries // (2 * self.tb_ways)} sets per "
+                "half, which is not a power of two")
+        if not _is_pow2(self.page_bytes):
+            raise ValueError(
+                f"page_bytes must be a power of two, got {self.page_bytes}")
+        if self.ib_fill_bytes > self.ib_bytes:
+            raise ValueError(
+                f"ib_fill_bytes={self.ib_fill_bytes} exceeds "
+                f"ib_bytes={self.ib_bytes}")
+
     def with_overrides(self, **kwargs) -> "MachineParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    @classmethod
+    def field_names(cls) -> tuple:
+        """All parameter field names, in declaration order."""
+        return tuple(f.name for f in fields(cls))
 
     @property
     def cache_sets(self) -> int:

@@ -23,8 +23,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.workloads.profiles import STANDARD_PROFILES
+
+#: Sentinel for a task slot that has not produced a result yet.
+_UNSET = object()
 
 
 def default_jobs() -> int:
@@ -32,24 +36,57 @@ def default_jobs() -> int:
     return max(1, min(len(STANDARD_PROFILES), os.cpu_count() or 1))
 
 
-def run_tasks(worker, tasks, jobs: int = None) -> list:
+def run_tasks(worker, tasks, jobs: int = None, retries: int = 1) -> list:
     """Map ``worker`` over ``tasks``, optionally across processes.
 
-    The generic fan-out shared by the composite experiments and the
-    microbenchmark runner: order-preserving, degenerating to a plain
-    serial loop for ``jobs <= 1`` (so single-job runs carry no pool
-    overhead and the jobs=1 / jobs=N results are trivially comparable).
-    ``worker`` and each task must pickle (top-level function, plain
-    data).
+    The generic fan-out shared by the composite experiments, the
+    microbenchmark runner and the design-space sweep runner:
+    order-preserving, degenerating to a plain serial loop for
+    ``jobs <= 1`` (so single-job runs carry no pool overhead and the
+    jobs=1 / jobs=N results are trivially comparable).  ``worker`` and
+    each task must pickle (top-level function, plain data).
+
+    Fault tolerance: results completed before a worker crash are kept.
+    Tasks that fail in a pool worker — whether by raising or by killing
+    the worker process outright (which breaks the whole pool) — are
+    retried on a fresh pool up to ``retries`` times, then executed
+    in-process as the last resort.  Only a task that also fails
+    in-process propagates its exception to the caller.
     """
     tasks = list(tasks)
     if jobs is None:
         jobs = default_jobs()
     if jobs <= 1 or len(tasks) <= 1:
         return [worker(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        # pool.map preserves submission order.
-        return list(pool.map(worker, tasks))
+    results = [_UNSET] * len(tasks)
+    pending = list(range(len(tasks)))
+    for _attempt in range(1 + max(0, retries)):
+        if not pending:
+            break
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks))) as pool:
+                futures = [(pool.submit(worker, tasks[i]), i)
+                           for i in pending]
+                failed = []
+                for future, i in futures:
+                    try:
+                        results[i] = future.result()
+                    except Exception:
+                        # Worker raised, or the pool died and took this
+                        # future with it; either way the task gets
+                        # another round.
+                        failed.append(i)
+                pending = failed
+        except (BrokenProcessPool, OSError):
+            # The pool itself broke down (a worker died, or workers
+            # could not be spawned at all); keep whatever completed.
+            pending = [i for i in pending if results[i] is _UNSET]
+    # Last resort: run the stragglers in-process, serially.  A task
+    # that still fails here raises to the caller.
+    for i in pending:
+        results[i] = worker(tasks[i])
+    return results
 
 
 def _run_one(task) -> "Measurement":

@@ -1,0 +1,22 @@
+"""Suite-wide fixtures.
+
+``smoke_sweep`` runs the explore smoke spec cold exactly once per
+session; the explore, sensitivity and report tests all read from it (a
+sweep is five workloads x three points, so sharing it keeps the suite
+fast).
+"""
+
+import pytest
+
+from repro.explore import ResultStore, SMOKE, run_sweep
+
+
+@pytest.fixture(scope="session")
+def smoke_store(tmp_path_factory):
+    return ResultStore(tmp_path_factory.mktemp("explore-store"))
+
+
+@pytest.fixture(scope="session")
+def smoke_sweep(smoke_store):
+    """The smoke spec, simulated cold into the session store."""
+    return run_sweep(SMOKE, store=smoke_store, jobs=1)

@@ -1,0 +1,80 @@
+"""Sensitivity tables and the §5 overlapped-decode claim."""
+
+from repro.explore import SMOKE
+from repro.explore.sensitivity import (axis_table, decode_claim,
+                                       point_metrics, sensitivity)
+
+
+class TestPointMetrics:
+    def test_baseline_decode_costs_one_cycle_per_instruction(
+            self, smoke_sweep):
+        metrics = point_metrics(smoke_sweep.point())
+        assert metrics["decode_cycles_per_instruction"] == 1.0
+        assert metrics["cpi"] > 1.0
+        assert metrics["instructions"] > 0
+
+    def test_cpi_backs_out_overlapped_decodes(self, smoke_sweep):
+        entry = smoke_sweep.point(overlapped_decode=True)
+        metrics = point_metrics(entry)
+        composite = entry["composite"]
+        classified = sum(c for cols in composite["cells"].values()
+                         for c in cols.values())
+        spent = classified - composite["decode"]["overlapped_decodes"]
+        assert metrics["cpi"] == spent / composite["instructions_measured"]
+        assert metrics["cpi"] < metrics["classified_cycles"] \
+            / composite["instructions_measured"]
+
+
+class TestAxisTable:
+    def test_smaller_cache_stalls_more(self, smoke_sweep):
+        table = axis_table(smoke_sweep, SMOKE.axes[0])
+        assert table["axis"] == "cache_bytes"
+        by_value = {row["value"]: row for row in table["rows"]}
+        assert by_value[4096]["rstall_per_instruction"] > \
+            by_value[8192]["rstall_per_instruction"]
+        assert by_value[4096]["cpi"] > by_value[8192]["cpi"]
+        assert by_value[8192]["is_default"]
+        assert not by_value[4096]["is_default"]
+
+
+class TestDecodeClaim:
+    def test_section5_estimate_is_exact(self, smoke_sweep):
+        claim = decode_claim(smoke_sweep)
+        assert claim["ok"], claim
+        assert claim["cycles_saved"] == \
+            claim["non_pc_changing_dispatches"]
+        assert claim["baseline_decode_cycles"] - \
+            claim["overlapped_decode_cycles"] > 0
+        # Overlap helps: CPI must drop by the saved decode fraction.
+        assert claim["overlapped_cpi"] < claim["baseline_cpi"]
+        # Most instructions don't change the PC (Table 2: ~38% do).
+        fraction = claim["non_pc_changing_dispatches"] \
+            / claim["overlapped_dispatches"]
+        assert 0.5 < fraction < 0.95
+
+    def test_every_skipped_decode_was_non_pc_changing(self, smoke_sweep):
+        over = smoke_sweep.point(overlapped_decode=True)["composite"]
+        decode = over["decode"]
+        assert decode["overlapped_decodes"] == \
+            decode["dispatches"] - decode["pc_change_dispatches"]
+
+    def test_claim_absent_without_decode_axis(self, smoke_sweep):
+        class Stub:
+            spec = smoke_sweep.spec
+            points = [e for e in smoke_sweep.points
+                      if e["point"].overrides !=
+                      (("overlapped_decode", True),)]
+            point = smoke_sweep.__class__.point
+
+        stub = Stub()
+        assert decode_claim(stub) is None
+
+
+class TestFullReport:
+    def test_sensitivity_shape(self, smoke_sweep):
+        report = sensitivity(smoke_sweep)
+        assert report["spec"] == "smoke"
+        assert [t["axis"] for t in report["axes"]] == \
+            [a.name for a in SMOKE.axes]
+        assert report["decode_claim"]["ok"]
+        assert report["baseline"]["decode_cycles_per_instruction"] == 1.0

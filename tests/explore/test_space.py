@@ -1,0 +1,123 @@
+"""Sweep-space declaration and validation."""
+
+import pytest
+
+from repro.explore.space import (Axis, PAPER_SENSITIVITY, SMOKE, SPECS,
+                                 SpaceError, SweepSpec, parse_axis,
+                                 valid_axes)
+from repro.params import MachineParams, VAX780
+
+
+class TestAxis:
+    def test_valid_axes_cover_params_and_specials(self):
+        axes = valid_axes()
+        for name in MachineParams.field_names():
+            assert name in axes
+        assert "seed" in axes and "instructions" in axes
+
+    def test_unknown_name_rejected_with_field_list(self):
+        with pytest.raises(SpaceError) as exc:
+            Axis("cache_size", (1, 2))
+        assert "unknown axis 'cache_size'" in str(exc.value)
+        assert "cache_bytes" in str(exc.value)
+        assert "tb_entries" in str(exc.value)
+
+    def test_empty_and_duplicate_values_rejected(self):
+        with pytest.raises(SpaceError, match="no values"):
+            Axis("cache_bytes", ())
+        with pytest.raises(SpaceError, match="repeats"):
+            Axis("cache_bytes", (4096, 4096))
+
+
+class TestParseAxis:
+    def test_integers(self):
+        axis = parse_axis("cache_bytes=4096, 8192,0x4000")
+        assert axis.name == "cache_bytes"
+        assert axis.values == (4096, 8192, 16384)
+
+    def test_booleans(self):
+        axis = parse_axis("overlapped_decode=off,on")
+        assert axis.values == (False, True)
+
+    def test_special_axes_are_integers(self):
+        assert parse_axis("seed=1,2,3").values == (1, 2, 3)
+
+    def test_bad_boolean(self):
+        with pytest.raises(SpaceError, match="not a boolean"):
+            parse_axis("overlapped_decode=maybe")
+
+    def test_bad_integer(self):
+        with pytest.raises(SpaceError, match="not an integer"):
+            parse_axis("cache_bytes=big")
+
+    def test_missing_values(self):
+        with pytest.raises(SpaceError, match="no values"):
+            parse_axis("cache_bytes")
+
+    def test_unknown_name(self):
+        with pytest.raises(SpaceError, match="unknown axis"):
+            parse_axis("nonesuch=1")
+
+    def test_unsweepable_type(self):
+        with pytest.raises(SpaceError, match="cannot be swept"):
+            parse_axis("patched_families=ADDSUB")
+
+
+class TestSweepSpec:
+    def test_ofat_points_share_one_baseline(self):
+        spec = SweepSpec("t", (Axis("cache_bytes", (4096, 8192, 16384)),
+                               Axis("tb_entries", (64, 128))))
+        points = spec.points()
+        # baseline + 2 non-default cache sizes + 1 non-default TB size.
+        assert [p.label() for p in points] == [
+            "baseline", "cache_bytes=4096", "cache_bytes=16384",
+            "tb_entries=64"]
+        assert points[0].params() == VAX780
+
+    def test_cartesian_full_grid(self):
+        spec = SweepSpec("t", (Axis("cache_bytes", (4096, 8192)),
+                               Axis("tb_entries", (64, 128))),
+                         mode="cartesian")
+        # 2x2 grid; the (8192, 128) combination IS the baseline.
+        assert len(spec.points()) == 4
+
+    def test_point_params_apply_overrides(self):
+        spec = SweepSpec("t", (Axis("cache_bytes", (4096,)),))
+        point = spec.points()[1]
+        assert point.params().cache_bytes == 4096
+        assert point.params().tb_entries == VAX780.tb_entries
+
+    def test_special_axes_move_seed_and_instructions(self):
+        spec = SweepSpec("t", (Axis("seed", (1984, 7)),), seed=1984)
+        points = spec.points()
+        assert len(points) == 2
+        assert points[0].seed == 1984 and points[1].seed == 7
+        assert points[1].overrides == ()
+
+    def test_invalid_point_fails_at_construction(self):
+        with pytest.raises(SpaceError, match="invalid point"):
+            SweepSpec("t", (Axis("cache_bytes", (5000,)),))
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SpaceError, match="duplicate axis"):
+            SweepSpec("t", (Axis("cache_bytes", (4096,)),
+                            Axis("cache_bytes", (16384,))))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SpaceError, match="unknown workload"):
+            SweepSpec("t", (Axis("cache_bytes", (4096,)),),
+                      workloads=("nonesuch",))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SpaceError, match="unknown mode"):
+            SweepSpec("t", (Axis("cache_bytes", (4096,)),),
+                      mode="diagonal")
+
+    def test_named_specs_enumerate(self):
+        assert SPECS["smoke"] is SMOKE
+        points = PAPER_SENSITIVITY.points()
+        # 4 three-value axes sharing the stock baseline + the decode
+        # toggle: 1 + 4*2 + 1.
+        assert len(points) == 10
+        assert sum(1 for a in PAPER_SENSITIVITY.axes
+                   if len(a.values) >= 3) >= 4

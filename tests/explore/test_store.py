@@ -1,0 +1,73 @@
+"""Content-addressed result store behaviour."""
+
+import json
+
+from repro.explore.store import ResultStore, code_version, result_key
+from repro.params import VAX780
+
+
+class TestResultKey:
+    def test_stable(self):
+        a = result_key(VAX780, "timesharing-research", 1500, 1984)
+        b = result_key(VAX780, "timesharing-research", 1500, 1984)
+        assert a == b and len(a) == 64
+
+    def test_every_input_is_load_bearing(self):
+        base = result_key(VAX780, "w", 1500, 1984, code="c0")
+        assert result_key(VAX780.with_overrides(cache_bytes=4096),
+                          "w", 1500, 1984, code="c0") != base
+        assert result_key(VAX780, "other", 1500, 1984, code="c0") != base
+        assert result_key(VAX780, "w", 3000, 1984, code="c0") != base
+        assert result_key(VAX780, "w", 1500, 7, code="c0") != base
+        assert result_key(VAX780, "w", 1500, 1984, code="c1") != base
+
+    def test_code_version_shape(self):
+        version = code_version()
+        assert len(version) == 16
+        assert int(version, 16) >= 0
+        assert code_version() == version
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        assert key not in store
+        assert store.get(key) is None
+        record = {"cycles": 42, "cells": {"DECODE": {"COMPUTE": 7}}}
+        store.put(key, record)
+        assert key in store
+        assert store.get(key) == record
+        assert len(store) == 1
+
+    def test_hit_miss_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.get(key)
+        store.put(key, {"cycles": 1})
+        store.get(key)
+        assert store.misses == 1 and store.hits == 1
+
+    def test_corrupt_record_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.put(key, {"cycles": 1})
+        path = store._path(key)
+        path.write_text("{truncated")
+        assert store.get(key) is None
+
+    def test_records_are_valid_sorted_json(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.put(key, {"b": 2, "a": 1})
+        text = store._path(key).read_text()
+        assert json.loads(text) == {"a": 1, "b": 2}
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.put(key, {"cycles": 1})
+        leftovers = [p for p in (tmp_path / "store").rglob("*")
+                     if p.is_file() and p.suffix != ".json"]
+        assert leftovers == []

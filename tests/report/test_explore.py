@@ -1,0 +1,61 @@
+"""Rendering of design-space sweep reports."""
+
+import json
+
+from repro.explore.sensitivity import sensitivity
+from repro.report.explore import (explore_json, render_axis,
+                                  render_decode_claim, render_points,
+                                  render_sensitivity)
+
+
+class TestRenderSensitivity:
+    def test_full_report(self, smoke_sweep):
+        report = sensitivity(smoke_sweep)
+        text = render_sensitivity(report, smoke_sweep.stats)
+        assert "spec 'smoke'" in text
+        assert "sensitivity to cache_bytes" in text
+        assert "sensitivity to overlapped_decode" in text
+        assert "overlapped decode" in text
+        assert "EXACT" in text
+
+    def test_axis_table_marks_stock_machine(self, smoke_sweep):
+        report = sensitivity(smoke_sweep)
+        text = render_axis(report["axes"][0])
+        lines = text.splitlines()
+        assert any("8K*" in line for line in lines)
+        assert any(line.lstrip().startswith("4K ") for line in lines)
+
+    def test_decode_claim_mismatch_rendered(self):
+        claim = {"baseline_decode_cycles": 10,
+                 "overlapped_decode_cycles": 5,
+                 "non_pc_changing_dispatches": 6, "cycles_saved": 5,
+                 "cycles_saved_per_instruction": 0.5,
+                 "baseline_cpi": 10.0, "overlapped_cpi": 9.5,
+                 "ok": False}
+        assert "MISMATCH" in render_decode_claim(claim)
+        assert render_decode_claim(None) == ""
+
+    def test_render_points(self, smoke_sweep):
+        text = render_points(smoke_sweep)
+        assert "3 points x 5 workloads" in text
+        assert "baseline" in text
+        assert "overlapped_decode=True" in text
+
+
+class TestExploreJson:
+    def test_document_shape(self, smoke_sweep):
+        report = sensitivity(smoke_sweep)
+        doc = explore_json(smoke_sweep, report, meta={"suite": "smoke"})
+        # Must serialize cleanly (CI archives it).
+        parsed = json.loads(json.dumps(doc, sort_keys=True))
+        assert parsed["meta"]["suite"] == "smoke"
+        assert parsed["spec"]["name"] == "smoke"
+        assert len(parsed["points"]) == 3
+        assert parsed["sensitivity"]["decode_claim"]["ok"] is True
+        baseline = parsed["points"][0]
+        assert baseline["label"] == "baseline"
+        assert set(baseline["workloads"]) == set(parsed["spec"]["workloads"])
+        for record in baseline["workloads"].values():
+            assert set(record) == {"cycles", "instructions_measured",
+                                   "histogram"}
+            assert len(record["histogram"]["sha256"]) == 64

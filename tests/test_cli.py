@@ -100,6 +100,53 @@ class TestCLI:
         assert "no kernels match" in err
         assert "simple" in err and "decimal" in err
 
+    def test_explore_unknown_axis_rejected_before_simulating(
+            self, capsys):
+        assert main(["explore", "--axis", "cache_size=1,2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown axis 'cache_size'" in err
+        # The error lists the valid MachineParams fields...
+        for field in ("cache_bytes", "tb_entries", "overlapped_decode"):
+            assert field in err
+        # ...and nothing was simulated or printed before validation.
+        assert capsys.readouterr().out == ""
+
+    def test_explore_bad_axis_value_rejected(self, capsys):
+        assert main(["explore", "--axis", "cache_bytes=tiny"]) == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_explore_unknown_spec(self, capsys):
+        assert main(["explore", "--spec", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown spec 'nonesuch'" in err
+        assert "paper-sensitivity" in err and "smoke" in err
+
+    def test_explore_points_listing_does_not_simulate(self, tmp_path,
+                                                      capsys):
+        assert main(["explore", "--smoke", "--points",
+                     "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "3 points x 5 workloads" in out
+        assert "baseline" in out
+        assert "overlapped_decode=True" in out
+        assert "0/5 cached" in out
+
+    def test_explore_smoke_run(self, tmp_path, capsys, smoke_sweep,
+                               smoke_store):
+        import json
+        out_json = tmp_path / "EXPLORE.json"
+        # Reuse the session store: the sweep is warm, so this exercises
+        # the full CLI path without re-simulating anything.
+        assert main(["explore", "--smoke", "--jobs", "1",
+                     "--store", str(smoke_store.root),
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity to cache_bytes" in out
+        assert "one cycle per non-PC-changing instruction: EXACT" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["sensitivity"]["decode_claim"]["ok"] is True
+        assert doc["stats"]["simulated"] == 0
+
     def test_ubench_with_consistency_check(self, capsys):
         assert main(["ubench", "--group", "callret", "--jobs", "1",
                      "--check-instructions", "1500"]) == 0

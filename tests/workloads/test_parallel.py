@@ -1,0 +1,68 @@
+"""Fault tolerance of the generic task fan-out.
+
+A worker crash must not cost the caller the work that already
+completed: failed tasks get a bounded number of pool retries and then
+run in-process, and a pool that dies outright (a worker killed
+mid-task) degrades to serial execution of the stragglers.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.parallel import default_jobs, run_tasks
+
+#: The test process; pool workers are forked children with other pids.
+PARENT_PID = os.getpid()
+
+
+def _square(task):
+    return task * task
+
+
+def _poisoned(task):
+    """Raises in pool workers, succeeds in the parent process."""
+    if task == "poison" and os.getpid() != PARENT_PID:
+        raise RuntimeError("injected worker failure")
+    return ("ok", task, os.getpid() == PARENT_PID)
+
+
+def _worker_killer(task):
+    """Kills the hosting worker process outright (breaks the pool)."""
+    if task == "bomb" and os.getpid() != PARENT_PID:
+        os._exit(17)
+    return ("ok", task, os.getpid() == PARENT_PID)
+
+
+def _always_fails(task):
+    raise ValueError(f"task {task} is unrunnable")
+
+
+class TestRunTasks:
+    def test_serial_path(self):
+        assert run_tasks(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_pool_path_preserves_order(self):
+        assert run_tasks(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_poisoned_task_falls_back_in_process(self):
+        results = run_tasks(_poisoned, ["a", "poison", "b"], jobs=2)
+        assert [r[1] for r in results] == ["a", "poison", "b"]
+        # The poisoned task ultimately ran in the parent process...
+        assert results[1][2] is True
+        # ...and completed work from healthy tasks was not lost.
+        assert results[0][0] == results[2][0] == "ok"
+
+    def test_killed_worker_does_not_lose_completed_work(self):
+        tasks = ["a", "b", "bomb", "c", "d"]
+        results = run_tasks(_worker_killer, tasks, jobs=2)
+        assert [r[1] for r in results] == tasks
+        assert results[2][2] is True, \
+            "the pool-killing task must have run in-process"
+
+    def test_permanent_failure_propagates(self):
+        with pytest.raises(ValueError, match="unrunnable"):
+            run_tasks(_always_fails, [1, 2], jobs=2, retries=0)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1

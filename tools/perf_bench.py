@@ -67,6 +67,7 @@ def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
         "python": platform.python_version(),
         "source": _source_id(),
         "ubench": measure_ubench(repeats),
+        "explore": measure_explore(repeats),
     }
 
 
@@ -99,6 +100,58 @@ def measure_ubench(repeats: int) -> dict:
         "wall_seconds": runs,
         "best_seconds": best,
         "kernels_per_second": round(len(suite.SMOKE_SUITE) / best, 2),
+    }
+
+
+def measure_explore(repeats: int) -> dict:
+    """Time the smoke design-space sweep, cold store vs. warm store.
+
+    Cold measures simulation + store writes; warm measures pure store
+    reads and must perform zero new simulations.  The summed composite
+    cycles across all points are recorded for the usual comparability
+    check.
+    """
+    import shutil
+    import tempfile
+
+    from repro.explore import SMOKE, ResultStore, run_sweep
+
+    cold_runs, warm_runs = [], []
+    sweep_cycles = None
+    stats = None
+    for _ in range(repeats):
+        root = tempfile.mkdtemp(prefix="explore-bench-")
+        try:
+            store = ResultStore(root)
+            t0 = time.perf_counter()
+            cold = run_sweep(SMOKE, store=store, jobs=1)
+            cold_runs.append(round(time.perf_counter() - t0, 3))
+            t0 = time.perf_counter()
+            warm = run_sweep(SMOKE, store=store, jobs=1)
+            warm_runs.append(round(time.perf_counter() - t0, 3))
+            if warm.stats["simulated"]:
+                raise SystemExit(
+                    f"warm sweep re-simulated "
+                    f"{warm.stats['simulated']} tasks")
+            cycles = sum(entry["composite"]["cycles"]
+                         for entry in cold.points)
+            if sweep_cycles is None:
+                sweep_cycles = cycles
+                stats = cold.stats
+            elif sweep_cycles != cycles:
+                raise SystemExit(f"non-deterministic explore cycles: "
+                                 f"{sweep_cycles} vs {cycles}")
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "spec": SMOKE.name,
+        "points": stats["points"],
+        "tasks": stats["tasks"],
+        "sweep_cycles": sweep_cycles,
+        "cold_seconds": cold_runs,
+        "best_cold_seconds": min(cold_runs),
+        "warm_seconds": warm_runs,
+        "best_warm_seconds": min(warm_runs),
     }
 
 
@@ -149,6 +202,11 @@ def main() -> int:
           f"best {ub['best_seconds']:.2f}s  "
           f"{ub['kernels_per_second']:.1f} kernels/s  "
           f"cycles={ub['sweep_cycles']}")
+    ex = entry["explore"]
+    print(f"[{args.label}] explore smoke sweep of {ex['tasks']} tasks: "
+          f"cold {ex['best_cold_seconds']:.2f}s  "
+          f"warm {ex['best_warm_seconds']:.2f}s  "
+          f"cycles={ex['sweep_cycles']}")
 
     if args.output:
         doc = {}
