@@ -84,6 +84,8 @@ class TracerStats:
                 "software_interrupt_requests", "exceptions",
                 "context_switches", "tb_miss_cycles",
                 "tb_miss_stall_cycles", "page_faults",
+                "tb_miss_faults", "instruction_aborts",
+                "gated_off_cycles",
                 "decode_dispatches", "pc_change_dispatches",
                 "overlapped_decodes")
 
@@ -115,9 +117,20 @@ class Measurement:
         self.memory = memory
         self.cycles = cycles
 
+    @property
+    def measured_cycles(self) -> int:
+        """Wall cycles minus gated-off (Null-process) cycles.
+
+        This is what the histogram actually saw: its busy + stall total
+        equals ``measured_cycles + tracer.overlapped_decodes`` exactly
+        (see :mod:`repro.validate.invariants`).
+        """
+        return self.cycles - self.tracer.gated_off_cycles
+
     @classmethod
     def capture(cls, name: str, machine) -> "Measurement":
         """Snapshot a machine after a measured run."""
+        machine.tracer.settle_gate(machine.cycles)
         return cls(name, machine.board.snapshot(),
                    TracerStats(machine.tracer), MemoryStats(machine),
                    machine.cycles)

@@ -15,6 +15,8 @@ Commands:
 * ``explore`` — design-space sweep: simulate MachineParams variations
   (§5's engineering what-ifs) with a persistent result store and print
   sensitivity tables.
+* ``validate`` — conservation-invariant checks on the five workloads
+  plus fastpath-vs-reference differential fuzzing.
 """
 
 from __future__ import annotations
@@ -73,12 +75,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the five workloads (1 = serial; "
              "results are bit-identical either way)")
+    characterize.add_argument(
+        "--paranoid", action="store_true",
+        help="sample conservation-invariant checks during the runs "
+             "(passive; forces --jobs 1)")
 
     one = sub.add_parser("run-workload",
                          help="run one workload environment")
     one.add_argument("profile", help="profile name (see 'profiles')")
     one.add_argument("--instructions", type=int, default=30_000)
     one.add_argument("--seed", type=int, default=1984)
+    one.add_argument("--paranoid", action="store_true",
+                     help="sample conservation-invariant checks "
+                          "during the run (passive)")
 
     hotspots = sub.add_parser("hotspots",
                               help="hottest control-store locations")
@@ -166,6 +175,25 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--json", default=None, metavar="PATH",
                          help="also write the machine-readable "
                               "EXPLORE.json document to PATH")
+
+    validate = sub.add_parser(
+        "validate", help="conservation-invariant checks and "
+                         "fastpath-vs-reference differential fuzzing")
+    validate.add_argument("--instructions", type=int, default=20_000,
+                          help="measured instructions per workload for "
+                               "the invariant pass")
+    validate.add_argument("--fuzz", type=int, default=0, metavar="N",
+                          help="differential fuzz cases to run "
+                               "(0 = invariants only)")
+    validate.add_argument("--fuzz-instructions", type=int, default=400,
+                          help="measured instructions per fuzz case")
+    validate.add_argument("--seed", type=int, default=1984,
+                          help="workload seed; also seeds the fuzzer")
+    validate.add_argument("--smoke", action="store_true",
+                          help="small fixed budgets (CI smoke run)")
+    validate.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the machine-readable "
+                               "VALIDATE.json document to PATH")
     return parser
 
 
@@ -179,7 +207,8 @@ def _cmd_characterize(args) -> int:
             return 2
     from repro.workloads.experiments import standard_composite
     composite = standard_composite(instructions=args.instructions,
-                                   seed=args.seed, jobs=args.jobs)
+                                   seed=args.seed, jobs=args.jobs,
+                                   paranoid=args.paranoid)
     for key in keys:
         compute, render = _TABLES[key]
         print(render(compute(composite)))
@@ -201,7 +230,8 @@ def _cmd_run_workload(args) -> int:
               file=sys.stderr)
         return 2
     from repro.workloads.experiments import run_workload
-    measurement = run_workload(profile, args.instructions, seed=args.seed)
+    measurement = run_workload(profile, args.instructions, seed=args.seed,
+                               paranoid=args.paranoid)
     result = table8(measurement)
     print(f"workload:  {profile.name}")
     print(f"           {profile.description}")
@@ -390,6 +420,47 @@ def _cmd_explore(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    import json
+
+    from repro.report.validate import render_validate, validate_json
+    from repro.validate import check_measurement, fuzz
+    from repro.workloads.experiments import run_workload
+
+    instructions = 2_000 if args.smoke else args.instructions
+    fuzz_instructions = min(args.fuzz_instructions,
+                            200 if args.smoke else args.fuzz_instructions)
+
+    reports = []
+    for profile in STANDARD_PROFILES:
+        measurement = run_workload(profile, instructions, seed=args.seed)
+        reports.append(check_measurement(measurement))
+
+    fuzz_results = []
+    if args.fuzz:
+        fuzz_results = fuzz(args.fuzz, seed=args.seed,
+                            instructions=fuzz_instructions,
+                            progress=lambda line: print(line,
+                                                        file=sys.stderr))
+
+    print(render_validate(reports, fuzz_results))
+    ok = all(r.ok for r in reports) \
+        and all(r["ok"] for r in fuzz_results)
+    if args.json:
+        doc = validate_json(reports, fuzz_results, meta={
+            "instructions": instructions,
+            "fuzz_cases": args.fuzz,
+            "fuzz_instructions": fuzz_instructions,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        })
+        with open(args.json, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "run-workload": _cmd_run_workload,
@@ -399,6 +470,7 @@ _COMMANDS = {
     "profiles": _cmd_profiles,
     "ubench": _cmd_ubench,
     "explore": _cmd_explore,
+    "validate": _cmd_validate,
 }
 
 

@@ -365,6 +365,7 @@ class EBox:
         if not pte & PTE_VALID:
             self._cycle_raw(u.tbm_insert, 2)
             self.tracer.page_faults += 1
+            self.tracer.tb_miss_faults += 1
             raise PageFaultTrap(va, self.restart_pc)
         self.tb.insert(va, pte & PFN_MASK)
         self._cycle_raw(u.tbm_insert, costs.TBM_INSERT_CYCLES)

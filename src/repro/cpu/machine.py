@@ -449,6 +449,7 @@ class VAX780:
         except PageFaultTrap as fault:
             e.disarm_fused_cycle()
             e.registers[:] = saved_registers
+            self.tracer.instruction_aborts += 1
             self._deliver_exception(fault)
         except MachineHalt:
             self.tracer.note_instruction(inst)

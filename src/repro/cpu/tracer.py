@@ -30,6 +30,11 @@ class Tracer:
 
     def __init__(self) -> None:
         self.enabled = True
+        #: cycles spent with the gate closed (Null-process windows); see
+        #: :meth:`gate`.  ``_gated_off_at`` is the cycle the open window
+        #: started, or None while enabled.
+        self.gated_off_cycles = 0
+        self._gated_off_at = None
         self.instructions = 0
         #: pending executions awaiting the bulk replay: inst -> count.
         self._pending = {}
@@ -60,6 +65,40 @@ class Tracer:
         self.tb_miss_cycles = 0
         self.tb_miss_stall_cycles = 0
         self.page_faults = 0
+        #: TB-miss services that found an invalid PTE and faulted instead
+        #: of completing (``tb_miss_services`` counts completions only).
+        self.tb_miss_faults = 0
+        #: instructions dispatched but unwound by a page fault; the
+        #: restart re-dispatches, so ``decode_dispatches`` equals
+        #: ``instructions + instruction_aborts``.
+        self.instruction_aborts = 0
+
+    def gate(self, enabled: bool, now: int) -> None:
+        """Open or close the measurement gate at cycle ``now``.
+
+        Closed-gate time accumulates in ``gated_off_cycles``, so the
+        cycle-conservation law (histogram total == measured cycles)
+        stays exact across Null-process windows.  Idempotent: repeated
+        opens/closes at the same state are no-ops.
+        """
+        if enabled:
+            if self._gated_off_at is not None:
+                self.gated_off_cycles += now - self._gated_off_at
+                self._gated_off_at = None
+        elif self._gated_off_at is None:
+            self._gated_off_at = now
+        self.enabled = enabled
+
+    def settle_gate(self, now: int) -> None:
+        """Fold any open closed-gate window into the accumulator.
+
+        Called at capture points so ``gated_off_cycles`` is complete
+        through ``now`` even if the machine stopped inside a Null
+        window; the gate state itself is unchanged.
+        """
+        if self._gated_off_at is not None:
+            self.gated_off_cycles += now - self._gated_off_at
+            self._gated_off_at = now
 
     def note_instruction(self, inst) -> None:
         """Record one completed instruction (deferred; see class docs)."""

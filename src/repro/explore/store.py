@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 
@@ -37,9 +38,9 @@ def code_version() -> str:
     """Digest of the simulator source that determines stored results.
 
     Hashes every module of the ``repro`` package except the explore
-    subsystem itself, the report renderers and the CLI — those shape
-    presentation, not simulation, so iterating on them keeps a warm
-    store warm.
+    subsystem itself, the validation checks, the report renderers and
+    the CLI — those observe or present results without shaping them,
+    so iterating on them keeps a warm store warm.
     """
     import repro
 
@@ -47,7 +48,8 @@ def code_version() -> str:
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if rel.startswith(("explore/", "report/")) or rel == "cli.py":
+        if (rel.startswith(("explore/", "report/", "validate/"))
+                or rel == "cli.py"):
             continue
         digest.update(rel.encode())
         digest.update(b"\0")
@@ -91,12 +93,23 @@ class ResultStore:
         return self.root / "objects" / key[:2] / f"{key}.json"
 
     def get(self, key: str):
-        """The stored record for ``key``, or None."""
+        """The stored record for ``key``, or None.
+
+        A missing file is an ordinary miss; a file that exists but does
+        not parse (truncated by a crash before atomic writes, bit rot,
+        hand editing) is also a miss but warns, since the point will be
+        silently re-simulated.
+        """
         path = self._path(key)
         try:
             with open(path) as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            warnings.warn(f"discarding unreadable store entry {path}: "
+                          f"{exc}", stacklevel=2)
             self.misses += 1
             return None
         self.hits += 1
@@ -114,6 +127,8 @@ class ResultStore:
             with os.fdopen(fd, "w") as handle:
                 json.dump(record, handle, sort_keys=True)
                 handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

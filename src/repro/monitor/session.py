@@ -54,6 +54,7 @@ class MeasurementSession:
                 "before stop()")
         self.interface.write_csr(0)
         self._running = False
+        self.machine.tracer.settle_gate(self.machine.cycles)
         nonstalled = self.interface.read_all(stalled=False)
         stalled = self.interface.read_all(stalled=True)
         for count in nonstalled + stalled:

@@ -105,5 +105,6 @@ class Scheduler:
                 process.state = READY
 
     def _gate(self, enabled: bool) -> None:
-        self.machine.board.enabled = enabled
-        self.machine.tracer.enabled = enabled
+        machine = self.machine
+        machine.board.enabled = enabled
+        machine.tracer.gate(enabled, machine.cycles)

@@ -109,7 +109,13 @@ def _classify(histogram):
 
 def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
     """Run one kernel and return its measured-vs-predicted result dict."""
+    if copies <= 0:
+        raise UbenchError(
+            f"{kernel.name}: need at least one measured copy, got {copies}")
     emitted = emit(kernel, warmup=warmup, copies=copies)
+    if emitted.measured_instructions <= 0:
+        raise UbenchError(
+            f"{kernel.name}: kernel emits no measured instructions")
     machine = VAX780()
     machine.boot(emitted.image)
 

@@ -1,0 +1,27 @@
+"""Runtime validation: conservation invariants and differential fuzzing.
+
+The paper's method rests on exact accounting — every cycle of a measured
+run lands in exactly one Table 8 cell, and the µPC histogram's busy +
+stall totals equal elapsed machine cycles.  This package turns those
+contracts into permanent, executable checks:
+
+* :mod:`repro.validate.invariants` — conservation laws checked against
+  any completed :class:`~repro.analysis.measurement.Measurement`.
+* :mod:`repro.validate.differential` — the optimised EBOX fast paths run
+  in lockstep against the per-cycle reference implementations on seeded
+  random workloads, with failing runs shrunk to a minimal reproducer.
+* :mod:`repro.validate.paranoid` — a boundary-hook monitor that samples
+  the invariants during long runs at bounded overhead.
+"""
+
+from repro.validate.invariants import (Check, InvariantViolation,
+                                       ValidationReport, check_machine,
+                                       check_measurement)
+from repro.validate.differential import (Divergence, ReferenceEBox,
+                                         fuzz, run_case, shrink)
+from repro.validate.paranoid import ParanoidMonitor
+
+__all__ = ["Check", "InvariantViolation", "ValidationReport",
+           "check_machine", "check_measurement", "Divergence",
+           "ReferenceEBox", "fuzz", "run_case", "shrink",
+           "ParanoidMonitor"]

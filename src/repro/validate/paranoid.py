@@ -1,0 +1,157 @@
+"""Sampled invariant checking during long runs (``--paranoid`` mode).
+
+A :class:`ParanoidMonitor` hangs off the machine's instruction-boundary
+hook and, every *interval* instructions, re-verifies the cheap
+conservation laws in **delta form** against a rolling baseline:
+
+* histogram busy+stall growth == cycle growth − gated-off growth
+  + overlapped-decode growth;
+* TB-miss walk/PTE-read bucket growth stays in lockstep with service
+  entries.
+
+Delta form makes the monitor robust to counter clears (a measurement
+session's CSR CLEAR shrinks the histogram total; the monitor rebases
+and carries on) and keeps each sample O(histogram size) at worst.  The
+sampling interval adapts: the monitor times its own checks against the
+wall-clock time the simulation spends between them and widens the
+interval until the overhead fraction drops under ``overhead``.
+
+A violated law raises
+:class:`~repro.validate.invariants.InvariantViolation` at the exact
+instruction boundary where the books stopped balancing.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ucode.costs import TBM_WALK_CYCLES
+from repro.validate.invariants import InvariantViolation
+
+#: Interval bounds for the adaptive sampler.
+_MIN_INTERVAL = 64
+_MAX_INTERVAL = 1 << 20
+
+
+class ParanoidMonitor:
+    """Boundary-hook invariant sampler with bounded overhead."""
+
+    def __init__(self, machine, interval: int = 1024,
+                 overhead: float = 0.02) -> None:
+        self.machine = machine
+        self.interval = max(_MIN_INTERVAL, interval)
+        self.overhead = overhead
+        self.samples = 0
+        self.rebases = 0
+        self._countdown = self.interval
+        self._prev_hook = None
+        self._installed = False
+        self._last_check_ended = None
+        self._baseline = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> "ParanoidMonitor":
+        """Chain onto the machine's boundary hook and take a baseline."""
+        if self._installed:
+            return self
+        self._prev_hook = self.machine.boundary_hook
+        self.machine.boundary_hook = self._on_boundary
+        self._installed = True
+        self.rebase()
+        return self
+
+    def uninstall(self) -> None:
+        """Run one final check and restore the previous hook."""
+        if not self._installed:
+            return
+        self.check_now()
+        self.machine.boundary_hook = self._prev_hook
+        self._prev_hook = None
+        self._installed = False
+
+    def __enter__(self) -> "ParanoidMonitor":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.uninstall()
+        elif self._installed:
+            self.machine.boundary_hook = self._prev_hook
+            self._installed = False
+        return False
+
+    # -- sampling --------------------------------------------------------
+
+    def rebase(self) -> None:
+        """Take a fresh baseline at the current machine state."""
+        self._baseline = self._snapshot()
+        self.rebases += 1
+
+    def _snapshot(self):
+        m = self.machine
+        tracer = m.tracer
+        tracer.settle_gate(m.cycles)
+        board = m.board
+        u = m.umap
+        return (m.cycles, tracer.gated_off_cycles,
+                tracer.overlapped_decodes,
+                sum(board.nonstalled) + sum(board.stalled),
+                board.nonstalled[u.tbm_entry],
+                board.nonstalled[u.tbm_compute],
+                board.nonstalled[u.tbm_pte_read])
+
+    def check_now(self) -> None:
+        """Evaluate the delta laws immediately (raises on violation)."""
+        now = self._snapshot()
+        base = self._baseline
+        if now[3] < base[3]:
+            # Counters were cleared since the baseline (a measurement
+            # session started): rebase rather than compare garbage.
+            self._baseline = now
+            self.rebases += 1
+            return
+        self.samples += 1
+        d_cycles = now[0] - base[0]
+        d_gated = now[1] - base[1]
+        d_overlap = now[2] - base[2]
+        d_hist = now[3] - base[3]
+        if d_hist != d_cycles - d_gated + d_overlap:
+            raise InvariantViolation(
+                f"cycle conservation broke between cycles {base[0]} and "
+                f"{now[0]}: histogram grew {d_hist}, expected "
+                f"{d_cycles} - {d_gated} gated + {d_overlap} overlapped")
+        d_entry = now[4] - base[4]
+        if now[5] - base[5] != TBM_WALK_CYCLES * d_entry:
+            raise InvariantViolation(
+                f"TB walk cycles out of step between cycles {base[0]} "
+                f"and {now[0]}: {now[5] - base[5]} walk cycles for "
+                f"{d_entry} service entries")
+        if now[6] - base[6] != d_entry:
+            raise InvariantViolation(
+                f"TB PTE reads out of step between cycles {base[0]} "
+                f"and {now[0]}: {now[6] - base[6]} reads for "
+                f"{d_entry} service entries")
+        self._baseline = now
+
+    def _on_boundary(self, machine) -> None:
+        if self._prev_hook is not None:
+            self._prev_hook(machine)
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        started = time.perf_counter()
+        self.check_now()
+        ended = time.perf_counter()
+        # Adapt the interval so check time stays under the overhead
+        # budget relative to the simulation time between checks.
+        if self._last_check_ended is not None:
+            spent = ended - started
+            between = started - self._last_check_ended
+            budget = self.overhead * between
+            if spent > budget and self.interval < _MAX_INTERVAL:
+                self.interval = min(_MAX_INTERVAL, self.interval * 2)
+            elif spent < budget / 4 and self.interval > _MIN_INTERVAL:
+                self.interval = max(_MIN_INTERVAL, self.interval // 2)
+        self._last_check_ended = ended
+        self._countdown = self.interval

@@ -28,8 +28,13 @@ _CACHE: dict = {}
 
 
 def run_workload(profile: MixProfile, instructions: int,
-                 seed: int = 1984) -> Measurement:
-    """Run one workload experiment and return its measurement."""
+                 seed: int = 1984, paranoid: bool = False) -> Measurement:
+    """Run one workload experiment and return its measurement.
+
+    With ``paranoid`` the run carries a sampling invariant monitor (see
+    :mod:`repro.validate.paranoid`); the monitor is passive, so the
+    measurement is bit-identical and memoised under the same key.
+    """
     key = (profile.name, instructions, seed)
     cached = _CACHE.get(key)
     if cached is not None:
@@ -37,21 +42,31 @@ def run_workload(profile: MixProfile, instructions: int,
     machine = VAX780()
     executive = Executive(machine, profile, seed=seed)
     executive.boot()
-    executive.run(instructions)
+    if paranoid:
+        from repro.validate.paranoid import ParanoidMonitor
+
+        with ParanoidMonitor(machine):
+            executive.run(instructions)
+    else:
+        executive.run(instructions)
     measurement = Measurement.capture(profile.name, machine)
     _CACHE[key] = measurement
     return measurement
 
 
 def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
-                             seed: int = 1984, jobs: int = 1) -> dict:
+                             seed: int = 1984, jobs: int = 1,
+                             paranoid: bool = False) -> dict:
     """Run all five standard experiments; returns name -> Measurement.
 
     With ``jobs > 1`` the five independent simulations are distributed
     over worker processes (see :mod:`repro.workloads.parallel`); results
     are bit-identical to the serial path, so they are memoised under the
-    same per-workload keys.
+    same per-workload keys.  ``paranoid`` forces the serial path (the
+    monitor lives in this process).
     """
+    if paranoid:
+        jobs = 1
     if jobs > 1:
         from repro.workloads.parallel import run_standard_parallel
 
@@ -62,18 +77,21 @@ def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
             for profile in todo:
                 _CACHE[(profile.name, instructions, seed)] = \
                     fresh[profile.name]
-    return {profile.name: run_workload(profile, instructions, seed)
+    return {profile.name: run_workload(profile, instructions, seed,
+                                       paranoid=paranoid)
             for profile in STANDARD_PROFILES}
 
 
 def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
-                       seed: int = 1984, jobs: int = 1) -> Measurement:
+                       seed: int = 1984, jobs: int = 1,
+                       paranoid: bool = False) -> Measurement:
     """The five-workload composite measurement (memoised)."""
     key = ("composite", instructions, seed)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    runs = run_standard_experiments(instructions, seed, jobs=jobs)
+    runs = run_standard_experiments(instructions, seed, jobs=jobs,
+                                    paranoid=paranoid)
     total = composite(runs.values())
     _CACHE[key] = total
     return total

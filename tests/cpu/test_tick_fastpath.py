@@ -2,73 +2,24 @@
 
 The optimised EBOX fast-forwards provably idle fill-engine windows,
 batches IB-stall charging, and inlines the common-case D-stream
-reference sequencing.  ``ReferenceEBox`` below re-creates the original
-per-cycle implementations (``tick_reference`` / ``ib_take_reference``
-plus straightforward read/write through the memory subsystem), and the
-tests run whole workloads under both engines: every observable —
-histogram count sets, cycle totals, tracer and memory statistics — must
-be bit-identical.
+reference sequencing.  :class:`repro.validate.differential.ReferenceEBox`
+re-creates the original per-cycle implementations (``tick_reference`` /
+``ib_take_reference`` plus straightforward read/write through the memory
+subsystem), and the tests run whole workloads under both engines: every
+observable — histogram count sets, cycle totals, tracer and memory
+statistics — must be bit-identical.
 """
 
 import pytest
 
 from repro.analysis import Measurement
-from repro.arch.datatypes import MASKS
 from repro.cpu import machine as machine_mod
-from repro.cpu.ebox import EBox
 from repro.osim.executive import Executive
+from repro.validate.differential import ReferenceEBox
 from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
 
 INSTRUCTIONS = 2500
 SEED = 1984
-
-
-class ReferenceEBox(EBox):
-    """EBox with every timing fast path replaced by the per-cycle spec."""
-
-    def tick(self, cycles, port_free=True):
-        self.tick_reference(cycles, port_free)
-
-    def _cycle_raw(self, upc, n=1):
-        self.board.count(upc, n)
-        self.tick_reference(n)
-
-    def ib_take(self, nbytes, stall_upc):
-        self.ib_take_reference(nbytes, stall_upc)
-
-    def read(self, va, size, upc):
-        value = 0
-        shift = 0
-        for i, (chunk_va, chunk_size) in enumerate(self._chunks(va, size)):
-            pa = self.translate(chunk_va, "d")
-            result = self.mem.read_data(pa, chunk_size, self.now)
-            self.board.count(upc)
-            self.tick_reference(1, port_free=False)
-            if result.stall_cycles:
-                self.board.count_stall(upc, result.stall_cycles)
-                self.tick_reference(result.stall_cycles, port_free=False)
-            extra_refs = result.physical_refs - 1 + (1 if i else 0)
-            if extra_refs:
-                self._cycle_raw(self.u.unaligned_calc, extra_refs)
-            value |= result.value << shift
-            shift += 8 * chunk_size
-        return value
-
-    def write(self, va, value, size, upc):
-        shift = 0
-        for i, (chunk_va, chunk_size) in enumerate(self._chunks(va, size)):
-            pa = self.translate(chunk_va, "d")
-            chunk = (value >> shift) & MASKS[chunk_size]
-            result = self.mem.write_data(pa, chunk, chunk_size, self.now)
-            self.board.count(upc)
-            self.tick_reference(1, port_free=False)
-            if result.stall_cycles:
-                self.board.count_stall(upc, result.stall_cycles)
-                self.tick_reference(result.stall_cycles, port_free=False)
-            extra_refs = result.physical_refs - 1 + (1 if i else 0)
-            if extra_refs:
-                self._cycle_raw(self.u.unaligned_calc, extra_refs)
-            shift += 8 * chunk_size
 
 
 def _run(profile, monkeypatch=None, instructions=INSTRUCTIONS):

@@ -1,6 +1,9 @@
 """Content-addressed result store behaviour."""
 
 import json
+import warnings
+
+import pytest
 
 from repro.explore.store import ResultStore, code_version, result_key
 from repro.params import VAX780
@@ -48,13 +51,23 @@ class TestResultStore:
         store.get(key)
         assert store.misses == 1 and store.hits == 1
 
-    def test_corrupt_record_reads_as_miss(self, tmp_path):
+    def test_corrupt_record_warns_and_reads_as_miss(self, tmp_path):
         store = ResultStore(tmp_path / "store")
         key = result_key(VAX780, "w", 100, 1, code="c")
         store.put(key, {"cycles": 1})
         path = store._path(key)
         path.write_text("{truncated")
-        assert store.get(key) is None
+        with pytest.warns(UserWarning, match="unreadable store entry"):
+            assert store.get(key) is None
+        assert store.misses == 1
+
+    def test_absent_record_misses_silently(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(key) is None
+        assert store.misses == 1
 
     def test_records_are_valid_sorted_json(self, tmp_path):
         store = ResultStore(tmp_path / "store")

@@ -11,6 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.analysis import Measurement, Reduction, table8
 from repro.cpu.machine import VAX780
 from repro.osim.executive import Executive
+from repro.validate import check_machine
 from repro.workloads.profiles import MixProfile
 
 
@@ -35,12 +36,9 @@ class TestWholeMachineInvariants:
 
     @given(st.integers(0, 10 ** 6))
     @settings(max_examples=5, deadline=None)
-    def test_histogram_cycle_conservation(self, seed):
+    def test_conservation_laws_hold_exactly(self, seed):
         machine = run_random_workload(seed)
-        red = Reduction(machine.board.snapshot())
-        # Measured (gated) cycles can never exceed wall cycles, and when
-        # Null never ran they are equal.
-        assert red.total_cycles() <= machine.cycles
+        check_machine(machine, f"hyp-{seed}").raise_on_failure()
 
     @given(st.integers(0, 10 ** 6))
     @settings(max_examples=5, deadline=None)

@@ -1,5 +1,7 @@
 """CLI tests (invoking main() directly)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -32,6 +34,14 @@ class TestCLI:
         assert "cycles per instruction" in out
         assert "TABLE 1" in out
 
+    def test_run_workload_paranoid(self, capsys):
+        # A distinct budget sidesteps the memoised plain-run result, so
+        # the monitor really installs and samples.
+        assert main(["run-workload", "research", "--instructions",
+                     "2600", "--paranoid"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles per instruction" in out
+
     def test_run_workload_unknown_profile(self, capsys):
         assert main(["run-workload", "nonexistent"]) == 2
 
@@ -60,6 +70,19 @@ class TestCLI:
             assert key in err
         # Validation happens before the composite run: nothing printed.
         assert capsys.readouterr().out == ""
+
+    def test_validate_smoke(self, tmp_path, capsys):
+        report = tmp_path / "VALIDATE.json"
+        assert main(["validate", "--smoke", "--fuzz", "1",
+                     "--fuzz-instructions", "120",
+                     "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+        assert "1 case(s), 0 divergence(s)" in out
+        doc = json.loads(report.read_text())
+        assert doc["ok"] is True
+        assert doc["meta"]["smoke"] is True
+        assert doc["fuzz"]["divergences"] == 0
 
     def test_version(self, capsys):
         import repro

@@ -29,6 +29,14 @@ def test_kernel_exact_and_reconciled(kernel):
         f"{kernel.name}: busy-bucket delta {result['busy_delta']}")
 
 
+def test_zero_copies_is_a_clear_error():
+    kernel = suite.STANDARD_SUITE[0]
+    with pytest.raises(runner.UbenchError, match="at least one"):
+        runner.run_kernel(kernel, warmup=2, copies=0)
+    with pytest.raises(runner.UbenchError, match="at least one"):
+        runner.run_kernel(kernel, warmup=2, copies=-1)
+
+
 def test_suite_covers_every_opcode_group():
     assert set(suite.groups()) == {"simple", "field", "float", "callret",
                                    "system", "character", "decimal"}

@@ -1,0 +1,133 @@
+"""The conservation laws hold exactly on real runs — and catch tampering.
+
+Three run shapes cover the law classes: ungated standard workloads
+(every law exact), a run where the Null process closed the measurement
+gate (cross-instrument laws weaken to bounds but still hold), and a
+bare-metal run with page faults and faulted TB-miss services (the
+abort/fault counters participate).  A final group mutates captured
+measurements one counter at a time and demands the checker notices.
+"""
+
+import pytest
+
+from repro.analysis.measurement import Measurement
+from repro.cpu.machine import VAX780
+from repro.osim.executive import Executive
+from repro.validate import (InvariantViolation, check_machine,
+                            check_measurement)
+from repro.workloads.profiles import (MixProfile, STANDARD_PROFILES,
+                                      TIMESHARING_RESEARCH)
+from tests.cpu.test_faults import boot_with_fault_handler
+
+
+def run_profile(profile, instructions=4000, seed=1984):
+    machine = VAX780()
+    executive = Executive(machine, profile, seed=seed)
+    executive.boot()
+    executive.run(instructions)
+    return machine
+
+
+class TestStandardWorkloads:
+    @pytest.mark.parametrize("profile", STANDARD_PROFILES,
+                             ids=lambda p: p.name)
+    def test_all_laws_exact(self, profile):
+        machine = run_profile(profile)
+        report = check_machine(machine, profile.name)
+        report.raise_on_failure()
+        # The standard workloads never close the gate, so only the
+        # deliberately conservative write-issue law stays a bound.
+        assert machine.tracer.gated_off_cycles == 0
+        bounds = [c.name for c in report.checks if c.relation == "<="]
+        assert bounds == ["write-issues"]
+
+    def test_composite_obeys_the_laws(self):
+        from repro.analysis.measurement import composite
+
+        measurements = [
+            Measurement.capture(p.name, run_profile(p, 2500))
+            for p in STANDARD_PROFILES[:3]]
+        check_measurement(composite(measurements)).raise_on_failure()
+
+
+class TestGatedRun:
+    def test_laws_hold_with_the_gate_closed(self):
+        profile = MixProfile(name="idle", description="idle", processes=1,
+                             io_block_cycles=200000)
+        machine = VAX780()
+        executive = Executive(machine, profile, seed=9)
+        executive.boot()
+        executive.run(2000)
+        executive.scheduler.block_current(0)
+        machine.sisr |= 1 << 3
+        for _ in range(700):
+            machine.step()
+        assert executive.scheduler.current.is_null
+        assert not machine.board.enabled
+        report = check_machine(machine, "gated")
+        report.raise_on_failure()
+        assert machine.tracer.gated_off_cycles > 0
+        # The headline conservation law stays exact even when gated.
+        names = [c.name for c in report.checks if c.relation == "=="]
+        assert "cycle-conservation" in names
+
+
+class TestFaultingRun:
+    def test_laws_hold_across_aborts_and_tb_fault_exits(self):
+        machine, _ = boot_with_fault_handler("""
+            movl @#^x80060004, r0
+            movl @#^x80061004, r1
+            halt
+        """)
+        for va in (0x80060004, 0x80061004):
+            machine.translator.set_valid(va, False)
+        machine.mem.debug_write(0x60004, 1, 4)
+        machine.mem.debug_write(0x61004, 2, 4)
+        machine.run(200)
+        assert machine.halted
+        assert machine.tracer.instruction_aborts == 2
+        assert machine.tracer.tb_miss_faults == 2
+        check_machine(machine, "faulting").raise_on_failure()
+
+
+class TestTamperDetection:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return run_profile(TIMESHARING_RESEARCH, 3000)
+
+    def capture(self, machine):
+        return Measurement.capture("tamper", machine)
+
+    def test_lost_cycle_is_caught(self, machine):
+        measurement = self.capture(machine)
+        measurement.cycles += 1
+        report = check_measurement(measurement)
+        assert not report.ok
+        assert [c.name for c in report.failures()] == ["cycle-conservation"]
+        with pytest.raises(InvariantViolation, match="cycle-conservation"):
+            report.raise_on_failure()
+
+    def test_phantom_overlap_is_caught(self, machine):
+        measurement = self.capture(machine)
+        measurement.tracer.overlapped_decodes += 1
+        assert not check_measurement(measurement).ok
+
+    def test_dropped_dispatch_is_caught(self, machine):
+        measurement = self.capture(machine)
+        measurement.tracer.decode_dispatches -= 1
+        failed = {c.name for c in check_measurement(measurement).failures()}
+        assert "instructions-reduction-vs-dispatches" in failed
+        assert "instructions-dispatch-vs-completed" in failed
+
+    def test_miscounted_tb_service_is_caught(self, machine):
+        measurement = self.capture(machine)
+        measurement.tracer.tb_miss_cycles += 1
+        failed = {c.name for c in check_measurement(measurement).failures()}
+        assert failed == {"tb-service-cycles"}
+
+    def test_report_serializes(self, machine):
+        report = check_measurement(self.capture(machine))
+        doc = report.to_dict()
+        assert doc["ok"] is True
+        assert len(doc["checks"]) == len(report.checks)
+        assert all(c["ok"] for c in doc["checks"])

@@ -1,0 +1,57 @@
+"""Sampled invariant monitoring (--paranoid mode)."""
+
+import pytest
+
+from repro.cpu.machine import VAX780
+from repro.osim.executive import Executive
+from repro.validate import InvariantViolation, ParanoidMonitor
+from repro.workloads.profiles import TIMESHARING_RESEARCH
+
+
+def booted():
+    machine = VAX780()
+    executive = Executive(machine, TIMESHARING_RESEARCH, seed=1984)
+    executive.boot()
+    return machine, executive
+
+
+class TestParanoidMonitor:
+    def test_clean_run_samples_without_raising(self):
+        machine, executive = booted()
+        with ParanoidMonitor(machine, interval=256) as monitor:
+            executive.run(4000)
+        assert monitor.samples > 0
+        assert machine.boundary_hook is None or \
+            machine.boundary_hook is not monitor._on_boundary
+
+    def test_hook_chain_is_restored(self):
+        machine, _ = booted()
+        calls = []
+        machine.boundary_hook = lambda m: calls.append(m.cycles)
+        previous = machine.boundary_hook
+        with ParanoidMonitor(machine, interval=64):
+            machine.step()
+        assert machine.boundary_hook is previous
+        assert calls, "the chained previous hook still fires"
+
+    def test_corrupted_histogram_raises_at_check(self):
+        machine, executive = booted()
+        monitor = ParanoidMonitor(machine, interval=1 << 19).install()
+        executive.run(500)
+        machine.board.nonstalled[0] += 1  # a cycle nobody spent
+        with pytest.raises(InvariantViolation,
+                           match="cycle conservation broke"):
+            monitor.check_now()
+
+    def test_counter_clear_rebases_instead_of_raising(self):
+        machine, executive = booted()
+        monitor = ParanoidMonitor(machine, interval=1 << 19).install()
+        executive.run(500)
+        monitor.check_now()  # rolls the baseline past the boot state
+        rebases = monitor.rebases
+        machine.board.clear()
+        monitor.check_now()  # histogram shrank: rebase, not violation
+        assert monitor.rebases == rebases + 1
+        executive.run(500)
+        monitor.uninstall()
+        assert monitor.samples >= 1
