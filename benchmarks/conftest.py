@@ -18,7 +18,7 @@ import os
 
 import pytest
 
-from repro.workloads.experiments import standard_composite
+from repro.workloads.engine import standard_composite
 
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 60000))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", 1984))

@@ -15,7 +15,7 @@ import subprocess
 import sys
 import time
 
-from repro.workloads import experiments
+from repro.workloads import engine
 
 from .conftest import emit
 
@@ -26,8 +26,8 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _fresh_composite():
-    experiments.clear_cache()
-    return experiments.standard_composite(instructions=PERF_INSTRUCTIONS,
+    engine.clear_cache()
+    return engine.standard_composite(instructions=PERF_INSTRUCTIONS,
                                           seed=PERF_SEED)
 
 

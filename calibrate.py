@@ -8,7 +8,7 @@ import time
 
 from repro.analysis import (Measurement, section4, table1, table2, table3,
                             table4, table5, table6, table7, table8, table9)
-from repro.workloads.experiments import standard_composite
+from repro.workloads.engine import standard_composite
 
 N = int(sys.argv[1]) if len(sys.argv) > 1 else 20000
 JOBS = int(sys.argv[2]) if len(sys.argv) > 2 else 1

@@ -15,7 +15,7 @@ Run:  python examples/microcode_hotspots.py [instructions]
 import sys
 
 from repro.analysis.reduction import reference_map
-from repro.workloads.experiments import run_workload
+from repro.workloads.engine import run_workload
 from repro.workloads.profiles import TIMESHARING_RESEARCH
 
 

@@ -26,7 +26,7 @@ from repro.report.format import (render_figure1, render_section4,
                                  render_table5, render_table6,
                                  render_table7, render_table8,
                                  render_table9)
-from repro.workloads.experiments import (run_standard_experiments,
+from repro.workloads.engine import (run_standard_experiments,
                                          standard_composite)
 
 

@@ -15,7 +15,7 @@ import sys
 from repro.analysis import section4, table1, table8
 from repro.arch.groups import GROUP_ORDER
 from repro.ucode.rows import Column
-from repro.workloads.experiments import run_standard_experiments
+from repro.workloads.engine import run_standard_experiments
 
 
 def main():

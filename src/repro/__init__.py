@@ -5,7 +5,16 @@ A VAX-11/780 micro-architectural simulator with a micro-PC histogram
 monitor, a VMS-like executive driving synthetic timesharing workloads,
 and an analysis pipeline that regenerates every table in the paper.
 
-Quick start::
+Quick start — the typed facade (:mod:`repro.api`) is the public
+surface; :mod:`repro.obs` makes any call observable::
+
+    from repro import api, obs
+
+    with obs.observe("out/", heartbeat=10):
+        result = api.characterize(smoke=True, table="8")
+    print(result.cycles_per_instruction)
+
+The building blocks remain importable for lower-level work::
 
     from repro import VAX780, Executive, TIMESHARING_RESEARCH
     from repro.analysis import Measurement, table8
@@ -28,7 +37,28 @@ from repro.workloads.profiles import (COMMERCIAL, EDUCATIONAL, MixProfile,
 
 __version__ = "1.0.0"
 
+#: Facade callables re-exported lazily (PEP 562): ``repro.characterize``
+#: is ``repro.api.characterize``.  Lazy so that importing ``repro``
+#: stays cheap and the api -> engine -> obs import chain never cycles
+#: back through this package's own initialisation.
+_FACADE = ("characterize", "run_workload", "hotspots", "disasm",
+           "figure1", "profiles", "ubench", "explore", "explore_points",
+           "validate", "ApiError")
+
 __all__ = ["VAX780", "Executive", "MachineParams", "VAX780_PARAMS",
            "COMMERCIAL", "EDUCATIONAL", "MixProfile", "SCIENTIFIC",
            "STANDARD_PROFILES", "TIMESHARING_CPU_DEV",
-           "TIMESHARING_RESEARCH", "__version__"]
+           "TIMESHARING_RESEARCH", "api", "obs", "__version__",
+           *_FACADE]
+
+
+def __getattr__(name):
+    if name in ("api", "obs"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    if name in _FACADE:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,557 @@
+"""repro.api: the stable, typed facade over the reproduction.
+
+Every capability the command line exposes — the paper's measurement
+campaign, single workloads, control-store hotspots, the assembler
+listing, the block diagram, the microbenchmark sweep, design-space
+exploration, validation — is one plain function here, returning a
+frozen dataclass with a uniform :meth:`~_Result.to_json`.  The CLI
+(:mod:`repro.cli`) is a thin argparse shell over these calls; scripts
+and notebooks should import this module instead of reaching into the
+engine packages::
+
+    from repro import api
+
+    result = api.characterize(smoke=True, table="8")
+    print(result.cycles_per_instruction)
+    json_doc = result.to_json()
+
+Contract:
+
+* invalid arguments raise :class:`ApiError` (a ``ValueError``) *before*
+  any simulation runs; the CLI maps it to exit code 2;
+* results are frozen — a result is a record of what happened, not a
+  handle to mutate;
+* heavyweight attachments (measurements, sweep objects, invariant
+  reports) ride along for programmatic use but stay out of
+  ``to_json()``;
+* every call emits ``run_started``/``run_finished`` events and bumps an
+  ``api.calls.<command>`` counter when an observation is active
+  (:mod:`repro.obs`), and none of that changes any simulated count.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+
+from repro import obs
+from repro.analysis import (section4, table1, table2, table3, table4,
+                            table5, table6, table7, table8, table9)
+from repro.obs import metrics
+from repro.report.format import (render_figure1, render_section4,
+                                 render_table1, render_table2,
+                                 render_table3, render_table4,
+                                 render_table5, render_table6,
+                                 render_table7, render_table8,
+                                 render_table9)
+from repro.workloads import engine
+from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
+
+__all__ = ["ApiError", "DEFAULT_INSTRUCTIONS", "SMOKE_INSTRUCTIONS",
+           "TABLES",
+           "CharacterizeResult", "WorkloadResult", "HotspotsResult",
+           "DisasmResult", "Figure1Result", "ProfilesResult",
+           "UbenchResult", "ExploreResult", "ExplorePointsResult",
+           "ValidateResult",
+           "characterize", "run_workload", "hotspots", "disasm",
+           "figure1", "profiles", "ubench", "explore", "explore_points",
+           "explore_spec", "validate"]
+
+#: The budget the CLI has always defaulted to for measurement commands.
+DEFAULT_INSTRUCTIONS = 30_000
+#: Re-exported: the fixed small budget behind every ``--smoke``.
+SMOKE_INSTRUCTIONS = engine.SMOKE_INSTRUCTIONS
+
+#: table key -> (compute, render); the paper's tables plus §4's text.
+TABLES = {
+    "1": (table1, render_table1), "2": (table2, render_table2),
+    "3": (table3, render_table3), "4": (table4, render_table4),
+    "5": (table5, render_table5), "6": (table6, render_table6),
+    "7": (table7, render_table7), "8": (table8, render_table8),
+    "9": (table9, render_table9), "s4": (section4, render_section4),
+}
+
+
+class ApiError(ValueError):
+    """A bad argument to a facade call (the CLI maps it to exit 2)."""
+
+
+def _attachment(**kwargs):
+    """A dataclass field carried on the result but left out of JSON."""
+    return field(repr=False, compare=False, metadata={"internal": True},
+                 **kwargs)
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class _Result:
+    """Base for all facade results: frozen, uniformly serialisable."""
+
+    def to_json(self) -> dict:
+        """The result as a JSON-serialisable dict (attachments omitted)."""
+        doc = {"kind": type(self).__name__}
+        for spec in fields(self):
+            if spec.metadata.get("internal"):
+                continue
+            doc[spec.name] = _jsonable(getattr(self, spec.name))
+        return doc
+
+
+@contextmanager
+def _span(command: str, **fields_):
+    """Observe one facade call: counter plus run start/finish events."""
+    metrics.counter(f"api.calls.{command}").inc()
+    obs.emit("run_started", command=command, **fields_)
+    started = time.monotonic()
+    try:
+        yield
+    except BaseException as exc:
+        obs.emit("run_finished", command=command, ok=False,
+                 error=type(exc).__name__,
+                 seconds=round(time.monotonic() - started, 6))
+        raise
+    obs.emit("run_finished", command=command, ok=True,
+             seconds=round(time.monotonic() - started, 6))
+
+
+def _budget(instructions, smoke: bool) -> int:
+    if instructions is not None:
+        return instructions
+    return SMOKE_INSTRUCTIONS if smoke else DEFAULT_INSTRUCTIONS
+
+
+# -- characterize -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CharacterizeResult(_Result):
+    """The five-workload composite and its rendered tables."""
+
+    instructions: int
+    seed: int
+    jobs: int
+    paranoid: bool
+    cycles: int
+    instructions_measured: int
+    cycles_per_instruction: float
+    tables: tuple            #: ({"table": key, "text": rendered}, ...)
+    measurement: object = _attachment(default=None)
+
+
+def characterize(instructions: int = None, seed: int = 1984,
+                 jobs: int = 1, paranoid: bool = False,
+                 table="all", smoke: bool = False) -> CharacterizeResult:
+    """Run the paper's measurement campaign and compute its tables.
+
+    ``table`` selects what to compute: ``"all"``, one key (``"1"``
+    ... ``"9"``, ``"s4"``), or an iterable of keys.  Unknown keys raise
+    :class:`ApiError` before the (expensive) composite run.
+    """
+    if table in ("all", None):
+        keys = list(TABLES)
+    elif isinstance(table, str):
+        keys = [table]
+    else:
+        keys = [str(key) for key in table]
+    for key in keys:
+        if key not in TABLES:
+            raise ApiError(f"unknown table {key!r}; choose from "
+                           f"{', '.join(TABLES)}")
+    instructions = _budget(instructions, smoke)
+    with _span("characterize", instructions=instructions, seed=seed,
+               jobs=jobs):
+        measurement = engine.standard_composite(
+            instructions=instructions, seed=seed, jobs=jobs,
+            paranoid=paranoid)
+        rendered = tuple(
+            {"table": key,
+             "text": TABLES[key][1](TABLES[key][0](measurement))}
+            for key in keys)
+        summary = table8(measurement)
+    return CharacterizeResult(
+        instructions=instructions, seed=seed, jobs=jobs,
+        paranoid=paranoid, cycles=measurement.cycles,
+        instructions_measured=summary.instructions,
+        cycles_per_instruction=summary.cycles_per_instruction,
+        tables=rendered, measurement=measurement)
+
+
+# -- run_workload -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadResult(_Result):
+    """One workload environment's measurement summary."""
+
+    profile: str
+    description: str
+    instructions: int
+    seed: int
+    paranoid: bool
+    cycles: int
+    instructions_measured: int
+    cycles_per_instruction: float
+    table1_text: str
+    measurement: object = _attachment(default=None)
+
+
+def _find_profile(profile):
+    if isinstance(profile, MixProfile):
+        return profile
+    for candidate in STANDARD_PROFILES:
+        if candidate.name == profile or candidate.name.endswith(profile):
+            return candidate
+    return None
+
+
+def run_workload(profile, instructions: int = None, seed: int = 1984,
+                 paranoid: bool = False,
+                 smoke: bool = False) -> WorkloadResult:
+    """Run one workload environment (by name, suffix, or profile)."""
+    resolved = _find_profile(profile)
+    if resolved is None:
+        raise ApiError(f"unknown profile {profile!r}; "
+                       "see 'repro profiles'")
+    instructions = _budget(instructions, smoke)
+    with _span("run-workload", profile=resolved.name,
+               instructions=instructions, seed=seed):
+        measurement = engine.run_workload(resolved, instructions,
+                                          seed=seed, paranoid=paranoid)
+        summary = table8(measurement)
+        table1_text = render_table1(table1(measurement))
+    return WorkloadResult(
+        profile=resolved.name, description=resolved.description,
+        instructions=instructions, seed=seed, paranoid=paranoid,
+        cycles=measurement.cycles,
+        instructions_measured=summary.instructions,
+        cycles_per_instruction=summary.cycles_per_instruction,
+        table1_text=table1_text, measurement=measurement)
+
+
+# -- hotspots -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HotspotsResult(_Result):
+    """The hottest control-store locations of a reference run."""
+
+    instructions: int
+    seed: int
+    top: int
+    total_cycles: int
+    rows: tuple  #: ({"address", "cycles", "percent", "row", ...}, ...)
+    measurement: object = _attachment(default=None)
+
+
+def hotspots(instructions: int = 20_000, top: int = 20,
+             seed: int = 1984, smoke: bool = False) -> HotspotsResult:
+    """Rank control-store locations by cycles on the reference workload."""
+    from repro.analysis.reduction import reference_map
+
+    if smoke:
+        instructions = min(instructions, SMOKE_INSTRUCTIONS)
+    with _span("hotspots", instructions=instructions, top=top):
+        measurement = engine.run_workload(STANDARD_PROFILES[0],
+                                          instructions, seed=seed)
+        histogram = measurement.histogram
+        store, _ = reference_map()
+        ranked = []
+        for ann in store.annotations():
+            cycles = histogram.nonstalled[ann.address] \
+                + histogram.stalled[ann.address]
+            if cycles:
+                ranked.append((cycles, ann))
+        ranked.sort(key=lambda item: -item[0])
+        total = histogram.total_cycles()
+        rows = tuple(
+            {"address": ann.address, "cycles": cycles,
+             "percent": 100 * cycles / total, "row": ann.row.value,
+             "routine": ann.routine, "slot": ann.slot}
+            for cycles, ann in ranked[:top])
+    return HotspotsResult(instructions=instructions, seed=seed, top=top,
+                          total_cycles=total, rows=rows,
+                          measurement=measurement)
+
+
+# -- disasm / figure1 / profiles ---------------------------------------
+
+
+@dataclass(frozen=True)
+class DisasmResult(_Result):
+    """An assembled program and its disassembly listing."""
+
+    base: int
+    lines: tuple
+
+
+def disasm(source: str, base: int = 0x200) -> DisasmResult:
+    """Assemble VAX MACRO source text and return its listing lines."""
+    from repro.arch.disasm import disassemble_image
+    from repro.asm import assemble_text
+
+    with _span("disasm", base=base):
+        image = assemble_text(source, base=base)
+        lines = tuple(str(line) for line in disassemble_image(image))
+    return DisasmResult(base=base, lines=lines)
+
+
+@dataclass(frozen=True)
+class Figure1Result(_Result):
+    """The rendered 11/780 block diagram."""
+
+    text: str
+
+
+def figure1() -> Figure1Result:
+    """Render the block diagram from the machine model."""
+    from repro.cpu.machine import VAX780
+
+    with _span("figure1"):
+        text = render_figure1(VAX780())
+    return Figure1Result(text=text)
+
+
+@dataclass(frozen=True)
+class ProfilesResult(_Result):
+    """The five standard workload profiles."""
+
+    profiles: tuple  #: ({"name", "description"}, ...)
+
+
+def profiles() -> ProfilesResult:
+    """List the standard workload profiles."""
+    return ProfilesResult(profiles=tuple(
+        {"name": profile.name, "description": profile.description}
+        for profile in STANDARD_PROFILES))
+
+
+# -- ubench -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UbenchResult(_Result):
+    """The microbenchmark sweep, measured vs. the analytical model."""
+
+    suite: str
+    kernel_count: int
+    seed: int
+    jobs: int
+    failed: tuple            #: kernels not exact-and-reconciled
+    check_ok: object         #: composite consistency verdict, or None
+    ok: bool
+    results: tuple = _attachment(default=())
+    check: object = _attachment(default=None)
+
+
+def ubench(group: str = None, mode: str = None, variant: str = None,
+           smoke: bool = False, jobs: int = 1, check: bool = True,
+           check_instructions: int = 20_000,
+           seed: int = 1984) -> UbenchResult:
+    """Run the microbenchmark kernels and confront them with the model."""
+    from repro.ubench import runner, suite
+
+    kernels = suite.select(group=group, mode=mode, variant=variant,
+                           smoke=smoke)
+    if not kernels:
+        raise ApiError(
+            f"no kernels match group={group!r} mode={mode!r} "
+            f"variant={variant!r}; groups: "
+            f"{', '.join(suite.groups())}; modes: "
+            f"{', '.join(suite.modes())}")
+    with _span("ubench", kernels=len(kernels), jobs=jobs):
+        results = runner.run_suite(kernels, jobs=jobs)
+        check_doc = None
+        if check:
+            from repro.ubench.consistency import check_composite
+
+            composite = engine.standard_composite(
+                instructions=check_instructions, seed=seed, jobs=jobs)
+            check_doc = check_composite(composite)
+    failed = tuple(r["kernel"] for r in results
+                   if not (r["exact"] and r["reconciled"]))
+    check_ok = None if check_doc is None else bool(check_doc["ok"])
+    return UbenchResult(
+        suite="smoke" if smoke else "standard",
+        kernel_count=len(kernels), seed=seed, jobs=jobs, failed=failed,
+        check_ok=check_ok, ok=not failed and check_ok is not False,
+        results=tuple(results), check=check_doc)
+
+
+# -- explore ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExploreResult(_Result):
+    """One design-space sweep run and its sensitivity report."""
+
+    spec: str
+    mode: str
+    instructions: int
+    seed: int
+    stats: dict
+    decode_claim_ok: object  #: True/False, or None when not checked
+    ok: bool
+    sweep: object = _attachment(default=None)
+    report: object = _attachment(default=None)
+
+
+@dataclass(frozen=True)
+class ExplorePointsResult(_Result):
+    """A sweep's enumerated points and their store status."""
+
+    spec: str
+    mode: str
+    workloads: int
+    points: tuple            #: ({"label", "cached"}, ...)
+
+
+def explore_spec(spec: str = "paper-sensitivity", axes=(),
+                 mode: str = None, instructions: int = None,
+                 seed: int = None, smoke: bool = False):
+    """Resolve facade arguments into a validated SweepSpec.
+
+    ``axes`` entries may be ``"name=v1,v2"`` strings or Axis objects;
+    any axis replaces the named spec's axes (the spec is then called
+    ``custom``).  Unknown specs, axes or values raise :class:`ApiError`
+    before anything simulates.
+    """
+    from dataclasses import replace
+
+    from repro.explore import SPECS, SpaceError, parse_axis
+
+    parsed = []
+    for axis in axes:
+        if isinstance(axis, str):
+            try:
+                axis = parse_axis(axis)
+            except SpaceError as exc:
+                raise ApiError(str(exc)) from exc
+        parsed.append(axis)
+    name = "smoke" if smoke else spec
+    base = SPECS.get(name)
+    if base is None:
+        raise ApiError(f"unknown spec {name!r}; choose from "
+                       f"{', '.join(sorted(SPECS))}")
+    overrides = {}
+    if parsed:
+        overrides["axes"] = tuple(parsed)
+        overrides["name"] = "custom"
+    if mode is not None:
+        overrides["mode"] = mode
+    if instructions is not None:
+        overrides["instructions"] = instructions
+    if seed is not None:
+        overrides["seed"] = seed
+    try:
+        return replace(base, **overrides) if overrides else base
+    except SpaceError as exc:
+        raise ApiError(str(exc)) from exc
+
+
+def explore_points(spec: str = "paper-sensitivity", axes=(),
+                   mode: str = None, instructions: int = None,
+                   seed: int = None, smoke: bool = False,
+                   store=None) -> ExplorePointsResult:
+    """Enumerate a sweep's points (and store status) without simulating."""
+    from repro.explore import ResultStore, code_version, result_key
+
+    resolved = explore_spec(spec, axes, mode, instructions, seed, smoke)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    code = code_version()
+    listing = []
+    for point in resolved.points():
+        params = point.params()
+        cached = sum(
+            1 for workload in resolved.workloads
+            if store is not None and result_key(
+                params, workload, point.instructions, point.seed,
+                code=code) in store)
+        listing.append({"label": point.label(), "cached": cached})
+    return ExplorePointsResult(spec=resolved.name, mode=resolved.mode,
+                               workloads=len(resolved.workloads),
+                               points=tuple(listing))
+
+
+def explore(spec: str = "paper-sensitivity", axes=(), mode: str = None,
+            instructions: int = None, seed: int = None,
+            smoke: bool = False, store=".explore/store",
+            resume: bool = True, jobs: int = 1,
+            progress=None) -> ExploreResult:
+    """Run a design-space sweep and compute its sensitivity report.
+
+    ``store`` is a directory path, a ResultStore, or None (no
+    persistence).  ``progress`` is an optional ``callable(str)``.
+    """
+    from repro.explore import ResultStore, run_sweep, sensitivity
+
+    resolved = explore_spec(spec, axes, mode, instructions, seed, smoke)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    with _span("explore", spec=resolved.name, jobs=jobs):
+        sweep = run_sweep(resolved, store=store, jobs=jobs,
+                          resume=resume, progress=progress)
+        report = sensitivity(sweep)
+    claim = report.get("decode_claim")
+    claim_ok = None if claim is None else bool(claim["ok"])
+    return ExploreResult(
+        spec=resolved.name, mode=resolved.mode,
+        instructions=resolved.instructions, seed=resolved.seed,
+        stats=dict(sweep.stats), decode_claim_ok=claim_ok,
+        ok=claim_ok is not False, sweep=sweep, report=report)
+
+
+# -- validate -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValidateResult(_Result):
+    """Conservation invariants plus differential fuzzing verdicts."""
+
+    instructions: int
+    seed: int
+    fuzz_cases: int
+    fuzz_instructions: int
+    smoke: bool
+    invariants_ok: bool
+    divergences: int
+    ok: bool
+    reports: tuple = _attachment(default=())
+    fuzz_results: tuple = _attachment(default=())
+
+
+def validate(instructions: int = None, fuzz_cases: int = 0,
+             fuzz_instructions: int = 400, seed: int = 1984,
+             smoke: bool = False, progress=None) -> ValidateResult:
+    """Check the conservation laws on all five workloads, then fuzz."""
+    from repro.validate import check_measurement, fuzz
+
+    if instructions is None:
+        instructions = SMOKE_INSTRUCTIONS if smoke else 20_000
+    if smoke:
+        fuzz_instructions = min(fuzz_instructions, 200)
+    with _span("validate", instructions=instructions,
+               fuzz_cases=fuzz_cases):
+        reports = tuple(
+            check_measurement(engine.run_workload(profile, instructions,
+                                                  seed=seed))
+            for profile in STANDARD_PROFILES)
+        fuzz_results = tuple(
+            fuzz(fuzz_cases, seed=seed, instructions=fuzz_instructions,
+                 progress=progress)) if fuzz_cases else ()
+    divergences = sum(1 for r in fuzz_results if not r["ok"])
+    invariants_ok = all(report.ok for report in reports)
+    return ValidateResult(
+        instructions=instructions, seed=seed, fuzz_cases=fuzz_cases,
+        fuzz_instructions=fuzz_instructions, smoke=smoke,
+        invariants_ok=invariants_ok, divergences=divergences,
+        ok=invariants_ok and divergences == 0,
+        reports=reports, fuzz_results=fuzz_results)

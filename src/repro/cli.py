@@ -1,5 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
+A thin argparse shell over :mod:`repro.api` — every handler parses
+flags, calls one facade function, and renders the result.  Validation
+errors surface as :class:`repro.api.ApiError` and exit with code 2;
+result failures (inexact kernels, a failed claim check, a divergence)
+exit with code 1.
+
 Commands:
 
 * ``characterize`` — the paper's measurement campaign: run the five
@@ -17,31 +23,52 @@ Commands:
   sensitivity tables.
 * ``validate`` — conservation-invariant checks on the five workloads
   plus fastpath-vs-reference differential fuzzing.
+
+Every command accepts the shared flags ``--jobs``, ``--seed``,
+``--json``, ``--smoke``, ``--store``, ``--obs DIR`` and
+``--heartbeat SECS``; the last two wrap the run in a
+:class:`repro.obs.Observation` (live JSONL events, metrics snapshot,
+Chrome trace, flamegraph, liveness lines on stderr) without changing a
+single simulated count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis import (section4, table1, table2, table3, table4,
-                            table5, table6, table7, table8, table9)
-from repro.cpu.machine import VAX780
-from repro.report.format import (render_figure1, render_section4,
-                                 render_table1, render_table2,
-                                 render_table3, render_table4,
-                                 render_table5, render_table6,
-                                 render_table7, render_table8,
-                                 render_table9)
-from repro.workloads.profiles import STANDARD_PROFILES
+from repro import api, obs
 
-_TABLES = {
-    "1": (table1, render_table1), "2": (table2, render_table2),
-    "3": (table3, render_table3), "4": (table4, render_table4),
-    "5": (table5, render_table5), "6": (table6, render_table6),
-    "7": (table7, render_table7), "8": (table8, render_table8),
-    "9": (table9, render_table9), "s4": (section4, render_section4),
-}
+#: (flags, kwargs) for every shared option; the parent parser is built
+#: from this table and the consistency test in ``tests/test_cli_flags``
+#: checks each subcommand against it.
+SHARED_FLAGS = (
+    (("--jobs",), dict(
+        type=int, default=None, metavar="N",
+        help="worker processes for parallel fan-out (default 1 = "
+             "serial; results are bit-identical either way)")),
+    (("--seed",), dict(
+        type=int, default=None, metavar="SEED",
+        help="workload seed (default: 1984, or the sweep spec's)")),
+    (("--json",), dict(
+        default=None, metavar="PATH",
+        help="also write a machine-readable JSON document to PATH")),
+    (("--smoke",), dict(
+        action="store_true",
+        help="small fixed budgets / subsets (CI smoke run)")),
+    (("--store",), dict(
+        default=None, metavar="DIR",
+        help="explore result store directory "
+             "(default: .explore/store)")),
+    (("--obs",), dict(
+        default=None, metavar="DIR",
+        help="write observability artifacts (events.jsonl, "
+             "metrics.json, trace.json, flamegraph.collapsed) to DIR")),
+    (("--heartbeat",), dict(
+        type=float, default=None, metavar="SECS",
+        help="print a liveness line to stderr every SECS seconds")),
+)
 
 
 def _version() -> str:
@@ -54,6 +81,14 @@ def _version() -> str:
         return getattr(repro, "__version__", "unknown")
 
 
+def _shared_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("shared options")
+    for flags, kwargs in SHARED_FLAGS:
+        group.add_argument(*flags, **kwargs)
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -61,52 +96,53 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(Emer & Clark, ISCA 1984)")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {_version()}")
+    parent = _shared_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
     characterize = sub.add_parser(
-        "characterize", help="run the five-workload composite and print "
-                             "the paper's tables")
-    characterize.add_argument("--instructions", type=int, default=30_000,
-                              help="measured instructions per workload")
-    characterize.add_argument("--seed", type=int, default=1984)
+        "characterize", parents=[parent],
+        help="run the five-workload composite and print the paper's "
+             "tables")
+    characterize.add_argument("--instructions", type=int, default=None,
+                              help="measured instructions per workload "
+                                   "(default 30000; --smoke: 2000)")
     characterize.add_argument("--table", default="all",
                               help="which table: 1-9, s4, or 'all'")
-    characterize.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the five workloads (1 = serial; "
-             "results are bit-identical either way)")
     characterize.add_argument(
         "--paranoid", action="store_true",
         help="sample conservation-invariant checks during the runs "
              "(passive; forces --jobs 1)")
 
-    one = sub.add_parser("run-workload",
+    one = sub.add_parser("run-workload", parents=[parent],
                          help="run one workload environment")
     one.add_argument("profile", help="profile name (see 'profiles')")
-    one.add_argument("--instructions", type=int, default=30_000)
-    one.add_argument("--seed", type=int, default=1984)
+    one.add_argument("--instructions", type=int, default=None,
+                     help="measured instructions "
+                          "(default 30000; --smoke: 2000)")
     one.add_argument("--paranoid", action="store_true",
                      help="sample conservation-invariant checks "
                           "during the run (passive)")
 
-    hotspots = sub.add_parser("hotspots",
+    hotspots = sub.add_parser("hotspots", parents=[parent],
                               help="hottest control-store locations")
     hotspots.add_argument("--instructions", type=int, default=20_000)
     hotspots.add_argument("--top", type=int, default=20)
-    hotspots.add_argument("--seed", type=int, default=1984)
 
-    disasm = sub.add_parser("disasm",
+    disasm = sub.add_parser("disasm", parents=[parent],
                             help="assemble a source file and list it")
     disasm.add_argument("source", help="VAX MACRO source file")
     disasm.add_argument("--base", type=lambda v: int(v, 0),
                         default=0x200, help="assembly base address")
 
-    sub.add_parser("figure1", help="render the block diagram")
-    sub.add_parser("profiles", help="list the workload profiles")
+    sub.add_parser("figure1", parents=[parent],
+                   help="render the block diagram")
+    sub.add_parser("profiles", parents=[parent],
+                   help="list the workload profiles")
 
     ubench = sub.add_parser(
-        "ubench", help="microbenchmark sweep: per-instruction cycles, "
-                       "measured vs. analytical model")
+        "ubench", parents=[parent],
+        help="microbenchmark sweep: per-instruction cycles, "
+             "measured vs. analytical model")
     ubench.add_argument("--group", default=None,
                         help="only kernels of one opcode group "
                              "(simple, field, float, callret, system, "
@@ -118,24 +154,16 @@ def _build_parser() -> argparse.ArgumentParser:
     ubench.add_argument("--variant", default=None,
                         choices=("warm", "cold"),
                         help="only warm or cold cache/TB kernels")
-    ubench.add_argument("--smoke", action="store_true",
-                        help="run the small fixed smoke subset")
-    ubench.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the kernel fan-out "
-                             "(results bit-identical for any value)")
-    ubench.add_argument("--json", default=None, metavar="PATH",
-                        help="also write the machine-readable "
-                             "UBENCH.json document to PATH")
     ubench.add_argument("--no-check", dest="check", action="store_false",
                         help="skip the composite consistency pass")
     ubench.add_argument("--check-instructions", type=int, default=20_000,
                         help="instructions per workload for the "
                              "consistency composite")
-    ubench.add_argument("--seed", type=int, default=1984)
 
     explore = sub.add_parser(
-        "explore", help="design-space sweep over MachineParams axes "
-                        "with a persistent result store")
+        "explore", parents=[parent],
+        help="design-space sweep over MachineParams axes with a "
+             "persistent result store")
     explore.add_argument("--spec", default="paper-sensitivity",
                          help="named sweep spec (paper-sensitivity, "
                               "smoke)")
@@ -150,187 +178,143 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--points", action="store_true",
                          help="list the enumerated points and their "
                               "store status without simulating")
-    explore.add_argument("--smoke", action="store_true",
-                         help="run the small fixed smoke sweep")
     explore.add_argument("--instructions", type=int, default=None,
                          help="measured instructions per workload "
                               "(default: the spec's)")
-    explore.add_argument("--seed", type=int, default=None)
-    explore.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for the point fan-out "
-                              "(results bit-identical for any value)")
     explore.add_argument("--resume", action="store_true", default=True,
                          help="reuse stored results (default)")
     explore.add_argument("--no-resume", dest="resume",
                          action="store_false",
                          help="re-simulate every point (the store is "
                               "still updated)")
-    explore.add_argument("--store", default=".explore/store",
-                         metavar="DIR",
-                         help="result store directory "
-                              "(default: .explore/store)")
     explore.add_argument("--no-store", dest="use_store",
                          action="store_false", default=True,
                          help="do not read or write the result store")
-    explore.add_argument("--json", default=None, metavar="PATH",
-                         help="also write the machine-readable "
-                              "EXPLORE.json document to PATH")
 
     validate = sub.add_parser(
-        "validate", help="conservation-invariant checks and "
-                         "fastpath-vs-reference differential fuzzing")
-    validate.add_argument("--instructions", type=int, default=20_000,
+        "validate", parents=[parent],
+        help="conservation-invariant checks and fastpath-vs-reference "
+             "differential fuzzing")
+    validate.add_argument("--instructions", type=int, default=None,
                           help="measured instructions per workload for "
-                               "the invariant pass")
+                               "the invariant pass "
+                               "(default 20000; --smoke: 2000)")
     validate.add_argument("--fuzz", type=int, default=0, metavar="N",
                           help="differential fuzz cases to run "
                                "(0 = invariants only)")
     validate.add_argument("--fuzz-instructions", type=int, default=400,
                           help="measured instructions per fuzz case")
-    validate.add_argument("--seed", type=int, default=1984,
-                          help="workload seed; also seeds the fuzzer")
-    validate.add_argument("--smoke", action="store_true",
-                          help="small fixed budgets (CI smoke run)")
-    validate.add_argument("--json", default=None, metavar="PATH",
-                          help="also write the machine-readable "
-                               "VALIDATE.json document to PATH")
     return parser
 
 
+def _seed(args) -> int:
+    return 1984 if args.seed is None else args.seed
+
+
+def _jobs(args) -> int:
+    return 1 if args.jobs is None else args.jobs
+
+
+def _write_json(path: str, doc: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+
+
 def _cmd_characterize(args) -> int:
-    keys = list(_TABLES) if args.table == "all" else [args.table]
-    for key in keys:
-        # Validate before the (expensive) composite run.
-        if key not in _TABLES:
-            print(f"unknown table {key!r}; choose from "
-                  f"{', '.join(_TABLES)}", file=sys.stderr)
-            return 2
-    from repro.workloads.experiments import standard_composite
-    composite = standard_composite(instructions=args.instructions,
-                                   seed=args.seed, jobs=args.jobs,
-                                   paranoid=args.paranoid)
-    for key in keys:
-        compute, render = _TABLES[key]
-        print(render(compute(composite)))
+    result = api.characterize(instructions=args.instructions,
+                              seed=_seed(args), jobs=_jobs(args),
+                              paranoid=args.paranoid, table=args.table,
+                              smoke=args.smoke)
+    for entry in result.tables:
+        print(entry["text"])
         print()
+    if args.json:
+        _write_json(args.json, result.to_json())
     return 0
 
 
-def _find_profile(name: str):
-    for profile in STANDARD_PROFILES:
-        if profile.name == name or profile.name.endswith(name):
-            return profile
-    return None
-
-
 def _cmd_run_workload(args) -> int:
-    profile = _find_profile(args.profile)
-    if profile is None:
-        print(f"unknown profile {args.profile!r}; see 'repro profiles'",
-              file=sys.stderr)
-        return 2
-    from repro.workloads.experiments import run_workload
-    measurement = run_workload(profile, args.instructions, seed=args.seed,
-                               paranoid=args.paranoid)
-    result = table8(measurement)
-    print(f"workload:  {profile.name}")
-    print(f"           {profile.description}")
-    print(f"instructions measured: {result.instructions}")
+    result = api.run_workload(args.profile,
+                              instructions=args.instructions,
+                              seed=_seed(args), paranoid=args.paranoid,
+                              smoke=args.smoke)
+    print(f"workload:  {result.profile}")
+    print(f"           {result.description}")
+    print(f"instructions measured: {result.instructions_measured}")
     print(f"cycles per instruction: "
           f"{result.cycles_per_instruction:.2f}")
     print()
-    print(render_table1(table1(measurement)))
+    print(result.table1_text)
+    if args.json:
+        _write_json(args.json, result.to_json())
     return 0
 
 
 def _cmd_hotspots(args) -> int:
-    from repro.analysis.reduction import reference_map
-    from repro.workloads.experiments import run_workload
-    measurement = run_workload(STANDARD_PROFILES[0], args.instructions,
-                               seed=args.seed)
-    histogram = measurement.histogram
-    store, _ = reference_map()
-    rows = []
-    for ann in store.annotations():
-        cycles = histogram.nonstalled[ann.address] \
-            + histogram.stalled[ann.address]
-        if cycles:
-            rows.append((cycles, ann))
-    rows.sort(key=lambda r: -r[0])
-    total = histogram.total_cycles()
+    result = api.hotspots(instructions=args.instructions, top=args.top,
+                          seed=_seed(args), smoke=args.smoke)
     print(f"{'uPC':>5s} {'cycles':>10s} {'%':>6s}  {'row':12s} "
           f"routine.slot")
-    for cycles, ann in rows[:args.top]:
-        print(f"{ann.address:5d} {cycles:10d} {100 * cycles / total:6.2f}"
-              f"  {ann.row.value:12s} {ann.routine}.{ann.slot}")
+    for row in result.rows:
+        print(f"{row['address']:5d} {row['cycles']:10d} "
+              f"{row['percent']:6.2f}  {row['row']:12s} "
+              f"{row['routine']}.{row['slot']}")
+    if args.json:
+        _write_json(args.json, result.to_json())
     return 0
 
 
 def _cmd_disasm(args) -> int:
-    from repro.arch.disasm import disassemble_image
-    from repro.asm import assemble_text
     with open(args.source) as handle:
         source = handle.read()
-    image = assemble_text(source, base=args.base)
-    for line in disassemble_image(image):
+    result = api.disasm(source, base=args.base)
+    for line in result.lines:
         print(line)
+    if args.json:
+        _write_json(args.json, result.to_json())
     return 0
 
 
 def _cmd_figure1(args) -> int:
-    print(render_figure1(VAX780()))
+    result = api.figure1()
+    print(result.text)
+    if args.json:
+        _write_json(args.json, result.to_json())
     return 0
 
 
 def _cmd_profiles(args) -> int:
-    for profile in STANDARD_PROFILES:
-        print(f"{profile.name:24s} {profile.description}")
+    result = api.profiles()
+    for profile in result.profiles:
+        print(f"{profile['name']:24s} {profile['description']}")
+    if args.json:
+        _write_json(args.json, result.to_json())
     return 0
 
 
 def _cmd_ubench(args) -> int:
-    import json
-
     from repro.report.ubench import render_ubench, ubench_json
-    from repro.ubench import runner, suite
 
-    kernels = suite.select(group=args.group, mode=args.mode,
-                           variant=args.variant, smoke=args.smoke)
-    if not kernels:
-        print(f"no kernels match group={args.group!r} mode={args.mode!r} "
-              f"variant={args.variant!r}; groups: "
-              f"{', '.join(suite.groups())}; modes: "
-              f"{', '.join(suite.modes())}", file=sys.stderr)
-        return 2
-    results = runner.run_suite(kernels, jobs=args.jobs)
-
-    check = None
-    if args.check:
-        from repro.ubench.consistency import check_composite
-        from repro.workloads.experiments import standard_composite
-        composite = standard_composite(
-            instructions=args.check_instructions, seed=args.seed,
-            jobs=args.jobs)
-        check = check_composite(composite)
-
-    print(render_ubench(results, check))
+    result = api.ubench(group=args.group, mode=args.mode,
+                        variant=args.variant, smoke=args.smoke,
+                        jobs=_jobs(args), check=args.check,
+                        check_instructions=args.check_instructions,
+                        seed=_seed(args))
+    print(render_ubench(list(result.results), result.check))
     if args.json:
-        doc = ubench_json(results, check, meta={
-            "suite": "smoke" if args.smoke else "standard",
-            "kernel_count": len(kernels),
-            "seed": args.seed,
-        })
-        with open(args.json, "w") as handle:
-            json.dump(doc, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"\nwrote {args.json}")
-
-    failed = [r["kernel"] for r in results
-              if not (r["exact"] and r["reconciled"])]
-    if failed:
-        print(f"inexact kernels: {', '.join(failed)}", file=sys.stderr)
+        _write_json(args.json, ubench_json(
+            list(result.results), result.check, meta={
+                "suite": result.suite,
+                "kernel_count": result.kernel_count,
+                "seed": result.seed,
+            }))
+    if result.failed:
+        print(f"inexact kernels: {', '.join(result.failed)}",
+              file=sys.stderr)
         return 1
-    if check is not None and not check["ok"]:
+    if result.check_ok is False:
         print("consistency check failed (see table above)",
               file=sys.stderr)
         return 1
@@ -338,82 +322,41 @@ def _cmd_ubench(args) -> int:
 
 
 def _cmd_explore(args) -> int:
-    import json
-    from dataclasses import replace
-
-    from repro.explore import (ResultStore, SPECS, SpaceError, SweepSpec,
-                               code_version, parse_axis, result_key,
-                               run_sweep, sensitivity)
     from repro.report.explore import explore_json, render_sensitivity
 
-    # Validate every axis before any simulation, mirroring
-    # ``characterize --table``'s pre-validation.
-    axes = []
-    for text in args.axis:
-        try:
-            axes.append(parse_axis(text))
-        except SpaceError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-
-    name = "smoke" if args.smoke else args.spec
-    base = SPECS.get(name)
-    if base is None:
-        print(f"unknown spec {name!r}; choose from "
-              f"{', '.join(sorted(SPECS))}", file=sys.stderr)
-        return 2
-    overrides = {}
-    if axes:
-        overrides["axes"] = tuple(axes)
-        overrides["name"] = "custom"
-    if args.mode is not None:
-        overrides["mode"] = args.mode
-    if args.instructions is not None:
-        overrides["instructions"] = args.instructions
-    if args.seed is not None:
-        overrides["seed"] = args.seed
-    try:
-        spec = replace(base, **overrides) if overrides else base
-    except SpaceError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-
-    store = ResultStore(args.store) if args.use_store else None
-
+    store = (args.store or ".explore/store") if args.use_store else None
     if args.points:
-        code = code_version()
-        print(f"spec '{spec.name}' ({spec.mode}): "
-              f"{len(spec.points())} points x "
-              f"{len(spec.workloads)} workloads")
-        for point in spec.points():
-            params = point.params()
-            cached = sum(
-                1 for workload in spec.workloads
-                if store is not None and result_key(
-                    params, workload, point.instructions, point.seed,
-                    code=code) in store)
-            print(f"  {point.label():40s} {cached}/"
-                  f"{len(spec.workloads)} cached")
+        listing = api.explore_points(
+            spec=args.spec, axes=args.axis, mode=args.mode,
+            instructions=args.instructions, seed=args.seed,
+            smoke=args.smoke, store=store)
+        print(f"spec '{listing.spec}' ({listing.mode}): "
+              f"{len(listing.points)} points x "
+              f"{listing.workloads} workloads")
+        for point in listing.points:
+            print(f"  {point['label']:40s} {point['cached']}/"
+                  f"{listing.workloads} cached")
+        if args.json:
+            _write_json(args.json, listing.to_json())
         return 0
 
-    result = run_sweep(spec, store=store, jobs=args.jobs,
-                       resume=args.resume,
-                       progress=lambda line: print(line,
-                                                   file=sys.stderr))
-    report = sensitivity(result)
-    print(render_sensitivity(report, result.stats))
+    result = api.explore(
+        spec=args.spec, axes=args.axis, mode=args.mode,
+        instructions=args.instructions, seed=args.seed,
+        smoke=args.smoke, store=store, resume=args.resume,
+        jobs=_jobs(args),
+        progress=lambda line: print(line, file=sys.stderr))
+    print(render_sensitivity(result.report, result.stats))
     if args.json:
-        doc = explore_json(result, report, meta={
-            "spec": spec.name,
-            "store": args.store if args.use_store else None,
+        from repro.explore import code_version
+
+        _write_json(args.json, explore_json(result.sweep, result.report,
+                                            meta={
+            "spec": result.spec,
+            "store": store,
             "code_version": code_version(),
-        })
-        with open(args.json, "w") as handle:
-            json.dump(doc, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"\nwrote {args.json}")
-    claim = report.get("decode_claim")
-    if claim is not None and not claim["ok"]:
+        }))
+    if result.decode_claim_ok is False:
         print("overlapped-decode claim check failed (see above)",
               file=sys.stderr)
         return 1
@@ -421,44 +364,26 @@ def _cmd_explore(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    import json
-
     from repro.report.validate import render_validate, validate_json
-    from repro.validate import check_measurement, fuzz
-    from repro.workloads.experiments import run_workload
 
-    instructions = 2_000 if args.smoke else args.instructions
-    fuzz_instructions = min(args.fuzz_instructions,
-                            200 if args.smoke else args.fuzz_instructions)
-
-    reports = []
-    for profile in STANDARD_PROFILES:
-        measurement = run_workload(profile, instructions, seed=args.seed)
-        reports.append(check_measurement(measurement))
-
-    fuzz_results = []
-    if args.fuzz:
-        fuzz_results = fuzz(args.fuzz, seed=args.seed,
-                            instructions=fuzz_instructions,
-                            progress=lambda line: print(line,
-                                                        file=sys.stderr))
-
-    print(render_validate(reports, fuzz_results))
-    ok = all(r.ok for r in reports) \
-        and all(r["ok"] for r in fuzz_results)
+    result = api.validate(instructions=args.instructions,
+                          fuzz_cases=args.fuzz,
+                          fuzz_instructions=args.fuzz_instructions,
+                          seed=_seed(args), smoke=args.smoke,
+                          progress=lambda line: print(line,
+                                                      file=sys.stderr))
+    print(render_validate(list(result.reports),
+                          list(result.fuzz_results)))
     if args.json:
-        doc = validate_json(reports, fuzz_results, meta={
-            "instructions": instructions,
-            "fuzz_cases": args.fuzz,
-            "fuzz_instructions": fuzz_instructions,
-            "seed": args.seed,
-            "smoke": args.smoke,
-        })
-        with open(args.json, "w") as handle:
-            json.dump(doc, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"\nwrote {args.json}")
-    return 0 if ok else 1
+        _write_json(args.json, validate_json(
+            list(result.reports), list(result.fuzz_results), meta={
+                "instructions": result.instructions,
+                "fuzz_cases": result.fuzz_cases,
+                "fuzz_instructions": result.fuzz_instructions,
+                "seed": result.seed,
+                "smoke": result.smoke,
+            }))
+    return 0 if result.ok else 1
 
 
 _COMMANDS = {
@@ -477,7 +402,19 @@ _COMMANDS = {
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    try:
+        if args.obs is not None or args.heartbeat is not None:
+            with obs.observe(args.obs, heartbeat=args.heartbeat,
+                             label=args.command) as observation:
+                code = handler(args)
+            for name, path in sorted(observation.outputs.items()):
+                print(f"obs: wrote {name}: {path}", file=sys.stderr)
+            return code
+        return handler(args)
+    except api.ApiError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,7 +10,7 @@ sweep therefore loses at most one shard, and a re-run simulates only
 what the store has never seen.
 
 Each simulation is *exactly* the code path of
-:func:`repro.workloads.experiments.run_workload` — fresh machine,
+:func:`repro.workloads.engine.run_workload` — fresh machine,
 executive boot, measured run — so the default-params point is
 bit-identical to the standard composite (a contract the tests pin).
 """
@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.analysis.measurement import Measurement
 from repro.explore.space import SweepSpec
 from repro.explore.store import ResultStore, code_version, result_key
+from repro.obs import metrics
 from repro.workloads.parallel import run_tasks
 from repro.workloads.profiles import STANDARD_PROFILES
 
@@ -96,6 +98,7 @@ def _simulate_task(task) -> dict:
     executive.run(instructions)
     measurement = Measurement.capture(workload, machine)
     SIMULATIONS += 1
+    metrics.counter("explore.simulations").inc()
     return _record(measurement, workload, instructions, seed, overrides)
 
 
@@ -184,6 +187,10 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
         elif not any(key == k for _, _, k in todo):
             todo.append((index, workload, key))
     cached = len(set(k for _, _, k in tasks)) - len(todo)
+    metrics.counter("explore.resumed_points").inc(cached)
+    obs.emit("sweep_started", spec=spec.name, points=len(points),
+             workloads=len(spec.workloads), simulations=len(todo),
+             cached=cached)
 
     # Shard the outstanding work so each shard's results are persisted
     # before the next starts: an interrupted sweep loses at most one
@@ -207,6 +214,9 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
             records[key] = record
             if store is not None:
                 store.put(key, record)
+            obs.emit("sweep_point_completed", spec=spec.name,
+                     label=points[index].label(), workload=workload,
+                     cycles=record["cycles"])
         simulated += len(shard)
         if effective_jobs > 1 and len(payloads) > 1:
             # The pool's workers simulated on our behalf (the in-process
@@ -239,4 +249,5 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
              "tasks": len(tasks), "simulated": len(todo),
              "cached": cached,
              "seconds": round(time.monotonic() - started, 3)}
+    obs.emit("sweep_finished", spec=spec.name, **stats)
     return SweepResult(spec, out_points, stats)

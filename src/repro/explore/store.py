@@ -27,6 +27,7 @@ import warnings
 from dataclasses import asdict
 from pathlib import Path
 
+from repro.obs import metrics
 from repro.params import MachineParams
 
 #: Bump when the record layout changes; part of every key.
@@ -38,9 +39,10 @@ def code_version() -> str:
     """Digest of the simulator source that determines stored results.
 
     Hashes every module of the ``repro`` package except the explore
-    subsystem itself, the validation checks, the report renderers and
-    the CLI — those observe or present results without shaping them,
-    so iterating on them keeps a warm store warm.
+    subsystem itself, the validation checks, the observability layer,
+    the report renderers, the API facade and the CLI — those observe or
+    present results without shaping them, so iterating on them keeps a
+    warm store warm.
     """
     import repro
 
@@ -48,8 +50,8 @@ def code_version() -> str:
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
-        if (rel.startswith(("explore/", "report/", "validate/"))
-                or rel == "cli.py"):
+        if (rel.startswith(("explore/", "report/", "validate/", "obs/"))
+                or rel in ("cli.py", "api.py")):
             continue
         digest.update(rel.encode())
         digest.update(b"\0")
@@ -106,13 +108,16 @@ class ResultStore:
                 record = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            metrics.counter("explore.store.misses").inc()
             return None
         except (OSError, json.JSONDecodeError) as exc:
             warnings.warn(f"discarding unreadable store entry {path}: "
                           f"{exc}", stacklevel=2)
             self.misses += 1
+            metrics.counter("explore.store.misses").inc()
             return None
         self.hits += 1
+        metrics.counter("explore.store.hits").inc()
         return record
 
     def __contains__(self, key: str) -> bool:
@@ -130,6 +135,7 @@ class ResultStore:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
+            metrics.counter("explore.store.writes").inc()
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -12,6 +12,7 @@ saturation rather than silently wrapping.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis.measurement import (Measurement, MemoryStats,
                                         TracerStats)
 from repro.monitor.histogram import Histogram
@@ -44,6 +45,8 @@ class MeasurementSession:
         self.machine.ebox.ib.reset_stats()
         self._start_cycles = self.machine.cycles
         self._running = True
+        obs.emit("measurement_started", name=self.name,
+                 cycles=self._start_cycles)
 
     def stop(self) -> Measurement:
         """Close the gate, read the board out, and capture everything."""
@@ -62,10 +65,13 @@ class MeasurementSession:
                 raise CounterSaturation(
                     f"a histogram counter saturated at {count}")
         histogram = Histogram(nonstalled, stalled)
-        return Measurement(self.name, histogram,
-                           TracerStats(self.machine.tracer),
-                           MemoryStats(self.machine),
-                           self.machine.cycles - self._start_cycles)
+        measurement = Measurement(self.name, histogram,
+                                  TracerStats(self.machine.tracer),
+                                  MemoryStats(self.machine),
+                                  self.machine.cycles - self._start_cycles)
+        obs.emit("measurement_finished", name=self.name,
+                 cycles=measurement.cycles)
+        return measurement
 
     def __enter__(self) -> "MeasurementSession":
         self.start()

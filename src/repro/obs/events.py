@@ -1,0 +1,235 @@
+"""Structured run-lifecycle event tracing (JSONL) at bounded overhead.
+
+An :class:`EventTracer` appends one JSON object per line to
+``events.jsonl`` as the run progresses — run/workload boundaries, pool
+tasks, sweep points, fuzz divergences, paranoid-law violations — and
+keeps a bounded in-memory copy for the Chrome-trace exporter.  Events
+carry a monotonic ``ts`` (seconds since the observation opened), so the
+stream is ordered by construction and a crashed run still leaves a
+readable prefix on disk.
+
+Per-*instruction* visibility comes from :class:`ProgressSampler`, which
+chains onto the machine's instruction-boundary hook exactly like
+``--paranoid``'s :class:`~repro.validate.paranoid.ParanoidMonitor` and
+reuses its adaptive-interval trick: the sampler times its own emissions
+against the simulation time between them and widens the interval until
+the overhead fraction drops under budget.  The sampler only *reads*
+counters, so an observed run stays bit-identical to an unobserved one.
+
+:class:`Heartbeat` is the human half: a daemon thread that prints one
+plain-text progress line per interval, built from the metrics registry,
+so a multi-minute sweep is never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+#: In-memory events retained for the exporters; the JSONL file is
+#: unbounded, the buffer is not.  Past the cap, events still stream to
+#: disk and ``dropped`` counts what the in-memory trace lost.
+BUFFER_LIMIT = 200_000
+
+#: Interval bounds for the adaptive progress sampler (instructions).
+_MIN_INTERVAL = 256
+_MAX_INTERVAL = 1 << 20
+
+
+class EventTracer:
+    """Ordered structured events, streamed to JSONL and buffered."""
+
+    def __init__(self, path=None, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        self._handle = open(path, "w") if path is not None else None
+        self.events = []
+        self.dropped = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the tracer opened."""
+        return self._clock() - self._t0
+
+    def emit(self, event: str, **fields) -> dict:
+        """Record one event; returns the record (with its ``ts``)."""
+        record = {"ts": round(self._clock() - self._t0, 6),
+                  "event": event}
+        record.update(fields)
+        with self._lock:
+            if len(self.events) < BUFFER_LIMIT:
+                self.events.append(record)
+            else:
+                self.dropped += 1
+            if self._handle is not None:
+                json.dump(record, self._handle, sort_keys=True)
+                self._handle.write("\n")
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                if self.dropped:
+                    json.dump({"ts": round(self._clock() - self._t0, 6),
+                               "event": "buffer_truncated",
+                               "dropped": self.dropped},
+                              self._handle, sort_keys=True)
+                    self._handle.write("\n")
+                self._handle.close()
+                self._handle = None
+
+
+class ProgressSampler:
+    """Instruction-boundary progress events with bounded overhead.
+
+    Chains onto ``machine.boundary_hook`` (preserving any hook already
+    installed — the executive's scheduler and ``--paranoid``'s monitor
+    both live there too) and, every *interval* instructions, emits a
+    ``progress`` event and refreshes the per-workload gauges the
+    heartbeat reads.  The interval widens/narrows exactly like the
+    paranoid monitor's so emission time stays under ``overhead`` of the
+    simulation time between samples.
+    """
+
+    def __init__(self, machine, observation, label: str,
+                 interval: int = 1024, overhead: float = 0.01) -> None:
+        self.machine = machine
+        self.observation = observation
+        self.label = label
+        self.interval = max(_MIN_INTERVAL, interval)
+        self.overhead = overhead
+        self.samples = 0
+        self._countdown = self.interval
+        self._prev_hook = None
+        self._installed = False
+        self._last_sample_ended = None
+
+    def install(self) -> "ProgressSampler":
+        if self._installed:
+            return self
+        self._prev_hook = self.machine.boundary_hook
+        self.machine.boundary_hook = self._on_boundary
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self.machine.boundary_hook = self._prev_hook
+        self._prev_hook = None
+        self._installed = False
+
+    def __enter__(self) -> "ProgressSampler":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.uninstall()
+        return False
+
+    def sample_now(self) -> None:
+        """Emit one progress event from the machine's live counters."""
+        machine = self.machine
+        self.samples += 1
+        instructions = machine.tracer.instructions
+        cycles = machine.cycles
+        self.observation.emit("progress", workload=self.label,
+                              instructions=instructions, cycles=cycles)
+        from repro.obs import metrics
+        metrics.gauge(f"run.{self.label}.instructions").set(instructions)
+        metrics.gauge(f"run.{self.label}.cycles").set(cycles)
+
+    def _on_boundary(self, machine) -> None:
+        if self._prev_hook is not None:
+            self._prev_hook(machine)
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        started = time.perf_counter()
+        self.sample_now()
+        ended = time.perf_counter()
+        if self._last_sample_ended is not None:
+            spent = ended - started
+            between = started - self._last_sample_ended
+            budget = self.overhead * between
+            if spent > budget and self.interval < _MAX_INTERVAL:
+                self.interval = min(_MAX_INTERVAL, self.interval * 2)
+            elif spent < budget / 4 and self.interval > _MIN_INTERVAL:
+                self.interval = max(_MIN_INTERVAL, self.interval // 2)
+        self._last_sample_ended = ended
+        self._countdown = self.interval
+
+
+def _stderr_write(text: str) -> None:
+    # Resolved at call time so pytest's capture (and redirections)
+    # see the heartbeat.
+    sys.stderr.write(text)
+    sys.stderr.flush()
+
+
+class Heartbeat:
+    """A liveness line every ``interval`` seconds, from a thread.
+
+    The beat logic itself is pure (:meth:`maybe_beat` takes a clock
+    reading), so the interval contract is testable without sleeping;
+    :meth:`start` wraps it in a daemon thread driven by
+    ``Event.wait(interval)``.
+    """
+
+    def __init__(self, interval: float, observation,
+                 write=_stderr_write, clock=time.monotonic) -> None:
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be positive, "
+                             f"got {interval!r}")
+        self.interval = interval
+        self.observation = observation
+        self.write = write
+        self.clock = clock
+        self.beats = 0
+        self._last = clock()
+        self._stop = threading.Event()
+        self._thread = None
+
+    def beat(self) -> str:
+        """Emit one heartbeat line unconditionally."""
+        from repro.obs.export import heartbeat_line
+        line = heartbeat_line(self.observation.registry.snapshot(),
+                              self.observation.elapsed,
+                              label=self.observation.label)
+        self.beats += 1
+        self.write(line + "\n")
+        self.observation.emit("heartbeat", line=line)
+        return line
+
+    def maybe_beat(self, now: float = None) -> bool:
+        """Beat only if a full interval has elapsed since the last."""
+        if now is None:
+            now = self.clock()
+        if now - self._last < self.interval:
+            return False
+        self._last = now
+        self.beat()
+        return True
+
+    def start(self) -> "Heartbeat":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def run():
+            while not self._stop.wait(self.interval):
+                self.maybe_beat()
+
+        self._thread = threading.Thread(target=run, name="obs-heartbeat",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None

@@ -1,0 +1,245 @@
+"""Process-wide metrics registry: counters, gauges, timers.
+
+The paper's histogram board counts *machine* cycles; this registry
+counts the *reproduction's own* activity — workloads simulated, store
+hits, kernels measured, fuzz cases run — so a long campaign is
+observable while it runs rather than only after it finishes.
+
+Design constraints, in order:
+
+* **Passive.**  Nothing here may perturb a simulation; metrics are
+  updated at workload/kernel/point granularity, never per cycle.
+* **Mergeable.**  The composite experiments fan out over worker
+  processes (:mod:`repro.workloads.parallel`); each worker captures its
+  updates as a snapshot *delta* under :func:`scoped_registry` and the
+  parent folds the deltas back in with :meth:`MetricsRegistry.merge`.
+  Every merge rule is associative and commutative (counters and timer
+  totals add, gauge aggregation is ``max`` or ``sum``, timer min/max
+  take min/max), so the merged totals are deterministic regardless of
+  worker scheduling — ``tests/obs/test_metrics.py`` holds the algebra
+  to that.
+* **Snapshot-able.**  :meth:`MetricsRegistry.snapshot` returns a plain
+  JSON-able dict at any time; the heartbeat and the ``metrics.json``
+  exporter both read it without stopping anything.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+
+
+class MetricsError(Exception):
+    """A metric was re-registered under a conflicting type."""
+
+
+class Counter:
+    """A monotonically increasing count.  Merge rule: add."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A level (latest magnitude).  Merge rule: ``max`` or ``sum``.
+
+    ``last`` would be the conventional gauge merge, but across pool
+    workers it is scheduling-dependent; restricting the aggregation to
+    associative, commutative rules keeps merged snapshots deterministic.
+    """
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "agg")
+
+    def __init__(self, name: str, agg: str = "max") -> None:
+        if agg not in ("max", "sum"):
+            raise MetricsError(
+                f"gauge {name!r}: aggregation must be 'max' or 'sum', "
+                f"got {agg!r}")
+        self.name = name
+        self.agg = agg
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value, "agg": self.agg}
+
+
+class Timer:
+    """Accumulated wall-clock observations (count/total/min/max).
+
+    Merge rule: counts and totals add; min/max take min/max.
+    """
+
+    kind = "timer"
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @contextmanager
+    def time(self):
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(time.perf_counter() - started)
+
+    def to_snapshot(self) -> dict:
+        return {"kind": self.kind, "count": self.count,
+                "total": round(self.total, 6),
+                "min": round(self.min, 6) if self.count else None,
+                "max": round(self.max, 6)}
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Timer)}
+
+
+class MetricsRegistry:
+    """A named bag of metrics with deterministic snapshot/merge."""
+
+    def __init__(self) -> None:
+        self._metrics = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name, **kwargs)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise MetricsError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str, agg: str = "max") -> Gauge:
+        gauge = self._get(name, Gauge, agg=agg)
+        if gauge.agg != agg:
+            raise MetricsError(
+                f"gauge {name!r} already registered with agg="
+                f"{gauge.agg!r}, not {agg!r}")
+        return gauge
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def snapshot(self) -> dict:
+        """Plain JSON-able view: name -> {kind, ...fields}, name-sorted."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.to_snapshot() for name, metric in items}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot (e.g. a worker's delta) into this registry."""
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, agg=entry.get("agg", "max"))
+                if gauge.agg == "sum":
+                    gauge.value += entry["value"]
+                else:
+                    gauge.value = max(gauge.value, entry["value"])
+            elif kind == "timer":
+                timer = self.timer(name)
+                timer.count += entry["count"]
+                timer.total += entry["total"]
+                if entry["min"] is not None and entry["min"] < timer.min:
+                    timer.min = entry["min"]
+                if entry["max"] > timer.max:
+                    timer.max = entry["max"]
+            else:
+                raise MetricsError(
+                    f"cannot merge metric {name!r} of unknown kind "
+                    f"{kind!r}")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Pure merge of snapshot dicts (the algebra the tests exercise)."""
+    out = MetricsRegistry()
+    for snapshot in snapshots:
+        out.merge(snapshot)
+    return out.snapshot()
+
+
+#: The process-wide default registry.  Subsystems reach it through
+#: :func:`registry` so that :func:`scoped_registry` can swap in a fresh
+#: one inside pool workers (capturing their updates as a delta).
+_DEFAULT = MetricsRegistry()
+_CURRENT = _DEFAULT
+
+
+def registry() -> MetricsRegistry:
+    """The currently active registry (process-wide unless scoped)."""
+    return _CURRENT
+
+
+def counter(name: str) -> Counter:
+    return _CURRENT.counter(name)
+
+
+def gauge(name: str, agg: str = "max") -> Gauge:
+    return _CURRENT.gauge(name, agg=agg)
+
+
+def timer(name: str) -> Timer:
+    return _CURRENT.timer(name)
+
+
+@contextmanager
+def scoped_registry(reg: MetricsRegistry = None):
+    """Swap a fresh registry in for the duration of the block.
+
+    Pool workers run each task under a scope so the task's updates come
+    back to the parent as ``reg.snapshot()`` — a delta that merges
+    deterministically, instead of a shared mutable registry racing
+    across processes (which cannot exist) or double counting on the
+    in-process fallback path (which can).
+    """
+    global _CURRENT
+    if reg is None:
+        reg = MetricsRegistry()
+    previous = _CURRENT
+    _CURRENT = reg
+    try:
+        yield reg
+    finally:
+        _CURRENT = previous

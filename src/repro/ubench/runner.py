@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import functools
 
+from repro import obs
 from repro.analysis.reduction import reference_map
 from repro.cpu.machine import VAX780
 from repro.monitor.session import MeasurementSession
+from repro.obs import metrics
 from repro.ubench import model
 from repro.ubench.kernels import MEASURED_COPIES, WARMUP_COPIES, emit
 from repro.ucode.rows import CycleKind
@@ -144,6 +146,13 @@ def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
     exact = not any(delta.values())
     overhead = {c: n for c, n in causes.items() if n}
     accounted = sum(busy.values()) + sum(causes.values())
+    reconciled = accounted == meas.cycles
+    metrics.counter("ubench.kernels").inc()
+    metrics.counter("ubench.cycles").inc(meas.cycles)
+    if not exact:
+        metrics.counter("ubench.inexact").inc()
+    obs.emit("kernel_finished", kernel=kernel.name, group=kernel.group,
+             cycles=meas.cycles, exact=exact, reconciled=reconciled)
     return {
         "kernel": kernel.name,
         "group": kernel.group,
@@ -163,7 +172,7 @@ def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
         "exact": exact,
         "overhead": overhead,
         "overhead_per_copy": {c: n / copies for c, n in overhead.items()},
-        "reconciled": accounted == meas.cycles,
+        "reconciled": reconciled,
     }
 
 

@@ -28,7 +28,9 @@ from collections import deque
 from dataclasses import dataclass, replace
 import random
 
+from repro import obs
 from repro.arch.datatypes import MASKS
+from repro.obs import metrics
 from repro.cpu import machine as machine_mod
 from repro.cpu.ebox import EBox
 from repro.osim.executive import Executive
@@ -306,11 +308,18 @@ def fuzz(count: int, seed: int, instructions: int = 400,
     for index in range(count):
         case = random_case(rng, index, instructions)
         divergence = run_case(case)
+        metrics.counter("validate.fuzz_cases").inc()
+        if divergence is not None:
+            metrics.counter("validate.divergences").inc()
+            obs.emit("fuzz_divergence", label=case.label(),
+                     field=divergence.field, step=divergence.step)
         reproducer = shrink(divergence) if divergence is not None \
             else None
         results.append({"case": case, "label": case.label(),
                         "ok": divergence is None,
                         "reproducer": reproducer})
+        obs.emit("fuzz_case", index=index, label=case.label(),
+                 ok=divergence is None)
         if progress is not None:
             verdict = "ok" if divergence is None else "DIVERGED"
             progress(f"[{index + 1}/{count}] {case.label()}: {verdict}")

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
+from repro.obs import metrics
 from repro.ucode.costs import TBM_WALK_CYCLES
 from repro.validate.invariants import InvariantViolation
 
@@ -101,6 +103,12 @@ class ParanoidMonitor:
                 board.nonstalled[u.tbm_compute],
                 board.nonstalled[u.tbm_pte_read])
 
+    def _violation(self, law: str, message: str) -> InvariantViolation:
+        metrics.counter("validate.paranoid_violations").inc()
+        obs.emit("paranoid_violation", law=law, message=message,
+                 samples=self.samples)
+        return InvariantViolation(message)
+
     def check_now(self) -> None:
         """Evaluate the delta laws immediately (raises on violation)."""
         now = self._snapshot()
@@ -112,23 +120,27 @@ class ParanoidMonitor:
             self.rebases += 1
             return
         self.samples += 1
+        metrics.counter("validate.paranoid_samples").inc()
         d_cycles = now[0] - base[0]
         d_gated = now[1] - base[1]
         d_overlap = now[2] - base[2]
         d_hist = now[3] - base[3]
         if d_hist != d_cycles - d_gated + d_overlap:
-            raise InvariantViolation(
+            raise self._violation(
+                "cycle-conservation",
                 f"cycle conservation broke between cycles {base[0]} and "
                 f"{now[0]}: histogram grew {d_hist}, expected "
                 f"{d_cycles} - {d_gated} gated + {d_overlap} overlapped")
         d_entry = now[4] - base[4]
         if now[5] - base[5] != TBM_WALK_CYCLES * d_entry:
-            raise InvariantViolation(
+            raise self._violation(
+                "tb-walk-lockstep",
                 f"TB walk cycles out of step between cycles {base[0]} "
                 f"and {now[0]}: {now[5] - base[5]} walk cycles for "
                 f"{d_entry} service entries")
         if now[6] - base[6] != d_entry:
-            raise InvariantViolation(
+            raise self._violation(
+                "tb-pte-lockstep",
                 f"TB PTE reads out of step between cycles {base[0]} "
                 f"and {now[0]}: {now[6] - base[6]} reads for "
                 f"{d_entry} service entries")

@@ -1,0 +1,150 @@
+"""The paper's five measurement experiments and their composite.
+
+Each experiment builds a fresh machine, boots the executive with one of
+the five standard workload profiles, runs a measurement window, and
+captures a :class:`~repro.analysis.measurement.Measurement`.  The
+composite — the basis of every table in the paper — is the sum of the
+five (§2.2: "we will report results for the composite of all five, that
+is, the sum of the five µPC histograms").
+
+Results are memoised per (profile, instructions, seed) so that the table
+benchmarks, which all consume the same composite, pay for the simulation
+once per process.
+
+This is the internal engine behind the public facade
+(:mod:`repro.api`); the old home of these functions,
+:mod:`repro.workloads.experiments`, remains as deprecated wrappers.
+
+Observability: runs report through :mod:`repro.obs` — lifecycle events,
+an adaptive instruction-boundary progress sampler, and registry
+counters.  All of it is passive (the sampler only reads counters), so
+an observed run is bit-identical to an unobserved one and memoises
+under the same key.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.analysis.measurement import Measurement, composite
+from repro.cpu.machine import VAX780
+from repro.obs import metrics
+from repro.osim.executive import Executive
+from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
+
+#: Default measurement window per workload, in measured instructions.
+#: ~60k per workload keeps a five-workload composite comfortably under a
+#: minute while leaving per-instruction ratios stable to ~1 %.
+DEFAULT_INSTRUCTIONS = 60_000
+
+#: The fixed small budget behind every command's ``--smoke``.
+SMOKE_INSTRUCTIONS = 2_000
+
+_CACHE: dict = {}
+
+
+def run_workload(profile: MixProfile, instructions: int = None,
+                 seed: int = 1984, paranoid: bool = False) -> Measurement:
+    """Run one workload experiment and return its measurement.
+
+    With ``paranoid`` the run carries a sampling invariant monitor (see
+    :mod:`repro.validate.paranoid`); the monitor is passive, so the
+    measurement is bit-identical and memoised under the same key.
+    """
+    if instructions is None:
+        instructions = DEFAULT_INSTRUCTIONS
+    key = (profile.name, instructions, seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        metrics.counter("workloads.memo_hits").inc()
+        obs.emit("workload_finished", workload=profile.name,
+                 instructions=instructions, cycles=cached.cycles,
+                 cached=True)
+        obs.record_measurement(cached)
+        return cached
+    obs.emit("workload_started", workload=profile.name,
+             instructions=instructions, seed=seed)
+    machine = VAX780()
+    executive = Executive(machine, profile, seed=seed)
+    executive.boot()
+    observation = obs.active()
+    sampler = None
+    if observation is not None:
+        # Chain after whatever the executive installed; the paranoid
+        # monitor (installed below) chains after the sampler in turn.
+        sampler = obs.ProgressSampler(machine, observation, profile.name)
+        sampler.install()
+    try:
+        with metrics.timer("workloads.run_seconds").time():
+            if paranoid:
+                from repro.validate.paranoid import ParanoidMonitor
+
+                with ParanoidMonitor(machine):
+                    executive.run(instructions)
+            else:
+                executive.run(instructions)
+    finally:
+        if sampler is not None:
+            sampler.uninstall()
+    measurement = Measurement.capture(profile.name, machine)
+    _CACHE[key] = measurement
+    metrics.counter("workloads.runs").inc()
+    metrics.counter("workloads.cycles").inc(measurement.cycles)
+    metrics.counter("workloads.instructions").inc(
+        measurement.tracer.instructions)
+    obs.emit("workload_finished", workload=profile.name,
+             instructions=instructions, cycles=measurement.cycles,
+             cached=False)
+    obs.record_measurement(measurement)
+    return measurement
+
+
+def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
+                             seed: int = 1984, jobs: int = 1,
+                             paranoid: bool = False) -> dict:
+    """Run all five standard experiments; returns name -> Measurement.
+
+    With ``jobs > 1`` the five independent simulations are distributed
+    over worker processes (see :mod:`repro.workloads.parallel`); results
+    are bit-identical to the serial path, so they are memoised under the
+    same per-workload keys.  ``paranoid`` forces the serial path (the
+    monitor lives in this process).
+    """
+    if paranoid:
+        jobs = 1
+    if jobs > 1:
+        from repro.workloads.parallel import run_standard_parallel
+
+        todo = [profile for profile in STANDARD_PROFILES
+                if (profile.name, instructions, seed) not in _CACHE]
+        if len(todo) > 1:
+            fresh = run_standard_parallel(instructions, seed, jobs)
+            for profile in todo:
+                _CACHE[(profile.name, instructions, seed)] = \
+                    fresh[profile.name]
+    return {profile.name: run_workload(profile, instructions, seed,
+                                       paranoid=paranoid)
+            for profile in STANDARD_PROFILES}
+
+
+def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
+                       seed: int = 1984, jobs: int = 1,
+                       paranoid: bool = False) -> Measurement:
+    """The five-workload composite measurement (memoised)."""
+    key = ("composite", instructions, seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        obs.record_measurement(cached)
+        return cached
+    runs = run_standard_experiments(instructions, seed, jobs=jobs,
+                                    paranoid=paranoid)
+    total = composite(runs.values())
+    _CACHE[key] = total
+    obs.emit("composite_finished", workloads=len(runs),
+             instructions=instructions, cycles=total.cycles)
+    obs.record_measurement(total)
+    return total
+
+
+def clear_cache() -> None:
+    """Drop memoised measurements (tests that vary parameters use this)."""
+    _CACHE.clear()

@@ -1,102 +1,72 @@
-"""The paper's five measurement experiments and their composite.
+"""Deprecated home of the workload experiment entry points.
 
-Each experiment builds a fresh machine, boots the executive with one of
-the five standard workload profiles, runs a measurement window, and
-captures a :class:`~repro.analysis.measurement.Measurement`.  The
-composite — the basis of every table in the paper — is the sum of the
-five (§2.2: "we will report results for the composite of all five, that
-is, the sum of the five µPC histograms").
+The implementation moved to :mod:`repro.workloads.engine` (internal)
+behind the :mod:`repro.api` facade (the documented public surface).
+These wrappers keep the original import paths and keyword signatures
+working — they delegate to the engine's memoised implementations, so
+results are *bit-identical* to the new paths — while emitting a
+:class:`DeprecationWarning` per call so callers know where to move:
 
-Results are memoised per (profile, instructions, seed) so that the table
-benchmarks, which all consume the same composite, pay for the simulation
-once per process.
+================================  =================================
+old                               new
+================================  =================================
+``experiments.run_workload``      ``repro.api.run_workload`` /
+                                  ``engine.run_workload``
+``experiments.standard_composite``  ``repro.api.characterize`` /
+                                  ``engine.standard_composite``
+``experiments.run_standard_experiments``  ``engine.run_standard_experiments``
+``experiments.clear_cache``       ``engine.clear_cache``
+================================  =================================
+
+``tests/test_deprecation.py`` holds both halves of that contract: the
+warnings fire, and the shims return the same measurements.
 """
 
 from __future__ import annotations
 
-from repro.analysis.measurement import Measurement, composite
-from repro.cpu.machine import VAX780
-from repro.osim.executive import Executive
-from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
+import warnings
 
-#: Default measurement window per workload, in measured instructions.
-#: ~60k per workload keeps a five-workload composite comfortably under a
-#: minute while leaving per-instruction ratios stable to ~1 %.
-DEFAULT_INSTRUCTIONS = 60_000
+from repro.workloads import engine
+from repro.workloads.engine import DEFAULT_INSTRUCTIONS  # noqa: F401
 
-_CACHE: dict = {}
+__all__ = ["DEFAULT_INSTRUCTIONS", "run_workload",
+           "run_standard_experiments", "standard_composite",
+           "clear_cache"]
 
 
-def run_workload(profile: MixProfile, instructions: int,
-                 seed: int = 1984, paranoid: bool = False) -> Measurement:
-    """Run one workload experiment and return its measurement.
-
-    With ``paranoid`` the run carries a sampling invariant monitor (see
-    :mod:`repro.validate.paranoid`); the monitor is passive, so the
-    measurement is bit-identical and memoised under the same key.
-    """
-    key = (profile.name, instructions, seed)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    machine = VAX780()
-    executive = Executive(machine, profile, seed=seed)
-    executive.boot()
-    if paranoid:
-        from repro.validate.paranoid import ParanoidMonitor
-
-        with ParanoidMonitor(machine):
-            executive.run(instructions)
-    else:
-        executive.run(instructions)
-    measurement = Measurement.capture(profile.name, machine)
-    _CACHE[key] = measurement
-    return measurement
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.workloads.experiments.{old} is deprecated; "
+        f"use {new} instead", DeprecationWarning, stacklevel=3)
 
 
-def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
-                             seed: int = 1984, jobs: int = 1,
-                             paranoid: bool = False) -> dict:
-    """Run all five standard experiments; returns name -> Measurement.
-
-    With ``jobs > 1`` the five independent simulations are distributed
-    over worker processes (see :mod:`repro.workloads.parallel`); results
-    are bit-identical to the serial path, so they are memoised under the
-    same per-workload keys.  ``paranoid`` forces the serial path (the
-    monitor lives in this process).
-    """
-    if paranoid:
-        jobs = 1
-    if jobs > 1:
-        from repro.workloads.parallel import run_standard_parallel
-
-        todo = [profile for profile in STANDARD_PROFILES
-                if (profile.name, instructions, seed) not in _CACHE]
-        if len(todo) > 1:
-            fresh = run_standard_parallel(instructions, seed, jobs)
-            for profile in todo:
-                _CACHE[(profile.name, instructions, seed)] = \
-                    fresh[profile.name]
-    return {profile.name: run_workload(profile, instructions, seed,
-                                       paranoid=paranoid)
-            for profile in STANDARD_PROFILES}
+def run_workload(profile, instructions, seed=1984, paranoid=False):
+    """Deprecated alias of :func:`repro.workloads.engine.run_workload`."""
+    _deprecated("run_workload", "repro.api.run_workload")
+    return engine.run_workload(profile, instructions, seed=seed,
+                               paranoid=paranoid)
 
 
-def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
-                       seed: int = 1984, jobs: int = 1,
-                       paranoid: bool = False) -> Measurement:
-    """The five-workload composite measurement (memoised)."""
-    key = ("composite", instructions, seed)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    runs = run_standard_experiments(instructions, seed, jobs=jobs,
-                                    paranoid=paranoid)
-    total = composite(runs.values())
-    _CACHE[key] = total
-    return total
+def run_standard_experiments(instructions=DEFAULT_INSTRUCTIONS,
+                             seed=1984, jobs=1, paranoid=False):
+    """Deprecated alias of
+    :func:`repro.workloads.engine.run_standard_experiments`."""
+    _deprecated("run_standard_experiments",
+                "repro.workloads.engine.run_standard_experiments")
+    return engine.run_standard_experiments(instructions, seed=seed,
+                                           jobs=jobs, paranoid=paranoid)
 
 
-def clear_cache() -> None:
-    """Drop memoised measurements (tests that vary parameters use this)."""
-    _CACHE.clear()
+def standard_composite(instructions=DEFAULT_INSTRUCTIONS, seed=1984,
+                       jobs=1, paranoid=False):
+    """Deprecated alias of
+    :func:`repro.workloads.engine.standard_composite`."""
+    _deprecated("standard_composite", "repro.api.characterize")
+    return engine.standard_composite(instructions, seed=seed, jobs=jobs,
+                                     paranoid=paranoid)
+
+
+def clear_cache():
+    """Deprecated alias of :func:`repro.workloads.engine.clear_cache`."""
+    _deprecated("clear_cache", "repro.workloads.engine.clear_cache")
+    engine.clear_cache()

@@ -14,6 +14,15 @@ composite histogram, are bit-identical to a serial run.  The
 integration test ``tests/integration/test_determinism.py`` enforces
 this.
 
+Observability: every pooled task runs under a scoped metrics registry
+(:func:`repro.obs.metrics.scoped_registry`) and comes back wrapped with
+its metrics *delta*, duration and worker pid.  The parent merges the
+deltas in task order — the merge rules are associative and commutative,
+so the merged totals match a serial run regardless of worker
+scheduling — and, when an observation is active, emits one
+``task_finished`` event per task (the Chrome-trace exporter turns these
+into per-worker lanes).
+
 On a single-core host the pool degenerates to sequential execution plus
 process overhead; callers default to the serial path unless ``jobs > 1``
 is requested explicitly.
@@ -22,9 +31,12 @@ is requested explicitly.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from repro import obs
+from repro.obs import metrics
 from repro.workloads.profiles import STANDARD_PROFILES
 
 #: Sentinel for a task slot that has not produced a result yet.
@@ -34,6 +46,29 @@ _UNSET = object()
 def default_jobs() -> int:
     """A sensible worker count: one per workload, capped by the host."""
     return max(1, min(len(STANDARD_PROFILES), os.cpu_count() or 1))
+
+
+class _Instrumented:
+    """Wraps a pool worker so each task reports its observability.
+
+    The wrapped call runs the worker under a fresh scoped registry and
+    returns an envelope: the real result plus the registry snapshot
+    (the task's metrics delta), wall seconds, and the worker's pid.
+    Pickles as long as ``worker`` does (top-level function).
+    """
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker) -> None:
+        self.worker = worker
+
+    def __call__(self, task) -> dict:
+        started = time.monotonic()
+        with metrics.scoped_registry() as registry:
+            result = self.worker(task)
+        return {"result": result, "metrics": registry.snapshot(),
+                "seconds": time.monotonic() - started,
+                "worker": os.getpid()}
 
 
 def run_tasks(worker, tasks, jobs: int = None, retries: int = 1) -> list:
@@ -58,6 +93,10 @@ def run_tasks(worker, tasks, jobs: int = None, retries: int = 1) -> list:
         jobs = default_jobs()
     if jobs <= 1 or len(tasks) <= 1:
         return [worker(task) for task in tasks]
+    wrapped = _Instrumented(worker)
+    label = getattr(worker, "__name__", worker.__class__.__name__)
+    obs.emit("pool_opened", jobs=min(jobs, len(tasks)),
+             tasks=len(tasks), label=label)
     results = [_UNSET] * len(tasks)
     pending = list(range(len(tasks)))
     for _attempt in range(1 + max(0, retries)):
@@ -66,7 +105,7 @@ def run_tasks(worker, tasks, jobs: int = None, retries: int = 1) -> list:
         try:
             with ProcessPoolExecutor(
                     max_workers=min(jobs, len(tasks))) as pool:
-                futures = [(pool.submit(worker, tasks[i]), i)
+                futures = [(pool.submit(wrapped, tasks[i]), i)
                            for i in pending]
                 failed = []
                 for future, i in futures:
@@ -77,25 +116,40 @@ def run_tasks(worker, tasks, jobs: int = None, retries: int = 1) -> list:
                         # future with it; either way the task gets
                         # another round.
                         failed.append(i)
+                if failed:
+                    metrics.counter("parallel.retries").inc(len(failed))
                 pending = failed
         except (BrokenProcessPool, OSError):
             # The pool itself broke down (a worker died, or workers
             # could not be spawned at all); keep whatever completed.
+            metrics.counter("parallel.pool_failures").inc()
             pending = [i for i in pending if results[i] is _UNSET]
     # Last resort: run the stragglers in-process, serially.  A task
-    # that still fails here raises to the caller.
+    # that still fails here raises to the caller.  The wrapper still
+    # applies: its scoped registry keeps the fallback from writing the
+    # parent registry directly *and* returning a delta (double count).
     for i in pending:
-        results[i] = worker(tasks[i])
-    return results
+        results[i] = wrapped(tasks[i])
+    # Unwrap in task order: deterministic metric merge and event order.
+    metrics.counter("parallel.tasks").inc(len(tasks))
+    registry = metrics.registry()
+    out = []
+    for index, envelope in enumerate(results):
+        registry.merge(envelope["metrics"])
+        obs.emit("task_finished", index=index, label=label,
+                 worker=envelope["worker"],
+                 seconds=round(envelope["seconds"], 6))
+        out.append(envelope["result"])
+    return out
 
 
 def _run_one(task) -> "Measurement":
     """Worker entry point (top-level, so it pickles): one experiment."""
     name, instructions, seed = task
-    from repro.workloads import experiments
+    from repro.workloads import engine
 
     profile = next(p for p in STANDARD_PROFILES if p.name == name)
-    return experiments.run_workload(profile, instructions, seed)
+    return engine.run_workload(profile, instructions, seed)
 
 
 def run_standard_parallel(instructions: int, seed: int = 1984,
@@ -103,7 +157,7 @@ def run_standard_parallel(instructions: int, seed: int = 1984,
     """Run all five standard experiments across worker processes.
 
     Returns name -> Measurement in the paper's profile order, exactly as
-    :func:`repro.workloads.experiments.run_standard_experiments` does.
+    :func:`repro.workloads.engine.run_standard_experiments` does.
     """
     tasks = [(profile.name, instructions, seed)
              for profile in STANDARD_PROFILES]

@@ -11,7 +11,7 @@ import hashlib
 
 from repro.explore import SMOKE, run_sweep
 from repro.explore import runner as runner_module
-from repro.workloads import experiments
+from repro.workloads import engine
 from repro.workloads.profiles import STANDARD_PROFILES
 
 
@@ -27,7 +27,7 @@ class TestBaselineIdentity:
             self, smoke_sweep):
         baseline = smoke_sweep.point()
         for profile in STANDARD_PROFILES:
-            measurement = experiments.run_workload(
+            measurement = engine.run_workload(
                 profile, SMOKE.instructions, SMOKE.seed)
             record = baseline["records"][profile.name]
             assert record["cycles"] == measurement.cycles
@@ -40,7 +40,7 @@ class TestBaselineIdentity:
 
     def test_baseline_composite_matches_standard_composite(
             self, smoke_sweep):
-        composite = experiments.standard_composite(
+        composite = engine.standard_composite(
             instructions=SMOKE.instructions, seed=SMOKE.seed)
         baseline = smoke_sweep.point()["composite"]
         assert baseline["cycles"] == composite.cycles

@@ -8,7 +8,7 @@ process-pool path produces byte-for-byte the same measurements as the
 serial path for the same seed.
 """
 
-from repro.workloads import experiments
+from repro.workloads import engine
 from repro.workloads.parallel import run_standard_parallel
 from repro.workloads.profiles import STANDARD_PROFILES
 
@@ -35,8 +35,8 @@ def _fingerprint(measurement):
 
 
 def _serial_composite():
-    experiments.clear_cache()
-    return experiments.standard_composite(instructions=INSTRUCTIONS,
+    engine.clear_cache()
+    return engine.standard_composite(instructions=INSTRUCTIONS,
                                           seed=SEED)
 
 
@@ -47,8 +47,8 @@ def test_serial_runs_are_bit_identical():
 
 
 def test_parallel_matches_serial_bit_for_bit():
-    experiments.clear_cache()
-    serial = experiments.run_standard_experiments(
+    engine.clear_cache()
+    serial = engine.run_standard_experiments(
         instructions=INSTRUCTIONS, seed=SEED)
     parallel = run_standard_parallel(INSTRUCTIONS, seed=SEED, jobs=5)
     assert set(serial) == set(parallel)
@@ -58,17 +58,17 @@ def test_parallel_matches_serial_bit_for_bit():
 
 
 def test_parallel_composite_matches_serial_composite():
-    experiments.clear_cache()
-    serial = experiments.standard_composite(instructions=INSTRUCTIONS,
+    engine.clear_cache()
+    serial = engine.standard_composite(instructions=INSTRUCTIONS,
                                             seed=SEED)
-    experiments.clear_cache()
-    parallel = experiments.standard_composite(instructions=INSTRUCTIONS,
+    engine.clear_cache()
+    parallel = engine.standard_composite(instructions=INSTRUCTIONS,
                                               seed=SEED, jobs=5)
     assert _fingerprint(serial) == _fingerprint(parallel)
 
 
 def test_parallel_jobs_one_is_in_process():
     """jobs=1 must not spawn workers (it is the serial path)."""
-    experiments.clear_cache()
+    engine.clear_cache()
     results = run_standard_parallel(INSTRUCTIONS, seed=SEED, jobs=1)
     assert len(results) == len(STANDARD_PROFILES)

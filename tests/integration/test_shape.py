@@ -14,7 +14,7 @@ from repro.arch.groups import OpcodeGroup
 from repro.report import paper
 from repro.report.compare import within_factor
 from repro.ucode.rows import Column, Row
-from repro.workloads.experiments import run_workload, standard_composite
+from repro.workloads.engine import run_workload, standard_composite
 from repro.workloads.profiles import STANDARD_PROFILES
 
 

@@ -1,0 +1,155 @@
+"""Event tracer, heartbeat, and progress sampler unit tests."""
+
+import json
+
+import pytest
+
+from repro.obs import Observation
+from repro.obs.events import EventTracer, Heartbeat, ProgressSampler
+from repro.obs.metrics import scoped_registry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestEventTracer:
+    def test_jsonl_stream_is_valid_and_ordered(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        clock = FakeClock()
+        tracer = EventTracer(path=path, clock=clock)
+        tracer.emit("first", detail=1)
+        clock.advance(0.5)
+        tracer.emit("second")
+        clock.advance(0.25)
+        tracer.emit("third", nested={"a": [1, 2]})
+        tracer.close()
+
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["event"] for r in records] == ["first", "second",
+                                                "third"]
+        stamps = [r["ts"] for r in records]
+        assert stamps == sorted(stamps)
+        assert records[0]["detail"] == 1
+        assert records[2]["nested"] == {"a": [1, 2]}
+
+    def test_buffer_mirrors_stream(self):
+        tracer = EventTracer()
+        tracer.emit("only")
+        assert tracer.events[0]["event"] == "only"
+        tracer.close()  # no path: close is a no-op
+
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock(100.0)
+        tracer = EventTracer(clock=clock)
+        clock.advance(2.5)
+        assert tracer.elapsed == pytest.approx(2.5)
+
+
+class TestHeartbeat:
+    def _observation(self, clock):
+        return Observation(label="hb", clock=clock)
+
+    def test_maybe_beat_respects_interval(self):
+        clock = FakeClock()
+        lines = []
+        with scoped_registry():
+            observation = self._observation(clock)
+            hb = Heartbeat(10.0, observation, write=lines.append,
+                           clock=clock)
+            assert hb.maybe_beat() is False         # t=0: too soon
+            clock.advance(9.9)
+            assert hb.maybe_beat() is False         # still inside
+            clock.advance(0.2)
+            assert hb.maybe_beat() is True          # past the interval
+            assert hb.maybe_beat() is False          # interval reset
+            clock.advance(10.1)
+            assert hb.maybe_beat() is True
+        assert hb.beats == 2
+        assert len(lines) == 2
+
+    def test_beat_reads_registry_and_emits_event(self):
+        clock = FakeClock()
+        lines = []
+        with scoped_registry():
+            observation = self._observation(clock)
+            observation.registry.counter("workloads.runs").inc(3)
+            hb = Heartbeat(5.0, observation, write=lines.append,
+                           clock=clock)
+            clock.advance(1.5)
+            line = hb.beat()
+        assert "workloads=3" in line
+        assert "[obs +1.5s hb]" in line
+        beats = [e for e in observation.tracer.events
+                 if e["event"] == "heartbeat"]
+        assert len(beats) == 1
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Heartbeat(0, None)
+
+
+class _FakeTracer:
+    instructions = 0
+
+
+class _FakeMachine:
+    def __init__(self):
+        self.boundary_hook = None
+        self.tracer = _FakeTracer()
+        self.cycles = 0
+
+    def run(self, boundaries):
+        for _ in range(boundaries):
+            self.tracer.instructions += 1
+            self.cycles += 10
+            if self.boundary_hook is not None:
+                self.boundary_hook(self)
+
+
+class TestProgressSampler:
+    def test_hook_chains_and_restores(self):
+        machine = _FakeMachine()
+        seen = []
+        machine.boundary_hook = lambda m: seen.append(
+            m.tracer.instructions)
+        with scoped_registry():
+            observation = Observation(label="s")
+            sampler = ProgressSampler(machine, observation, "wl",
+                                      interval=256)
+            sampler.install()
+            hook_while_installed = machine.boundary_hook
+            machine.run(300)
+            sampler.uninstall()
+            machine.run(1)
+        assert hook_while_installed is not machine.boundary_hook
+        assert len(seen) == 301       # previous hook always ran
+        assert sampler.samples >= 1
+
+    def test_samples_emit_progress_and_gauges(self):
+        machine = _FakeMachine()
+        with scoped_registry() as reg:
+            observation = Observation(label="s")
+            with ProgressSampler(machine, observation, "wl",
+                                 interval=256):
+                machine.run(256)
+        progress = [e for e in observation.tracer.events
+                    if e["event"] == "progress"]
+        assert progress and progress[-1]["instructions"] == 256
+        assert progress[-1]["cycles"] == 2560
+        snap = reg.snapshot()
+        assert snap["run.wl.instructions"]["value"] == 256
+        assert snap["run.wl.cycles"]["value"] == 2560
+
+    def test_interval_never_drops_below_floor(self):
+        sampler = ProgressSampler(_FakeMachine(), Observation(label="s"),
+                                  "wl", interval=1)
+        assert sampler.interval == 256

@@ -1,0 +1,190 @@
+"""The metrics registry: algebra, scoping, and pool-worker merge."""
+
+import itertools
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (MetricsError, MetricsRegistry,
+                               merge_snapshots, scoped_registry)
+
+
+def _bump_worker(task):
+    """Top-level so it pickles into pool workers."""
+    n, seconds = task
+    metrics.counter("test.bump").inc(n)
+    metrics.gauge("test.peak").set(n)
+    metrics.timer("test.took").observe(seconds)
+    return n * 10
+
+
+class TestMetricBasics:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.snapshot()["c"] == {"kind": "counter", "value": 5}
+
+    def test_gauge_set_and_agg(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(7)
+        snap = reg.snapshot()["g"]
+        assert snap == {"kind": "gauge", "value": 7, "agg": "max"}
+
+    def test_gauge_rejects_unknown_agg(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.gauge("g", agg="last")
+
+    def test_gauge_agg_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", agg="sum")
+        with pytest.raises(MetricsError):
+            reg.gauge("g", agg="max")
+
+    def test_timer_statistics(self):
+        reg = MetricsRegistry()
+        reg.timer("t").observe(0.5)
+        reg.timer("t").observe(1.5)
+        snap = reg.snapshot()["t"]
+        assert snap["count"] == 2
+        assert snap["total"] == pytest.approx(2.0)
+        assert snap["min"] == pytest.approx(0.5)
+        assert snap["max"] == pytest.approx(1.5)
+
+    def test_timer_time_context(self):
+        reg = MetricsRegistry()
+        with reg.timer("t").time():
+            pass
+        assert reg.snapshot()["t"]["count"] == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("name")
+        with pytest.raises(MetricsError):
+            reg.gauge("name")
+        with pytest.raises(MetricsError):
+            reg.timer("name")
+
+    def test_snapshot_is_name_sorted_and_plain(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("zz").inc()
+        reg.counter("aa").inc()
+        snap = reg.snapshot()
+        assert list(snap) == ["aa", "zz"]
+        json.dumps(snap)  # must be JSON-able as-is
+
+
+def _snapshots():
+    a = MetricsRegistry()
+    a.counter("c").inc(3)
+    a.gauge("peak").set(10)
+    a.gauge("load", agg="sum").set(2)
+    a.timer("t").observe(1.0)
+    b = MetricsRegistry()
+    b.counter("c").inc(4)
+    b.gauge("peak").set(25)
+    b.gauge("load", agg="sum").set(5)
+    b.timer("t").observe(0.25)
+    c = MetricsRegistry()
+    c.counter("c").inc(5)
+    c.counter("only_c").inc(1)
+    c.timer("t").observe(2.0)
+    return a.snapshot(), b.snapshot(), c.snapshot()
+
+
+class TestMergeAlgebra:
+    def test_merge_rules(self):
+        a, b, _ = _snapshots()
+        merged = merge_snapshots(a, b)
+        assert merged["c"]["value"] == 7
+        assert merged["peak"]["value"] == 25          # max
+        assert merged["load"]["value"] == 7           # sum
+        assert merged["t"]["count"] == 2
+        assert merged["t"]["total"] == pytest.approx(1.25)
+        assert merged["t"]["min"] == pytest.approx(0.25)
+        assert merged["t"]["max"] == pytest.approx(1.0)
+
+    def test_merge_commutative_and_associative(self):
+        a, b, c = _snapshots()
+        reference = merge_snapshots(a, b, c)
+        for order in itertools.permutations((a, b, c)):
+            assert merge_snapshots(*order) == reference
+        nested = merge_snapshots(a, merge_snapshots(b, c))
+        assert nested == reference
+
+    def test_merge_identity(self):
+        a, _, _ = _snapshots()
+        assert merge_snapshots(a, MetricsRegistry().snapshot()) == a
+
+    def test_merge_unknown_kind_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            reg.merge({"x": {"kind": "histogram", "value": 1}})
+
+
+class TestScopedRegistry:
+    def test_scope_captures_delta_and_restores(self):
+        outer = metrics.registry()
+        with scoped_registry() as scoped:
+            assert metrics.registry() is scoped
+            metrics.counter("scoped.only").inc(2)
+        assert metrics.registry() is outer
+        assert scoped.snapshot()["scoped.only"]["value"] == 2
+        assert "scoped.only" not in outer.snapshot()
+
+    def test_scopes_nest(self):
+        with scoped_registry() as first:
+            metrics.counter("depth").inc()
+            with scoped_registry() as second:
+                metrics.counter("depth").inc(10)
+            assert metrics.registry() is first
+        assert first.snapshot()["depth"]["value"] == 1
+        assert second.snapshot()["depth"]["value"] == 10
+
+    def test_scope_restores_on_error(self):
+        outer = metrics.registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert metrics.registry() is outer
+
+
+class TestPoolMerge:
+    def test_run_tasks_merges_worker_metrics(self):
+        from repro.workloads.parallel import run_tasks
+
+        tasks = [(1, 0.01), (2, 0.02), (3, 0.03)]
+        with scoped_registry() as reg:
+            results = run_tasks(_bump_worker, tasks, jobs=2)
+        assert results == [10, 20, 30]
+        snap = reg.snapshot()
+        assert snap["test.bump"]["value"] == 6
+        assert snap["test.peak"]["value"] == 3        # max across workers
+        assert snap["test.took"]["count"] == 3
+        assert snap["parallel.tasks"]["value"] == 3
+
+    def test_serial_path_counts_directly(self):
+        from repro.workloads.parallel import run_tasks
+
+        with scoped_registry() as reg:
+            results = run_tasks(_bump_worker, [(5, 0.01)], jobs=1)
+        assert results == [50]
+        assert reg.snapshot()["test.bump"]["value"] == 5
+
+    def test_jobs_agnostic_totals(self):
+        """The merged counts match a serial run bit-for-bit."""
+        from repro.workloads.parallel import run_tasks
+
+        tasks = [(i, 0.001 * i) for i in range(1, 5)]
+        with scoped_registry() as serial_reg:
+            serial = run_tasks(_bump_worker, tasks, jobs=1)
+        with scoped_registry() as pooled_reg:
+            pooled = run_tasks(_bump_worker, tasks, jobs=2)
+        assert serial == pooled
+        a, b = serial_reg.snapshot(), pooled_reg.snapshot()
+        assert a["test.bump"] == b["test.bump"]
+        assert a["test.peak"] == b["test.peak"]
+        assert a["test.took"]["count"] == b["test.took"]["count"]

@@ -1,0 +1,154 @@
+"""The repro.api facade: typing, identity with the engine, errors."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import api
+from repro.workloads import engine
+from repro.workloads.profiles import STANDARD_PROFILES
+
+BUDGET = 1_500
+
+
+class TestResultContract:
+    def test_results_are_frozen(self):
+        result = api.profiles()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.profiles = ()
+
+    def test_to_json_is_serialisable_and_kinded(self):
+        result = api.characterize(instructions=BUDGET, table="8")
+        doc = result.to_json()
+        json.dumps(doc)
+        assert doc["kind"] == "CharacterizeResult"
+        assert doc["cycles"] == result.cycles
+
+    def test_attachments_stay_out_of_json(self):
+        result = api.characterize(instructions=BUDGET, table="8")
+        assert result.measurement is not None
+        assert "measurement" not in result.to_json()
+
+
+class TestCharacterize:
+    def test_bit_identical_to_engine(self):
+        result = api.characterize(instructions=BUDGET, table="8")
+        composite = engine.standard_composite(BUDGET)
+        assert result.cycles == composite.cycles
+        assert result.measurement is composite  # same memoised object
+
+    def test_table_selection(self):
+        result = api.characterize(instructions=BUDGET, table=("1", "8"))
+        assert [entry["table"] for entry in result.tables] == ["1", "8"]
+        assert "TABLE 1" in result.tables[0]["text"]
+
+    def test_unknown_table_rejected_before_running(self):
+        with pytest.raises(api.ApiError, match="unknown table '99'"):
+            api.characterize(table="99")
+
+    def test_smoke_budget(self):
+        result = api.characterize(smoke=True, table="8")
+        assert result.instructions == api.SMOKE_INSTRUCTIONS
+
+
+class TestRunWorkload:
+    def test_accepts_name_suffix_and_profile(self):
+        by_suffix = api.run_workload("research", instructions=BUDGET)
+        by_object = api.run_workload(STANDARD_PROFILES[0],
+                                     instructions=BUDGET)
+        assert by_suffix.profile == by_object.profile
+        assert by_suffix.cycles == by_object.cycles
+
+    def test_unknown_profile(self):
+        with pytest.raises(api.ApiError, match="unknown profile"):
+            api.run_workload("nonexistent")
+
+
+class TestSmallCommands:
+    def test_hotspots_rows_ranked(self):
+        result = api.hotspots(instructions=BUDGET, top=5)
+        assert len(result.rows) == 5
+        cycles = [row["cycles"] for row in result.rows]
+        assert cycles == sorted(cycles, reverse=True)
+        assert result.total_cycles >= sum(cycles)
+
+    def test_disasm(self):
+        result = api.disasm("movl #5, r0\nhalt\n")
+        assert any("movl" in line for line in result.lines)
+        assert result.to_json()["base"] == 0x200
+
+    def test_figure1(self):
+        assert "EBOX" in api.figure1().text
+
+    def test_profiles(self):
+        result = api.profiles()
+        assert len(result.profiles) == 5
+        assert result.profiles[0]["name"] == "timesharing-research"
+
+
+class TestUbench:
+    def test_smoke_suite_ok(self):
+        result = api.ubench(smoke=True, check=False)
+        assert result.ok
+        assert result.failed == ()
+        assert result.check_ok is None
+        assert result.kernel_count == len(result.results)
+
+    def test_no_matching_kernels(self):
+        with pytest.raises(api.ApiError, match="no kernels match"):
+            api.ubench(group="bogus", check=False)
+
+
+class TestExplore:
+    def test_unknown_spec(self):
+        with pytest.raises(api.ApiError, match="unknown spec"):
+            api.explore(spec="nonesuch")
+
+    def test_unknown_axis(self):
+        with pytest.raises(api.ApiError, match="unknown axis"):
+            api.explore(axes=["cache_size=1,2"])
+
+    def test_points_listing(self, smoke_store):
+        listing = api.explore_points(smoke=True, store=smoke_store)
+        assert listing.spec == "smoke"
+        assert listing.workloads == 5
+        assert len(listing.points) == 3
+        json.dumps(listing.to_json())
+
+    def test_warm_sweep(self, smoke_sweep, smoke_store):
+        result = api.explore(smoke=True, store=smoke_store, jobs=1)
+        assert result.stats["simulated"] == 0
+        assert result.decode_claim_ok is True
+        assert result.ok
+
+
+class TestValidate:
+    def test_smoke_ok(self):
+        result = api.validate(smoke=True, fuzz_cases=1,
+                              fuzz_instructions=120)
+        assert result.ok
+        assert result.invariants_ok
+        assert result.divergences == 0
+        assert result.fuzz_instructions == 120
+        assert len(result.reports) == 5
+
+    def test_smoke_caps_fuzz_budget(self):
+        result = api.validate(smoke=True, fuzz_cases=0,
+                              fuzz_instructions=5_000)
+        assert result.fuzz_instructions == 200
+
+
+class TestPackageFacade:
+    def test_lazy_reexports(self):
+        import repro
+
+        assert repro.characterize is api.characterize
+        assert repro.ApiError is api.ApiError
+        assert repro.api is api
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.no_such_thing

@@ -1,0 +1,87 @@
+"""Every subcommand carries the shared flag set; argparse stays in cli.
+
+The shared parent parser exists so that ``--jobs``, ``--seed``,
+``--json``, ``--smoke``, ``--store``, ``--obs`` and ``--heartbeat``
+mean the same thing everywhere.  These tests introspect the built
+parser rather than pattern-match help text, so a subcommand that
+forgets ``parents=[...]`` fails loudly.
+"""
+
+from pathlib import Path
+
+from repro import cli
+
+SRC = Path(cli.__file__).resolve().parent
+
+SHARED_OPTIONS = ["--jobs", "--seed", "--json", "--smoke", "--store",
+                  "--obs", "--heartbeat"]
+
+
+def _subparsers():
+    parser = cli._build_parser()
+    action = parser._subparsers._group_actions[0]
+    return parser, action.choices
+
+
+def _options(subparser):
+    table = {}
+    for action in subparser._actions:
+        for flag in action.option_strings:
+            table[flag] = action
+    return table
+
+
+class TestSharedFlagSet:
+    def test_every_subcommand_has_every_shared_flag(self):
+        _, choices = _subparsers()
+        assert choices, "no subcommands registered"
+        for name, sub in choices.items():
+            options = _options(sub)
+            for flag in SHARED_OPTIONS:
+                assert flag in options, \
+                    f"{name} is missing shared flag {flag}"
+
+    def test_shared_flags_agree_across_subcommands(self):
+        """Same default, same type, same help — everywhere."""
+        _, choices = _subparsers()
+        reference = {}
+        for name, sub in choices.items():
+            for flag in SHARED_OPTIONS:
+                action = _options(sub)[flag]
+                signature = (action.default, action.type, action.help,
+                             action.nargs, action.const)
+                if flag not in reference:
+                    reference[flag] = (name, signature)
+                else:
+                    first_name, first_signature = reference[flag]
+                    assert signature == first_signature, (
+                        f"{flag} differs between {first_name} and "
+                        f"{name}: {first_signature} vs {signature}")
+
+    def test_shared_defaults_are_deferred(self):
+        """--jobs/--seed default to None so api.* owns the real default."""
+        _, choices = _subparsers()
+        sub = choices["characterize"]
+        options = _options(sub)
+        assert options["--jobs"].default is None
+        assert options["--seed"].default is None
+        assert options["--smoke"].default is False
+
+    def test_flag_table_drives_the_parent(self):
+        assert len(cli.SHARED_FLAGS) == len(SHARED_OPTIONS)
+        declared = [flags[0] for flags, _ in cli.SHARED_FLAGS]
+        assert declared == SHARED_OPTIONS
+
+
+class TestArgparseStaysInCli:
+    def test_only_cli_imports_argparse(self):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            if path.name == "cli.py":
+                continue
+            text = path.read_text()
+            if "import argparse" in text:
+                offenders.append(str(path.relative_to(SRC)))
+        assert offenders == [], (
+            "argparse belongs to cli.py alone; found in: "
+            + ", ".join(offenders))

@@ -1,0 +1,50 @@
+"""The deprecated entry points still work, warn, and agree bit-for-bit."""
+
+import pytest
+
+from repro.workloads import engine, experiments
+from repro.workloads.profiles import STANDARD_PROFILES
+
+BUDGET = 1_500
+
+
+class TestDeprecationShims:
+    def test_run_workload_warns_and_matches(self):
+        with pytest.warns(DeprecationWarning,
+                          match="experiments.run_workload is deprecated"):
+            old = experiments.run_workload(STANDARD_PROFILES[0], BUDGET)
+        new = engine.run_workload(STANDARD_PROFILES[0], BUDGET)
+        assert old is new              # same memoised measurement
+
+    def test_standard_composite_warns_and_matches(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            old = experiments.standard_composite(instructions=BUDGET)
+        new = engine.standard_composite(BUDGET)
+        assert old is new
+        assert old.cycles == new.cycles
+
+    def test_run_standard_experiments_warns_and_matches(self):
+        with pytest.warns(DeprecationWarning):
+            old = experiments.run_standard_experiments(
+                instructions=BUDGET)
+        new = engine.run_standard_experiments(BUDGET)
+        assert list(old) == list(new)
+        for name in old:
+            assert old[name] is new[name]
+
+    def test_clear_cache_warns_and_clears(self):
+        engine.run_workload(STANDARD_PROFILES[0], BUDGET)
+        with pytest.warns(DeprecationWarning):
+            experiments.clear_cache()
+        assert engine._CACHE == {}
+
+    def test_default_instructions_reexported(self):
+        assert experiments.DEFAULT_INSTRUCTIONS \
+            == engine.DEFAULT_INSTRUCTIONS
+
+    def test_old_positional_signature_preserved(self):
+        """The shim keeps the original required-positional shape."""
+        with pytest.warns(DeprecationWarning):
+            measurement = experiments.run_workload(
+                STANDARD_PROFILES[0], BUDGET, 1984)
+        assert measurement.cycles > 0

@@ -10,7 +10,7 @@ carried at measured values and for aborted instructions).
 import pytest
 
 from repro.ubench.consistency import check_composite
-from repro.workloads import experiments
+from repro.workloads import engine
 
 INSTRUCTIONS = 1500
 SEED = 1984
@@ -18,7 +18,7 @@ SEED = 1984
 
 @pytest.fixture(scope="module")
 def composite():
-    return experiments.standard_composite(instructions=INSTRUCTIONS,
+    return engine.standard_composite(instructions=INSTRUCTIONS,
                                           seed=SEED)
 
 

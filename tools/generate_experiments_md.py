@@ -9,7 +9,7 @@ from repro.analysis import (section4, table1, table2, table3, table4,
 from repro.arch.groups import GROUP_ORDER
 from repro.report import paper
 from repro.ucode.rows import COLUMN_ORDER, ROW_ORDER
-from repro.workloads.experiments import standard_composite
+from repro.workloads.engine import standard_composite
 
 N = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
 

@@ -35,15 +35,15 @@ sys.path.insert(0, os.environ.get("REPRO_SRC", os.path.join(REPO, "src")))
 
 
 def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
-    from repro.workloads import experiments
+    from repro.workloads import engine
 
     runs = []
     cycles = None
     for _ in range(repeats):
-        experiments.clear_cache()
+        engine.clear_cache()
         kwargs = {"jobs": jobs} if jobs != 1 else {}
         t0 = time.perf_counter()
-        meas = experiments.standard_composite(instructions=instructions,
+        meas = engine.standard_composite(instructions=instructions,
                                               seed=seed, **kwargs)
         elapsed = time.perf_counter() - t0
         runs.append(round(elapsed, 3))
@@ -68,6 +68,7 @@ def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
         "source": _source_id(),
         "ubench": measure_ubench(repeats),
         "explore": measure_explore(repeats),
+        "obs": measure_obs(instructions, seed, repeats),
     }
 
 
@@ -155,6 +156,56 @@ def measure_explore(repeats: int) -> dict:
     }
 
 
+def measure_obs(instructions: int, seed: int, repeats: int) -> dict:
+    """Pair the composite with and without an active observation.
+
+    The observability layer contracts to be passive: counted cycles must
+    be bit-identical and the wall-clock overhead small (the adaptive
+    progress sampler backs off until it is).  Each repeat times the two
+    variants back to back on a cold memo cache; the overhead fraction is
+    best-observed over best-plain minus one.
+    """
+    import shutil
+    import tempfile
+
+    from repro import obs
+    from repro.workloads import engine
+
+    plain_runs, observed_runs = [], []
+    for _ in range(repeats):
+        engine.clear_cache()
+        t0 = time.perf_counter()
+        plain = engine.standard_composite(instructions=instructions,
+                                          seed=seed)
+        plain_runs.append(round(time.perf_counter() - t0, 3))
+
+        engine.clear_cache()
+        out = tempfile.mkdtemp(prefix="obs-bench-")
+        try:
+            t0 = time.perf_counter()
+            with obs.observe(out, label="perf_bench"):
+                observed = engine.standard_composite(
+                    instructions=instructions, seed=seed)
+            observed_runs.append(round(time.perf_counter() - t0, 3))
+        finally:
+            shutil.rmtree(out, ignore_errors=True)
+        if plain.cycles != observed.cycles:
+            raise SystemExit(
+                f"observation perturbed the count: plain "
+                f"{plain.cycles} vs observed {observed.cycles}")
+    engine.clear_cache()
+    best_plain = min(plain_runs)
+    best_observed = min(observed_runs)
+    return {
+        "composite_cycles": plain.cycles,
+        "plain_seconds": plain_runs,
+        "best_plain_seconds": best_plain,
+        "observed_seconds": observed_runs,
+        "best_observed_seconds": best_observed,
+        "overhead_fraction": round(best_observed / best_plain - 1, 4),
+    }
+
+
 def _source_id() -> str:
     src = os.environ.get("REPRO_SRC", os.path.join(REPO, "src"))
     tree = os.path.dirname(os.path.abspath(src)) or REPO
@@ -207,6 +258,11 @@ def main() -> int:
           f"cold {ex['best_cold_seconds']:.2f}s  "
           f"warm {ex['best_warm_seconds']:.2f}s  "
           f"cycles={ex['sweep_cycles']}")
+    ob = entry["obs"]
+    print(f"[{args.label}] obs overhead on the composite: plain "
+          f"{ob['best_plain_seconds']:.2f}s  observed "
+          f"{ob['best_observed_seconds']:.2f}s  "
+          f"overhead {ob['overhead_fraction'] * 100:+.2f}%")
 
     if args.output:
         doc = {}
