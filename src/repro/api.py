@@ -45,7 +45,7 @@ from repro.report.format import (render_figure1, render_section4,
                                  render_table5, render_table6,
                                  render_table7, render_table8,
                                  render_table9)
-from repro.workloads import engine
+from repro.workloads import engine as _engines
 from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
 
 __all__ = ["ApiError", "DEFAULT_INSTRUCTIONS", "SMOKE_INSTRUCTIONS",
@@ -61,7 +61,7 @@ __all__ = ["ApiError", "DEFAULT_INSTRUCTIONS", "SMOKE_INSTRUCTIONS",
 #: The budget the CLI has always defaulted to for measurement commands.
 DEFAULT_INSTRUCTIONS = 30_000
 #: Re-exported: the fixed small budget behind every ``--smoke``.
-SMOKE_INSTRUCTIONS = engine.SMOKE_INSTRUCTIONS
+SMOKE_INSTRUCTIONS = _engines.SMOKE_INSTRUCTIONS
 
 #: table key -> (compute, render); the paper's tables plus §4's text.
 TABLES = {
@@ -75,6 +75,22 @@ TABLES = {
 
 class ApiError(ValueError):
     """A bad argument to a facade call (the CLI maps it to exit 2)."""
+
+
+def _engine(value, choices=None):
+    """Resolve an ``engine`` argument before anything simulates.
+
+    ``None`` means scalar; anything outside ``choices`` (default: all
+    of ``repro.batch.ENGINES``) raises :class:`ApiError` listing the
+    valid engines — the same pre-validation contract as ``--table``
+    and the sweep axes.
+    """
+    from repro.batch import ENGINES, validate_engine
+
+    try:
+        return validate_engine(value, choices or ENGINES)
+    except ValueError as exc:
+        raise ApiError(str(exc)) from exc
 
 
 def _attachment(**kwargs):
@@ -139,6 +155,7 @@ class CharacterizeResult(_Result):
     seed: int
     jobs: int
     paranoid: bool
+    engine: str
     cycles: int
     instructions_measured: int
     cycles_per_instruction: float
@@ -148,13 +165,17 @@ class CharacterizeResult(_Result):
 
 def characterize(instructions: int = None, seed: int = 1984,
                  jobs: int = 1, paranoid: bool = False,
-                 table="all", smoke: bool = False) -> CharacterizeResult:
+                 table="all", smoke: bool = False,
+                 engine: str = None) -> CharacterizeResult:
     """Run the paper's measurement campaign and compute its tables.
 
     ``table`` selects what to compute: ``"all"``, one key (``"1"``
     ... ``"9"``, ``"s4"``), or an iterable of keys.  Unknown keys raise
-    :class:`ApiError` before the (expensive) composite run.
+    :class:`ApiError` before the (expensive) composite run, as does an
+    unknown ``engine`` (scalar, batch, or auto; results are
+    bit-identical, see :mod:`repro.batch`).
     """
+    engine_name = _engine(engine)
     if table in ("all", None):
         keys = list(TABLES)
     elif isinstance(table, str):
@@ -167,10 +188,10 @@ def characterize(instructions: int = None, seed: int = 1984,
                            f"{', '.join(TABLES)}")
     instructions = _budget(instructions, smoke)
     with _span("characterize", instructions=instructions, seed=seed,
-               jobs=jobs):
-        measurement = engine.standard_composite(
+               jobs=jobs, engine=engine_name):
+        measurement = _engines.standard_composite(
             instructions=instructions, seed=seed, jobs=jobs,
-            paranoid=paranoid)
+            paranoid=paranoid, engine=engine_name)
         rendered = tuple(
             {"table": key,
              "text": TABLES[key][1](TABLES[key][0](measurement))}
@@ -178,7 +199,8 @@ def characterize(instructions: int = None, seed: int = 1984,
         summary = table8(measurement)
     return CharacterizeResult(
         instructions=instructions, seed=seed, jobs=jobs,
-        paranoid=paranoid, cycles=measurement.cycles,
+        paranoid=paranoid, engine=engine_name,
+        cycles=measurement.cycles,
         instructions_measured=summary.instructions,
         cycles_per_instruction=summary.cycles_per_instruction,
         tables=rendered, measurement=measurement)
@@ -223,7 +245,7 @@ def run_workload(profile, instructions: int = None, seed: int = 1984,
     instructions = _budget(instructions, smoke)
     with _span("run-workload", profile=resolved.name,
                instructions=instructions, seed=seed):
-        measurement = engine.run_workload(resolved, instructions,
+        measurement = _engines.run_workload(resolved, instructions,
                                           seed=seed, paranoid=paranoid)
         summary = table8(measurement)
         table1_text = render_table1(table1(measurement))
@@ -259,7 +281,7 @@ def hotspots(instructions: int = 20_000, top: int = 20,
     if smoke:
         instructions = min(instructions, SMOKE_INSTRUCTIONS)
     with _span("hotspots", instructions=instructions, top=top):
-        measurement = engine.run_workload(STANDARD_PROFILES[0],
+        measurement = _engines.run_workload(STANDARD_PROFILES[0],
                                           instructions, seed=seed)
         histogram = measurement.histogram
         store, _ = reference_map()
@@ -372,7 +394,7 @@ def ubench(group: str = None, mode: str = None, variant: str = None,
         if check:
             from repro.ubench.consistency import check_composite
 
-            composite = engine.standard_composite(
+            composite = _engines.standard_composite(
                 instructions=check_instructions, seed=seed, jobs=jobs)
             check_doc = check_composite(composite)
     failed = tuple(r["kernel"] for r in results
@@ -394,6 +416,7 @@ class ExploreResult(_Result):
 
     spec: str
     mode: str
+    engine: str
     instructions: int
     seed: int
     stats: dict
@@ -485,25 +508,33 @@ def explore(spec: str = "paper-sensitivity", axes=(), mode: str = None,
             instructions: int = None, seed: int = None,
             smoke: bool = False, store=".explore/store",
             resume: bool = True, jobs: int = 1,
-            progress=None) -> ExploreResult:
+            progress=None, engine: str = None) -> ExploreResult:
     """Run a design-space sweep and compute its sensitivity report.
 
     ``store`` is a directory path, a ResultStore, or None (no
     persistence).  ``progress`` is an optional ``callable(str)``.
+    ``engine`` selects the execution engine (scalar, batch, or auto —
+    batch fuses budget-only point variants onto shared machines; the
+    records are bit-identical); an unknown name raises
+    :class:`ApiError` before anything simulates.
     """
     from repro.explore import ResultStore, run_sweep, sensitivity
 
+    engine_name = _engine(engine)
     resolved = explore_spec(spec, axes, mode, instructions, seed, smoke)
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
-    with _span("explore", spec=resolved.name, jobs=jobs):
+    with _span("explore", spec=resolved.name, jobs=jobs,
+               engine=engine_name):
         sweep = run_sweep(resolved, store=store, jobs=jobs,
-                          resume=resume, progress=progress)
+                          resume=resume, progress=progress,
+                          engine=engine_name)
         report = sensitivity(sweep)
     claim = report.get("decode_claim")
     claim_ok = None if claim is None else bool(claim["ok"])
     return ExploreResult(
         spec=resolved.name, mode=resolved.mode,
+        engine=sweep.stats.get("engine", engine_name),
         instructions=resolved.instructions, seed=resolved.seed,
         stats=dict(sweep.stats), decode_claim_ok=claim_ok,
         ok=claim_ok is not False, sweep=sweep, report=report)
@@ -518,6 +549,7 @@ class ValidateResult(_Result):
 
     instructions: int
     seed: int
+    engine: str
     fuzz_cases: int
     fuzz_instructions: int
     smoke: bool
@@ -530,27 +562,40 @@ class ValidateResult(_Result):
 
 def validate(instructions: int = None, fuzz_cases: int = 0,
              fuzz_instructions: int = 400, seed: int = 1984,
-             smoke: bool = False, progress=None) -> ValidateResult:
-    """Check the conservation laws on all five workloads, then fuzz."""
-    from repro.validate import check_measurement, fuzz
+             smoke: bool = False, progress=None,
+             engine: str = None) -> ValidateResult:
+    """Check the conservation laws on all five workloads, then fuzz.
 
+    ``engine`` selects what the fuzzer differences against: ``scalar``
+    (the default) runs the fast-path engine against the per-cycle
+    reference spec; ``batch`` runs the lockstep batch engine against
+    independent scalar runs, capturing each case at several prefix
+    boundaries.  ``auto`` is rejected here — a validation run must name
+    the engine it is validating.
+    """
+    from repro.validate import check_measurement, fuzz, fuzz_batch
+
+    engine_name = _engine(engine, choices=("scalar", "batch"))
     if instructions is None:
         instructions = SMOKE_INSTRUCTIONS if smoke else 20_000
     if smoke:
         fuzz_instructions = min(fuzz_instructions, 200)
+    fuzzer = fuzz_batch if engine_name == "batch" else fuzz
     with _span("validate", instructions=instructions,
-               fuzz_cases=fuzz_cases):
+               fuzz_cases=fuzz_cases, engine=engine_name):
         reports = tuple(
-            check_measurement(engine.run_workload(profile, instructions,
-                                                  seed=seed))
+            check_measurement(_engines.run_workload(
+                profile, instructions, seed=seed))
             for profile in STANDARD_PROFILES)
         fuzz_results = tuple(
-            fuzz(fuzz_cases, seed=seed, instructions=fuzz_instructions,
-                 progress=progress)) if fuzz_cases else ()
+            fuzzer(fuzz_cases, seed=seed,
+                   instructions=fuzz_instructions,
+                   progress=progress)) if fuzz_cases else ()
     divergences = sum(1 for r in fuzz_results if not r["ok"])
     invariants_ok = all(report.ok for report in reports)
     return ValidateResult(
-        instructions=instructions, seed=seed, fuzz_cases=fuzz_cases,
+        instructions=instructions, seed=seed, engine=engine_name,
+        fuzz_cases=fuzz_cases,
         fuzz_instructions=fuzz_instructions, smoke=smoke,
         invariants_ok=invariants_ok, divergences=divergences,
         ok=invariants_ok and divergences == 0,

@@ -1,0 +1,106 @@
+"""Struct-of-arrays histogram accumulation for the batch engine.
+
+The scalar path snapshots one board per run into one
+:class:`~repro.monitor.histogram.Histogram` and sums snapshots pairwise
+for the composite.  The batch engine instead owns a ``lanes × 16k``
+pair of ``int64`` matrices — one row per captured lane, one matrix per
+count set — written row-at-a-time as each lane's boundary goes by and
+reduced column-wise (``sum(axis=0)``) for composites.  All arithmetic
+is exact integer addition, so a row reads back as precisely the
+``Histogram`` the scalar path would have snapshotted and a column sum
+equals the scalar pairwise-sum chain bit for bit.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.monitor.histogram import Histogram
+from repro.ucode.controlstore import CONTROL_STORE_SIZE
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+def _as_histogram(nonstalled, stalled) -> Histogram:
+    """Wrap two int64 buffers as a Histogram without re-validation."""
+    out = Histogram.__new__(Histogram)
+    if _np is not None:
+        ns, st = array("q"), array("q")
+        ns.frombytes(_np.ascontiguousarray(nonstalled,
+                                           dtype=_np.int64).tobytes())
+        st.frombytes(_np.ascontiguousarray(stalled,
+                                           dtype=_np.int64).tobytes())
+        out.nonstalled, out.stalled = ns, st
+        return out
+    out.nonstalled = array("q", nonstalled)  # pragma: no cover
+    out.stalled = array("q", stalled)  # pragma: no cover
+    return out
+
+
+class BatchHistogramSink:
+    """A fixed-size bank of histogram rows, one per captured lane."""
+
+    def __init__(self, rows: int, size: int = CONTROL_STORE_SIZE) -> None:
+        self.rows = rows
+        self.size = size
+        self.captured = [False] * rows
+        if _np is not None:
+            self.nonstalled = _np.zeros((rows, size), dtype=_np.int64)
+            self.stalled = _np.zeros((rows, size), dtype=_np.int64)
+        else:  # pragma: no cover - numpy ships with the toolchain
+            self.nonstalled = [array("q", [0] * size)
+                               for _ in range(rows)]
+            self.stalled = [array("q", [0] * size) for _ in range(rows)]
+
+    def capture(self, row: int, board) -> Histogram:
+        """Copy a live board's count sets into ``row``; return the view.
+
+        The board is only read — capture is passive, exactly like
+        :meth:`~repro.monitor.histogram.HistogramBoard.snapshot` — and
+        the returned Histogram carries the same values a scalar
+        ``snapshot()`` at this instant would.
+        """
+        if self.captured[row]:
+            raise ValueError(f"histogram row {row} captured twice")
+        self.captured[row] = True
+        if _np is not None:
+            self.nonstalled[row, :] = board.nonstalled
+            self.stalled[row, :] = board.stalled
+        else:  # pragma: no cover
+            self.nonstalled[row] = array("q", board.nonstalled)
+            self.stalled[row] = array("q", board.stalled)
+        return self.histogram(row)
+
+    def histogram(self, row: int) -> Histogram:
+        """The captured row as an ordinary Histogram snapshot."""
+        if not self.captured[row]:
+            raise ValueError(f"histogram row {row} not captured yet")
+        if _np is not None:
+            return _as_histogram(self.nonstalled[row], self.stalled[row])
+        return _as_histogram(self.nonstalled[row],  # pragma: no cover
+                             self.stalled[row])
+
+    def composite(self, rows=None) -> Histogram:
+        """Column-wise sum over ``rows`` (default: every captured row).
+
+        Bit-identical to summing the per-row Histograms pairwise: both
+        are exact int64 addition, just batched here.
+        """
+        if rows is None:
+            rows = [i for i, seen in enumerate(self.captured) if seen]
+        rows = list(rows)
+        for row in rows:
+            if not self.captured[row]:
+                raise ValueError(f"histogram row {row} not captured yet")
+        if not rows:
+            raise ValueError("no captured rows to composite")
+        if _np is not None:
+            return _as_histogram(self.nonstalled[rows].sum(axis=0),
+                                 self.stalled[rows].sum(axis=0))
+        total = self.histogram(rows[0])  # pragma: no cover
+        for row in rows[1:]:  # pragma: no cover
+            total = total + self.histogram(row)
+        return total  # pragma: no cover

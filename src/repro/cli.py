@@ -25,7 +25,7 @@ Commands:
   plus fastpath-vs-reference differential fuzzing.
 
 Every command accepts the shared flags ``--jobs``, ``--seed``,
-``--json``, ``--smoke``, ``--store``, ``--obs DIR`` and
+``--json``, ``--smoke``, ``--store``, ``--engine``, ``--obs DIR`` and
 ``--heartbeat SECS``; the last two wrap the run in a
 :class:`repro.obs.Observation` (live JSONL events, metrics snapshot,
 Chrome trace, flamegraph, liveness lines on stderr) without changing a
@@ -61,6 +61,11 @@ SHARED_FLAGS = (
         default=None, metavar="DIR",
         help="explore result store directory "
              "(default: .explore/store)")),
+    (("--engine",), dict(
+        default=None, metavar="ENGINE",
+        help="execution engine: scalar (default), batch (lockstep "
+             "many-lane engine, bit-identical results), or auto; "
+             "validated before anything simulates")),
     (("--obs",), dict(
         default=None, metavar="DIR",
         help="write observability artifacts (events.jsonl, "
@@ -226,7 +231,7 @@ def _cmd_characterize(args) -> int:
     result = api.characterize(instructions=args.instructions,
                               seed=_seed(args), jobs=_jobs(args),
                               paranoid=args.paranoid, table=args.table,
-                              smoke=args.smoke)
+                              smoke=args.smoke, engine=args.engine)
     for entry in result.tables:
         print(entry["text"])
         print()
@@ -344,7 +349,7 @@ def _cmd_explore(args) -> int:
         spec=args.spec, axes=args.axis, mode=args.mode,
         instructions=args.instructions, seed=args.seed,
         smoke=args.smoke, store=store, resume=args.resume,
-        jobs=_jobs(args),
+        jobs=_jobs(args), engine=args.engine,
         progress=lambda line: print(line, file=sys.stderr))
     print(render_sensitivity(result.report, result.stats))
     if args.json:
@@ -354,6 +359,7 @@ def _cmd_explore(args) -> int:
                                             meta={
             "spec": result.spec,
             "store": store,
+            "engine": result.engine,
             "code_version": code_version(),
         }))
     if result.decode_claim_ok is False:
@@ -370,6 +376,7 @@ def _cmd_validate(args) -> int:
                           fuzz_cases=args.fuzz,
                           fuzz_instructions=args.fuzz_instructions,
                           seed=_seed(args), smoke=args.smoke,
+                          engine=args.engine,
                           progress=lambda line: print(line,
                                                       file=sys.stderr))
     print(render_validate(list(result.reports),

@@ -13,6 +13,14 @@ Each simulation is *exactly* the code path of
 :func:`repro.workloads.engine.run_workload` — fresh machine,
 executive boot, measured run — so the default-params point is
 bit-identical to the standard composite (a contract the tests pin).
+
+``engine="batch"`` routes the outstanding tasks through the lockstep
+batch engine (:mod:`repro.batch`) instead of the process pool: tasks
+that differ only in budget fuse onto shared machines, so an
+``instructions``-axis sweep costs one run of the longest point.
+Records are bit-identical either way (the store key does not encode
+the engine), and ``engine="auto"`` picks batch exactly when some tasks
+actually fuse.
 """
 
 from __future__ import annotations
@@ -156,16 +164,80 @@ def compose(records) -> dict:
     return out
 
 
+def _run_batch(spec, todo, points, records, store, progress) -> None:
+    """Simulate the outstanding tasks through the lockstep batch engine.
+
+    Each task becomes one lane; lanes differing only in budget fuse
+    onto shared machines (see :mod:`repro.batch.lanes`).  Results are
+    persisted as each lane's boundary is captured, so an interrupted
+    sweep keeps every lane that completed.  A failed lane raises the
+    scalar engine's RuntimeError verbatim, exactly as the serial path
+    would have propagated it.
+    """
+    from repro.batch import BatchRunner, LaneSpec, plan_cohorts
+
+    lanes = []
+    for index, workload, _key in todo:
+        point = points[index]
+        lanes.append(LaneSpec(workload, point.instructions, point.seed,
+                              point.overrides))
+    landed = {"lanes": 0}
+    started = time.monotonic()
+
+    def on_result(lane, result):
+        global SIMULATIONS
+        if result.error is not None:
+            raise RuntimeError(result.error)
+        index, workload, key = todo[lane]
+        point = points[index]
+        record = _record(result.measurement, workload,
+                         point.instructions, point.seed,
+                         dict(point.overrides))
+        records[key] = record
+        if store is not None:
+            store.put(key, record)
+        SIMULATIONS += 1
+        metrics.counter("explore.simulations").inc()
+        obs.emit("sweep_point_completed", spec=spec.name,
+                 label=point.label(), workload=workload,
+                 cycles=record["cycles"])
+        landed["lanes"] += 1
+        if progress is not None:
+            elapsed = time.monotonic() - started
+            progress(f"batch: {landed['lanes']}/{len(todo)} lanes "
+                     f"captured elapsed {elapsed:.1f}s")
+
+    runner = BatchRunner(lanes, on_result=on_result)
+    if progress is not None:
+        fused = len(lanes) - len(runner.cohorts)
+        progress(f"batch: {len(lanes)} lanes in "
+                 f"{len(runner.cohorts)} cohorts ({fused} fused)")
+    runner.run()
+
+
+def _batch_fuses(todo, points) -> bool:
+    """Whether any outstanding tasks would share a machine."""
+    keys = [(workload, points[index].seed, points[index].overrides)
+            for index, workload, _key in todo]
+    return len(set(keys)) < len(keys)
+
+
 def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
               resume: bool = True, retries: int = 1,
-              progress=None) -> SweepResult:
+              progress=None, engine: str = "scalar") -> SweepResult:
     """Run ``spec``, reusing stored results, and return every point.
 
     ``resume=False`` re-simulates every point (the store is still
     updated).  ``progress`` is an optional ``callable(str)`` fed
-    shard-by-shard status lines with an ETA.
+    shard-by-shard status lines with an ETA.  ``engine`` selects the
+    execution engine: ``scalar`` (the pool-sharded per-task path),
+    ``batch`` (the in-process lockstep engine), or ``auto`` (batch
+    when tasks fuse, scalar otherwise); results are bit-identical.
     """
+    from repro.batch import validate_engine
+
     global SIMULATIONS
+    engine = validate_engine(engine)
     code = code_version()
     tasks = []          # (point_index, workload, key)
     points = spec.points()
@@ -188,48 +260,56 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
             todo.append((index, workload, key))
     cached = len(set(k for _, _, k in tasks)) - len(todo)
     metrics.counter("explore.resumed_points").inc(cached)
+    if engine == "auto":
+        engine = "batch" if _batch_fuses(todo, points) else "scalar"
+    started = time.monotonic()
     obs.emit("sweep_started", spec=spec.name, points=len(points),
              workloads=len(spec.workloads), simulations=len(todo),
-             cached=cached)
+             cached=cached, engine=engine)
 
-    # Shard the outstanding work so each shard's results are persisted
-    # before the next starts: an interrupted sweep loses at most one
-    # shard, and progress/ETA lines have something real to report.
-    from repro.workloads.parallel import default_jobs
-    effective_jobs = jobs if jobs is not None else default_jobs()
-    shard_size = max(1, 2 * effective_jobs)
-    shards = [todo[i:i + shard_size]
-              for i in range(0, len(todo), shard_size)]
-    simulated = 0
-    started = time.monotonic()
-    for number, shard in enumerate(shards, start=1):
-        payloads = []
-        for index, workload, key in shard:
-            point = points[index]
-            payloads.append((workload, point.instructions, point.seed,
-                             point.overrides))
-        results = run_tasks(_simulate_task, payloads, jobs=jobs,
-                            retries=retries)
-        for (index, workload, key), record in zip(shard, results):
-            records[key] = record
-            if store is not None:
-                store.put(key, record)
-            obs.emit("sweep_point_completed", spec=spec.name,
-                     label=points[index].label(), workload=workload,
-                     cycles=record["cycles"])
-        simulated += len(shard)
-        if effective_jobs > 1 and len(payloads) > 1:
-            # The pool's workers simulated on our behalf (the in-process
-            # path already counted itself inside ``_simulate_task``).
-            SIMULATIONS += len(shard)
-        if progress is not None:
-            elapsed = time.monotonic() - started
-            remaining = len(todo) - simulated
-            eta = elapsed / simulated * remaining if simulated else 0.0
-            progress(f"shard {number}/{len(shards)}: "
-                     f"{simulated}/{len(todo)} simulations "
-                     f"({cached} cached) elapsed {elapsed:.1f}s "
-                     f"eta {eta:.1f}s")
+    if engine == "batch" and todo:
+        _run_batch(spec, todo, points, records, store, progress)
+    elif todo:
+        # Shard the outstanding work so each shard's results are
+        # persisted before the next starts: an interrupted sweep loses
+        # at most one shard, and progress/ETA lines have something real
+        # to report.
+        from repro.workloads.parallel import default_jobs
+        effective_jobs = jobs if jobs is not None else default_jobs()
+        shard_size = max(1, 2 * effective_jobs)
+        shards = [todo[i:i + shard_size]
+                  for i in range(0, len(todo), shard_size)]
+        simulated = 0
+        for number, shard in enumerate(shards, start=1):
+            payloads = []
+            for index, workload, key in shard:
+                point = points[index]
+                payloads.append((workload, point.instructions,
+                                 point.seed, point.overrides))
+            results = run_tasks(_simulate_task, payloads, jobs=jobs,
+                                retries=retries)
+            for (index, workload, key), record in zip(shard, results):
+                records[key] = record
+                if store is not None:
+                    store.put(key, record)
+                obs.emit("sweep_point_completed", spec=spec.name,
+                         label=points[index].label(), workload=workload,
+                         cycles=record["cycles"])
+            simulated += len(shard)
+            if effective_jobs > 1 and len(payloads) > 1:
+                # The pool's workers simulated on our behalf (the
+                # in-process path already counted itself inside
+                # ``_simulate_task``).
+                SIMULATIONS += len(shard)
+            if progress is not None:
+                elapsed = time.monotonic() - started
+                remaining = len(todo) - simulated
+                eta = elapsed / simulated * remaining if simulated \
+                    else 0.0
+                progress(f"shard {number}/{len(shards)}: "
+                         f"{simulated}/{len(todo)} simulations "
+                         f"({cached} cached) elapsed {elapsed:.1f}s "
+                         f"eta {eta:.1f}s")
 
     out_points = []
     for index, point in enumerate(points):
@@ -247,7 +327,7 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
         })
     stats = {"points": len(points), "workloads": len(spec.workloads),
              "tasks": len(tasks), "simulated": len(todo),
-             "cached": cached,
+             "cached": cached, "engine": engine,
              "seconds": round(time.monotonic() - started, 3)}
     obs.emit("sweep_finished", spec=spec.name, **stats)
     return SweepResult(spec, out_points, stats)

@@ -34,6 +34,32 @@ from repro.params import MachineParams
 SCHEMA = 1
 
 
+#: Package prefixes and modules excluded from the code-version digest:
+#: they observe or present results without shaping them.  Everything
+#: else — notably the cycle model and the lockstep batch engine
+#: (``batch/``), whose bugs would change stored records — is hashed.
+_UNHASHED = (("explore/", "report/", "validate/", "obs/"),
+             ("cli.py", "api.py"))
+
+
+def hashed_paths() -> tuple:
+    """Relative source paths the code version digests, sorted.
+
+    Exposed so tests can pin coverage: a result-shaping module (the
+    batch engine, say) silently dropping out of the digest would serve
+    stale records after the very bug class the digest guards against.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    prefixes, names = _UNHASHED
+    return tuple(
+        path.relative_to(root).as_posix()
+        for path in sorted(root.rglob("*.py"))
+        if not (path.relative_to(root).as_posix().startswith(prefixes)
+                or path.relative_to(root).as_posix() in names))
+
+
 @functools.lru_cache(maxsize=1)
 def code_version() -> str:
     """Digest of the simulator source that determines stored results.
@@ -42,20 +68,18 @@ def code_version() -> str:
     subsystem itself, the validation checks, the observability layer,
     the report renderers, the API facade and the CLI — those observe or
     present results without shaping them, so iterating on them keeps a
-    warm store warm.
+    warm store warm.  The batch execution engine IS hashed: its fused
+    runs produce the stored records, so a batch-engine change must
+    invalidate them.
     """
     import repro
 
     root = Path(repro.__file__).parent
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        rel = path.relative_to(root).as_posix()
-        if (rel.startswith(("explore/", "report/", "validate/", "obs/"))
-                or rel in ("cli.py", "api.py")):
-            continue
+    for rel in hashed_paths():
         digest.update(rel.encode())
         digest.update(b"\0")
-        digest.update(path.read_bytes())
+        digest.update((root / rel).read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()[:16]
 

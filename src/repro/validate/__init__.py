@@ -9,7 +9,9 @@ contracts into permanent, executable checks:
   any completed :class:`~repro.analysis.measurement.Measurement`.
 * :mod:`repro.validate.differential` — the optimised EBOX fast paths run
   in lockstep against the per-cycle reference implementations on seeded
-  random workloads, with failing runs shrunk to a minimal reproducer.
+  random workloads, with failing runs shrunk to a minimal reproducer;
+  a second axis differences the lockstep batch engine
+  (:mod:`repro.batch`) against independent scalar runs the same way.
 * :mod:`repro.validate.paranoid` — a boundary-hook monitor that samples
   the invariants during long runs at bounded overhead.
 """
@@ -18,10 +20,13 @@ from repro.validate.invariants import (Check, InvariantViolation,
                                        ValidationReport, check_machine,
                                        check_measurement)
 from repro.validate.differential import (Divergence, ReferenceEBox,
-                                         fuzz, run_case, shrink)
+                                         fuzz, fuzz_batch, run_case,
+                                         run_case_batch, shrink,
+                                         shrink_batch)
 from repro.validate.paranoid import ParanoidMonitor
 
 __all__ = ["Check", "InvariantViolation", "ValidationReport",
            "check_machine", "check_measurement", "Divergence",
-           "ReferenceEBox", "fuzz", "run_case", "shrink",
+           "ReferenceEBox", "fuzz", "fuzz_batch", "run_case",
+           "run_case_batch", "shrink", "shrink_batch",
            "ParanoidMonitor"]

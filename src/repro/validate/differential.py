@@ -296,31 +296,173 @@ def shrink(divergence: Divergence) -> Reproducer:
     return Reproducer(small, confirmed)
 
 
-def fuzz(count: int, seed: int, instructions: int = 400,
-         progress=None) -> list:
-    """Run ``count`` random differential cases.
-
-    Returns a list of result dicts, one per case, each with the case
-    label and either ``None`` or a shrunk :class:`Reproducer`.
-    """
+def _fuzz_loop(count: int, seed: int, instructions: int, progress,
+               runner, shrinker, kind: str) -> list:
+    """The shared fuzz driver: draw cases, run, shrink divergences."""
     rng = random.Random(seed)
     results = []
     for index in range(count):
         case = random_case(rng, index, instructions)
-        divergence = run_case(case)
+        divergence = runner(case)
         metrics.counter("validate.fuzz_cases").inc()
         if divergence is not None:
             metrics.counter("validate.divergences").inc()
-            obs.emit("fuzz_divergence", label=case.label(),
+            obs.emit("fuzz_divergence", label=case.label(), kind=kind,
                      field=divergence.field, step=divergence.step)
-        reproducer = shrink(divergence) if divergence is not None \
+        reproducer = shrinker(divergence) if divergence is not None \
             else None
         results.append({"case": case, "label": case.label(),
                         "ok": divergence is None,
                         "reproducer": reproducer})
         obs.emit("fuzz_case", index=index, label=case.label(),
-                 ok=divergence is None)
+                 kind=kind, ok=divergence is None)
         if progress is not None:
             verdict = "ok" if divergence is None else "DIVERGED"
             progress(f"[{index + 1}/{count}] {case.label()}: {verdict}")
     return results
+
+
+def fuzz(count: int, seed: int, instructions: int = 400,
+         progress=None) -> list:
+    """Run ``count`` random fast-vs-reference differential cases.
+
+    Returns a list of result dicts, one per case, each with the case
+    label and either ``None`` or a shrunk :class:`Reproducer`.
+    """
+    return _fuzz_loop(count, seed, instructions, progress,
+                      run_case, shrink, kind="reference")
+
+
+# -- scalar <-> batch lockstep ------------------------------------------
+#
+# The second differential axis: the lockstep batch engine
+# (:mod:`repro.batch`) against independent scalar runs of the same
+# case.  Each case runs at several prefix boundaries so the fuzz
+# exercises exactly what makes the batch engine dangerous — mid-run
+# captures on a shared machine — and every observable of the resulting
+# measurements is compared, not just architectural state.
+
+#: Prefix fractions (of the case budget) a batch fuzz case captures at.
+BATCH_PREFIXES = (3, 2)
+
+
+def batch_targets(instructions: int) -> list:
+    """The capture boundaries a batch fuzz case measures, ascending."""
+    targets = {max(1, instructions // fraction)
+               for fraction in BATCH_PREFIXES}
+    targets.add(instructions)
+    return sorted(targets)
+
+
+def _scalar_lane(case: FuzzCase, target: int):
+    """One scalar-engine run to ``target``: (measurement, error)."""
+    from repro.analysis.measurement import Measurement
+
+    machine = machine_mod.VAX780()
+    executive = Executive(machine, case.profile, seed=case.seed)
+    executive.boot()
+    try:
+        executive.run(target)
+    except RuntimeError as exc:
+        return None, str(exc)
+    return Measurement.capture(case.profile.name, machine), None
+
+
+_MEMORY_FIELDS = ("cache_read_hits", "cache_read_misses",
+                  "cache_write_hits", "cache_write_misses", "tb_hits",
+                  "tb_misses", "tb_d_misses", "tb_i_misses",
+                  "ib_references", "ib_bytes_delivered",
+                  "unaligned_reads", "unaligned_writes",
+                  "write_stall_cycles", "writes")
+
+
+def _measurement_field(batch, scalar):
+    """Name + values of the first differing observable, or None.
+
+    Compares everything a measurement carries: cycle count, both
+    histogram count sets bucket by bucket, every tracer counter and
+    scalar, and the memory-subsystem statistics.
+    """
+    if batch.cycles != scalar.cycles:
+        return "cycles", batch.cycles, scalar.cycles
+    for kind in ("nonstalled", "stalled"):
+        mine = getattr(batch.histogram, kind)
+        theirs = getattr(scalar.histogram, kind)
+        if mine != theirs:
+            for address, (a, b) in enumerate(zip(mine, theirs)):
+                if a != b:
+                    return f"histogram.{kind}[{address}]", a, b
+    for name in scalar.tracer._SCALARS + scalar.tracer._COUNTERS:
+        a, b = getattr(batch.tracer, name), getattr(scalar.tracer, name)
+        if a != b:
+            return f"tracer.{name}", a, b
+    for name in _MEMORY_FIELDS:
+        a, b = getattr(batch.memory, name), getattr(scalar.memory, name)
+        if a != b:
+            return f"memory.{name}", a, b
+    return None
+
+
+def run_case_batch(case: FuzzCase):
+    """Run one case on both engines; returns a Divergence or None.
+
+    The scalar side runs each target independently (fresh machine per
+    budget, exactly the engine path); the batch side fuses all targets
+    into one cohort.  Lane errors participate in the comparison: both
+    engines must fail the same targets with the same message.
+    """
+    from repro.batch import LaneSpec, BatchRunner
+
+    targets = batch_targets(case.instructions)
+    lanes = [LaneSpec(case.profile.name, target, case.seed)
+             for target in targets]
+    runner = BatchRunner(lanes,
+                         profiles={case.profile.name: case.profile})
+    batch = runner.run()
+    for position, (target, lane) in enumerate(zip(targets, batch)):
+        measurement, error = _scalar_lane(case, target)
+        divergence = None
+        if lane.error != error:
+            divergence = ("error", lane.error, error)
+        elif error is None:
+            divergence = _measurement_field(lane.measurement,
+                                            measurement)
+        if divergence is not None:
+            field, fast, reference = divergence
+            return Divergence(case, step=position, instructions=target,
+                              field=field, fast=fast,
+                              reference=reference, window=[])
+    return None
+
+
+def shrink_batch(divergence: Divergence) -> Reproducer:
+    """Shrink a batch divergence to the smallest budget that fails.
+
+    Re-runs with the budget cut to the divergent capture boundary;
+    deterministic engines keep failing, possibly at an even earlier
+    boundary of the smaller case, so the cut iterates to a fixed
+    point.
+    """
+    case, best = divergence.case, divergence
+    while best.instructions < case.instructions:
+        small = replace(case, instructions=max(1, best.instructions))
+        confirmed = run_case_batch(small)
+        if confirmed is None:
+            # Not reproducible under the smaller budget (should not
+            # happen for deterministic engines); keep the evidence.
+            return Reproducer(case, best)
+        case, best = small, confirmed
+    return Reproducer(case, best)
+
+
+def fuzz_batch(count: int, seed: int, instructions: int = 400,
+               progress=None) -> list:
+    """Run ``count`` random scalar-vs-batch differential cases.
+
+    Same result shape as :func:`fuzz`: one dict per case with either
+    ``None`` or a shrunk :class:`Reproducer`.  The same (seed, count)
+    draws the same cases as the reference fuzz, so a profile that
+    diverges on one axis can be replayed on the other.
+    """
+    return _fuzz_loop(count, seed, instructions, progress,
+                      run_case_batch, shrink_batch, kind="batch")

@@ -100,27 +100,44 @@ def run_workload(profile: MixProfile, instructions: int = None,
 
 def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
                              seed: int = 1984, jobs: int = 1,
-                             paranoid: bool = False) -> dict:
+                             paranoid: bool = False,
+                             engine: str = "scalar") -> dict:
     """Run all five standard experiments; returns name -> Measurement.
 
     With ``jobs > 1`` the five independent simulations are distributed
-    over worker processes (see :mod:`repro.workloads.parallel`); results
-    are bit-identical to the serial path, so they are memoised under the
-    same per-workload keys.  ``paranoid`` forces the serial path (the
-    monitor lives in this process).
+    over worker processes (see :mod:`repro.workloads.parallel`); with
+    ``engine="batch"`` (or ``"auto"``) they run as one in-process
+    lockstep batch instead (see :mod:`repro.batch`).  Both paths are
+    bit-identical to the serial loop, so results memoise under the same
+    per-workload keys.  ``paranoid`` forces the serial scalar path (the
+    monitor hooks one live machine in this process).
     """
+    from repro.batch import validate_engine
+
+    engine = validate_engine(engine)
     if paranoid:
         jobs = 1
-    if jobs > 1:
+        engine = "scalar"
+    if engine == "auto":
+        # The batch path needs no spare cores and shares one histogram
+        # sink, so auto prefers it whenever a pool was not requested.
+        engine = "scalar" if jobs > 1 else "batch"
+    todo = [profile for profile in STANDARD_PROFILES
+            if (profile.name, instructions, seed) not in _CACHE]
+    if engine == "batch" and todo:
+        from repro.workloads.parallel import run_standard_batch
+
+        fresh = run_standard_batch(instructions, seed, profiles=todo)
+        for profile in todo:
+            _CACHE[(profile.name, instructions, seed)] = \
+                fresh[profile.name]
+    elif jobs > 1 and len(todo) > 1:
         from repro.workloads.parallel import run_standard_parallel
 
-        todo = [profile for profile in STANDARD_PROFILES
-                if (profile.name, instructions, seed) not in _CACHE]
-        if len(todo) > 1:
-            fresh = run_standard_parallel(instructions, seed, jobs)
-            for profile in todo:
-                _CACHE[(profile.name, instructions, seed)] = \
-                    fresh[profile.name]
+        fresh = run_standard_parallel(instructions, seed, jobs)
+        for profile in todo:
+            _CACHE[(profile.name, instructions, seed)] = \
+                fresh[profile.name]
     return {profile.name: run_workload(profile, instructions, seed,
                                        paranoid=paranoid)
             for profile in STANDARD_PROFILES}
@@ -128,7 +145,8 @@ def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
 
 def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
                        seed: int = 1984, jobs: int = 1,
-                       paranoid: bool = False) -> Measurement:
+                       paranoid: bool = False,
+                       engine: str = "scalar") -> Measurement:
     """The five-workload composite measurement (memoised)."""
     key = ("composite", instructions, seed)
     cached = _CACHE.get(key)
@@ -136,7 +154,7 @@ def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
         obs.record_measurement(cached)
         return cached
     runs = run_standard_experiments(instructions, seed, jobs=jobs,
-                                    paranoid=paranoid)
+                                    paranoid=paranoid, engine=engine)
     total = composite(runs.values())
     _CACHE[key] = total
     obs.emit("composite_finished", workloads=len(runs),

@@ -1,0 +1,162 @@
+"""Lane planning, struct-of-arrays state, the sink, engine validation."""
+
+import pytest
+
+from repro.batch import (BatchHistogramSink, BatchRunner, ENGINES,
+                         EngineError, LaneArrays, LaneSpec,
+                         plan_cohorts, validate_engine)
+
+
+class TestLaneSpec:
+    def test_overrides_normalise_to_sorted_pairs(self):
+        spec = LaneSpec("w", 10, 1, {"tb_rows": 64, "cache_kb": 4})
+        assert spec.overrides == (("cache_kb", 4), ("tb_rows", 64))
+
+    def test_override_order_does_not_split_cohorts(self):
+        a = LaneSpec("w", 10, 1, (("x", 1), ("y", 2)))
+        b = LaneSpec("w", 20, 1, (("y", 2), ("x", 1)))
+        assert a.cohort_key() == b.cohort_key()
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError, match="positive budget"):
+            LaneSpec("w", 0, 1)
+
+    def test_label_mentions_everything(self):
+        spec = LaneSpec("w", 10, 5, {"tb_rows": 64})
+        assert spec.label() == "w n=10 seed=5 [tb_rows=64]"
+
+
+class TestPlanCohorts:
+    def test_budget_only_variants_fuse(self):
+        lanes = [LaneSpec("w", 100, 1), LaneSpec("w", 300, 1),
+                 LaneSpec("w", 200, 1)]
+        cohorts = plan_cohorts(lanes)
+        assert len(cohorts) == 1
+        assert cohorts[0].targets == (100, 200, 300)
+        assert cohorts[0].lanes_at(200) == (2,)
+
+    def test_duplicate_lanes_share_one_capture(self):
+        lanes = [LaneSpec("w", 100, 1), LaneSpec("w", 100, 1)]
+        cohorts = plan_cohorts(lanes)
+        assert len(cohorts) == 1
+        assert cohorts[0].targets == (100,)
+        assert cohorts[0].lanes_at(100) == (0, 1)
+
+    def test_workload_seed_and_params_split(self):
+        lanes = [LaneSpec("w", 100, 1),
+                 LaneSpec("v", 100, 1),
+                 LaneSpec("w", 100, 2),
+                 LaneSpec("w", 100, 1, {"tb_rows": 64})]
+        assert len(plan_cohorts(lanes)) == 4
+
+    def test_first_seen_order_preserved(self):
+        lanes = [LaneSpec("b", 100, 1), LaneSpec("a", 100, 1),
+                 LaneSpec("b", 200, 1)]
+        assert [c.workload for c in plan_cohorts(lanes)] == ["b", "a"]
+
+
+class _FakeEBox:
+    def __init__(self, pc, now):
+        self.pc, self.now = pc, now
+
+
+class _FakeTracer:
+    def __init__(self, instructions):
+        self.instructions = instructions
+
+
+class _FakeMachine:
+    def __init__(self, pc, now, instructions):
+        self.ebox = _FakeEBox(pc, now)
+        self.tracer = _FakeTracer(instructions)
+
+
+class TestLaneArrays:
+    def test_vectorized_reductions(self):
+        arrays = LaneArrays(3)
+        arrays.update(0, _FakeMachine(0x200, 900, 100), target=100,
+                      cycle_limit=40_000, done=True, failed=False)
+        arrays.update(1, _FakeMachine(0x300, 500, 60), target=200,
+                      cycle_limit=80_000, done=False, failed=False)
+        arrays.update(2, _FakeMachine(0x400, 700, 10), target=50,
+                      cycle_limit=20_000, done=False, failed=True)
+        assert arrays.live() == 1
+        assert list(arrays.live_mask()) == [False, True, False]
+        assert arrays.remaining() == 140
+        snap = arrays.snapshot()
+        assert snap["pc"] == [0x200, 0x300, 0x400]
+        assert snap["now"] == [900, 500, 700]
+        assert snap["done"] == [1, 0, 0]
+        assert snap["failed"] == [0, 0, 1]
+
+
+class _FakeBoard:
+    """Two tiny count sets standing in for a live HistogramBoard."""
+
+    def __init__(self, size, bump):
+        self.nonstalled = [bump + i for i in range(size)]
+        self.stalled = [2 * bump + i for i in range(size)]
+
+
+class TestBatchHistogramSink:
+    def test_rows_read_back_and_composite_sums(self):
+        sink = BatchHistogramSink(2, size=8)
+        sink.capture(0, _FakeBoard(8, 1))
+        sink.capture(1, _FakeBoard(8, 5))
+        assert list(sink.histogram(0).nonstalled) == \
+            [1 + i for i in range(8)]
+        total = sink.composite()
+        assert list(total.nonstalled) == [6 + 2 * i for i in range(8)]
+        assert list(total.stalled) == [12 + 2 * i for i in range(8)]
+
+    def test_double_capture_rejected(self):
+        sink = BatchHistogramSink(1, size=4)
+        sink.capture(0, _FakeBoard(4, 1))
+        with pytest.raises(ValueError, match="captured twice"):
+            sink.capture(0, _FakeBoard(4, 2))
+
+    def test_uncaptured_rows_rejected(self):
+        sink = BatchHistogramSink(2, size=4)
+        with pytest.raises(ValueError, match="not captured"):
+            sink.histogram(1)
+        with pytest.raises(ValueError, match="no captured rows"):
+            sink.composite()
+
+
+class TestValidateEngine:
+    def test_none_means_scalar(self):
+        assert validate_engine(None) == "scalar"
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_known_names_pass_through(self, name):
+        assert validate_engine(name) == name
+
+    def test_unknown_name_lists_the_choices(self):
+        with pytest.raises(EngineError) as exc:
+            validate_engine("turbo")
+        message = str(exc.value)
+        assert "unknown engine 'turbo'" in message
+        for name in ENGINES:
+            assert name in message
+
+    def test_engine_error_is_a_value_error(self):
+        assert issubclass(EngineError, ValueError)
+
+    def test_restricted_choices(self):
+        with pytest.raises(EngineError, match="scalar, batch"):
+            validate_engine("auto", choices=("scalar", "batch"))
+
+
+class TestBatchRunnerValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            BatchRunner([])
+
+    def test_nonpositive_quantum_rejected(self):
+        with pytest.raises(ValueError, match="quantum"):
+            BatchRunner([LaneSpec("timesharing-research", 10, 1)],
+                        quantum=0)
+
+    def test_unknown_workload_lists_the_valid_ones(self):
+        with pytest.raises(ValueError, match="unknown workload 'nope'"):
+            BatchRunner([LaneSpec("nope", 10, 1)])

@@ -84,3 +84,31 @@ class TestResultStore:
         leftovers = [p for p in (tmp_path / "store").rglob("*")
                      if p.is_file() and p.suffix != ".json"]
         assert leftovers == []
+
+
+class TestHashedPaths:
+    """Pin which sources shape the code-version digest.
+
+    A result-shaping module silently dropping out of the digest would
+    serve stale records across simulator changes — the very bug class
+    the digest exists to prevent — so coverage is asserted explicitly.
+    """
+
+    def test_result_shaping_modules_are_hashed(self):
+        from repro.explore.store import hashed_paths
+
+        paths = hashed_paths()
+        for path in ("cpu/ebox.py", "osim/executive.py",
+                     "batch/engine.py", "batch/lanes.py",
+                     "batch/histograms.py", "batch/__init__.py"):
+            assert path in paths
+
+    def test_observers_and_presenters_are_not(self):
+        from repro.explore.store import hashed_paths
+
+        paths = hashed_paths()
+        assert not any(p.startswith(("explore/", "report/",
+                                     "validate/", "obs/"))
+                       for p in paths)
+        assert "cli.py" not in paths
+        assert "api.py" not in paths

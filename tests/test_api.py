@@ -152,3 +152,41 @@ class TestPackageFacade:
 
         with pytest.raises(AttributeError):
             repro.no_such_thing
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected_before_running(self):
+        with pytest.raises(api.ApiError,
+                           match="unknown engine 'warp'"):
+            api.characterize(smoke=True, engine="warp")
+
+    def test_error_lists_the_valid_engines(self):
+        with pytest.raises(api.ApiError,
+                           match="scalar, batch, auto"):
+            api.explore(smoke=True, engine="warp")
+
+    def test_validate_has_no_auto(self):
+        """The fuzzer differences one named engine; auto would hide
+        which one a report vouches for."""
+        with pytest.raises(api.ApiError, match="unknown engine 'auto'"):
+            api.validate(smoke=True, engine="auto")
+
+    def test_characterize_batch_engine_is_bit_identical(self):
+        # Fresh seed: neither engine can serve this from the memo cache,
+        # so the batch run really simulates and the scalar rerun reads
+        # the memo entries the batch engine filled — same keys, same
+        # bits (the field-level identity proof lives in tests/batch).
+        batch = api.characterize(smoke=True, table="1", seed=4711,
+                                 engine="batch")
+        scalar = api.characterize(smoke=True, table="1", seed=4711)
+        assert scalar.engine == "scalar"
+        assert batch.engine == "batch"
+        assert batch.cycles == scalar.cycles
+        assert batch.tables == scalar.tables
+
+    def test_validate_batch_fuzzer_smoke(self):
+        result = api.validate(smoke=True, fuzz_cases=1,
+                              fuzz_instructions=120, engine="batch")
+        assert result.ok
+        assert result.engine == "batch"
+        assert result.divergences == 0

@@ -176,3 +176,26 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "consistency vs. composite" in out
         assert "paper Table 5: 10.6" in out
+
+    def test_engine_flag_validated_before_simulating(self, capsys):
+        assert main(["characterize", "--engine", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'warp'" in err
+        for name in ("scalar", "batch", "auto"):
+            assert name in err
+        # Nothing simulated, nothing printed.
+        assert capsys.readouterr().out == ""
+
+    def test_validate_rejects_auto_engine(self, capsys):
+        assert main(["validate", "--smoke", "--engine", "auto"]) == 2
+        assert "unknown engine 'auto'" in capsys.readouterr().err
+
+    def test_explore_smoke_batch_engine(self, tmp_path, capsys):
+        import json
+        out_json = tmp_path / "EXPLORE.json"
+        assert main(["explore", "--smoke", "--engine", "batch",
+                     "--store", str(tmp_path / "store"),
+                     "--json", str(out_json)]) == 0
+        doc = json.loads(out_json.read_text())
+        assert doc["meta"]["engine"] == "batch"
+        assert doc["stats"]["engine"] == "batch"

@@ -18,8 +18,10 @@ Usage:
 worktree of the baseline commit) so before/after are produced by the
 same protocol on the same host, back to back.
 
-The JSON accumulates one entry per label plus a ``speedup`` block
-computed from ``before``/``after`` when both are present.
+The JSON accumulates one entry per label plus ``speedup`` (the
+composite before/after ratio), ``speedups`` (per-section ratios,
+> 1 = faster) and ``batch`` (the paired scalar-vs-batch sweep timing
+from the lockstep batch engine) computed when present.
 """
 
 import argparse
@@ -69,6 +71,7 @@ def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
         "ubench": measure_ubench(repeats),
         "explore": measure_explore(repeats),
         "obs": measure_obs(instructions, seed, repeats),
+        "batch": measure_batch(repeats),
     }
 
 
@@ -127,9 +130,12 @@ def measure_explore(repeats: int) -> dict:
             t0 = time.perf_counter()
             cold = run_sweep(SMOKE, store=store, jobs=1)
             cold_runs.append(round(time.perf_counter() - t0, 3))
-            t0 = time.perf_counter()
+            # Warm reads complete in low milliseconds — far below the
+            # resolution ``round(perf_counter(), 3)`` kept — so the
+            # warm side is timed on the nanosecond clock.
+            t0 = time.perf_counter_ns()
             warm = run_sweep(SMOKE, store=store, jobs=1)
-            warm_runs.append(round(time.perf_counter() - t0, 3))
+            warm_runs.append(time.perf_counter_ns() - t0)
             if warm.stats["simulated"]:
                 raise SystemExit(
                     f"warm sweep re-simulated "
@@ -151,8 +157,9 @@ def measure_explore(repeats: int) -> dict:
         "sweep_cycles": sweep_cycles,
         "cold_seconds": cold_runs,
         "best_cold_seconds": min(cold_runs),
-        "warm_seconds": warm_runs,
-        "best_warm_seconds": min(warm_runs),
+        "warm_nanoseconds": warm_runs,
+        "best_warm_nanoseconds": min(warm_runs),
+        "best_warm_seconds": round(min(warm_runs) / 1e9, 6),
     }
 
 
@@ -204,6 +211,101 @@ def measure_obs(instructions: int, seed: int, repeats: int) -> dict:
         "best_observed_seconds": best_observed,
         "overhead_fraction": round(best_observed / best_plain - 1, 4),
     }
+
+
+def measure_batch(repeats: int) -> dict:
+    """Pair a serial scalar sweep against the lockstep batch engine.
+
+    The sweep is a 12-point measurement-window convergence study — one
+    workload, the ``instructions`` axis from 2,000 to 24,000 — the
+    shape the batch engine exists for: every point is a prefix of the
+    longest run, so the batch engine fuses all twelve lanes onto one
+    machine while the scalar engine pays for each point separately.
+    Both sides run without a store (every point cold) and the records
+    are required to match exactly (same cycles, same histogram
+    digests) before a timing is accepted.
+
+    Returns an empty dict when the measured tree predates the batch
+    engine (the ``--label before`` baseline).
+    """
+    try:
+        from repro.batch import plan_cohorts  # noqa: F401
+    except ImportError:
+        return {}
+    from repro.explore import run_sweep
+    from repro.explore.space import Axis, SweepSpec
+
+    spec = SweepSpec(
+        name="batch-bench",
+        axes=(Axis("instructions", tuple(range(2_000, 24_001, 2_000))),),
+        mode="ofat", instructions=2_000, seed=1984,
+        workloads=("timesharing-research",))
+    scalar_runs, batch_runs = [], []
+    sweep_cycles = None
+    points = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        scalar = run_sweep(spec, store=None, jobs=1, engine="scalar")
+        scalar_runs.append(round(time.perf_counter() - t0, 3))
+        t0 = time.perf_counter()
+        batch = run_sweep(spec, store=None, jobs=1, engine="batch")
+        batch_runs.append(round(time.perf_counter() - t0, 3))
+        for a, b in zip(scalar.points, batch.points):
+            if a["records"] != b["records"]:
+                raise SystemExit(
+                    f"scalar/batch records differ at {a['label']} — "
+                    "timings are not comparable")
+        cycles = sum(entry["composite"]["cycles"]
+                     for entry in scalar.points)
+        if sweep_cycles is None:
+            sweep_cycles = cycles
+            points = len(scalar.points)
+        elif sweep_cycles != cycles:
+            raise SystemExit(f"non-deterministic batch-bench cycles: "
+                             f"{sweep_cycles} vs {cycles}")
+    best_scalar = min(scalar_runs)
+    best_batch = min(batch_runs)
+    return {
+        "spec": spec.name,
+        "points": points,
+        "instructions_axis": list(spec.axes[0].values),
+        "sweep_cycles": sweep_cycles,
+        "scalar_seconds": scalar_runs,
+        "best_scalar_seconds": best_scalar,
+        "batch_seconds": batch_runs,
+        "best_batch_seconds": best_batch,
+        "speedup": round(best_scalar / best_batch, 2),
+    }
+
+
+#: (label, path to the before/after seconds inside an entry) pairs the
+#: speedup block reports; ratios are before/after, > 1 means faster.
+_SPEEDUP_SECTIONS = (
+    ("composite", ("best_seconds",)),
+    ("ubench", ("ubench", "best_seconds")),
+    ("explore_cold", ("explore", "best_cold_seconds")),
+    ("explore_warm", ("explore", "best_warm_seconds")),
+    ("obs_plain", ("obs", "best_plain_seconds")),
+)
+
+
+def _dig(entry: dict, path: tuple):
+    value = entry
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def speedups(before: dict, after: dict) -> dict:
+    """Per-section before/after wall-clock ratios (> 1 = faster)."""
+    out = {}
+    for label, path in _SPEEDUP_SECTIONS:
+        a, b = _dig(before, path), _dig(after, path)
+        if a and b:
+            out[label] = round(a / b, 2)
+    return out
 
 
 def _source_id() -> str:
@@ -263,6 +365,14 @@ def main() -> int:
           f"{ob['best_plain_seconds']:.2f}s  observed "
           f"{ob['best_observed_seconds']:.2f}s  "
           f"overhead {ob['overhead_fraction'] * 100:+.2f}%")
+    ba = entry["batch"]
+    if ba:
+        print(f"[{args.label}] batch engine on a {ba['points']}-point "
+              f"instructions sweep: scalar "
+              f"{ba['best_scalar_seconds']:.2f}s  batch "
+              f"{ba['best_batch_seconds']:.2f}s  "
+              f"speedup {ba['speedup']:.2f}x  "
+              f"cycles={ba['sweep_cycles']}")
 
     if args.output:
         doc = {}
@@ -275,6 +385,11 @@ def main() -> int:
                     f"{args.output} exists but is not valid JSON ({exc}); "
                     "move it aside or pass a different --output")
         doc[args.label] = entry
+        if entry["batch"]:
+            # The paired scalar-vs-batch sweep timing, surfaced at the
+            # top level (both sides run on the measured tree, so it
+            # needs no before entry to be meaningful).
+            doc["batch"] = entry["batch"]
         before, after = doc.get("before"), doc.get("after")
         if before and after:
             if before["composite_cycles"] != after["composite_cycles"]:
@@ -284,6 +399,7 @@ def main() -> int:
                     f"{after['composite_cycles']}) — not comparable")
             doc["speedup"] = round(before["best_seconds"]
                                    / after["best_seconds"], 2)
+            doc["speedups"] = speedups(before, after)
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
