@@ -23,6 +23,11 @@ Commands:
   sensitivity tables.
 * ``validate`` — conservation-invariant checks on the five workloads
   plus fastpath-vs-reference differential fuzzing.
+* ``serve`` — run the simulation service: an async HTTP job server
+  with a shared result cache, bounded queue, and backpressure (see
+  :mod:`repro.serve`).
+* ``submit`` — submit one job to a running server and wait for the
+  result.
 
 Every command accepts the shared flags ``--jobs``, ``--seed``,
 ``--json``, ``--smoke``, ``--store``, ``--engine``, ``--obs DIR`` and
@@ -209,6 +214,55 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(0 = invariants only)")
     validate.add_argument("--fuzz-instructions", type=int, default=400,
                           help="measured instructions per fuzz case")
+
+    serve = sub.add_parser(
+        "serve", parents=[parent],
+        help="run the simulation service (async job server with a "
+             "shared cache, queueing, and backpressure)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 = ephemeral; the actual port "
+                            "is printed at startup)")
+    serve.add_argument("--queue-size", type=int, default=64,
+                       help="bounded job queue depth; a full queue "
+                            "answers 429 + Retry-After")
+    serve.add_argument("--rate", type=float, default=None,
+                       metavar="PER_SEC",
+                       help="per-client submission rate limit "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=int, default=8,
+                       help="per-client token-bucket capacity")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="per-round execution timeout; timed-out "
+                            "jobs retry once, then fail")
+    serve.add_argument("--no-store", dest="use_store",
+                       action="store_false", default=True,
+                       help="serve without the persistent result cache "
+                            "(in-flight coalescing still applies)")
+
+    submit = sub.add_parser(
+        "submit", parents=[parent],
+        help="submit one job to a running server")
+    submit.add_argument("job_command", metavar="COMMAND",
+                        help="service command: characterize, "
+                             "run-workload, ubench, explore, validate")
+    submit.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="job parameter (repeatable); VALUE is "
+                             "parsed as JSON, falling back to a string")
+    submit.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="server address")
+    submit.add_argument("--client-name", default=None, metavar="NAME",
+                        help="client identity for rate limiting "
+                             "(X-Repro-Client header)")
+    submit.add_argument("--no-wait", dest="wait", action="store_false",
+                        default=True,
+                        help="return the queued job id immediately "
+                             "instead of polling for the result")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for the job to finish")
     return parser
 
 
@@ -354,11 +408,14 @@ def _cmd_explore(args) -> int:
     print(render_sensitivity(result.report, result.stats))
     if args.json:
         from repro.explore import code_version
+        from repro.explore.store import ResultStore
 
         _write_json(args.json, explore_json(result.sweep, result.report,
                                             meta={
             "spec": result.spec,
             "store": store,
+            "store_stats": ResultStore(store).stats()
+            if store is not None else None,
             "engine": result.engine,
             "code_version": code_version(),
         }))
@@ -393,6 +450,82 @@ def _cmd_validate(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import JobServer, ServeConfig
+    from repro.serve.canonical import _engine
+
+    if args.engine is not None:
+        _engine(args.engine)        # fail at startup, not per request
+    config = ServeConfig(
+        host=args.host, port=args.port, queue_size=args.queue_size,
+        workers=_jobs(args), rate=args.rate, burst=args.burst,
+        store=(args.store or ".explore/store") if args.use_store
+        else None,
+        engine=args.engine, job_timeout=args.job_timeout)
+
+    async def run() -> None:
+        server = JobServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, server.request_drain)
+        print(f"repro.serve listening on "
+              f"http://{config.host}:{server.port}", flush=True)
+        await server.serve_forever()
+        print("repro.serve drained and stopped", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.canonical import COMMANDS
+    from repro.serve.client import ServeClient, ServeError
+
+    cls = COMMANDS.get(args.job_command)
+    if cls is None:
+        raise api.ApiError(
+            f"unknown command {args.job_command!r}; choose from "
+            f"{', '.join(sorted(COMMANDS))}")
+    params = {}
+    for item in args.param:
+        name, sep, value = item.partition("=")
+        if not sep:
+            raise api.ApiError(
+                f"--param expects NAME=VALUE, got {item!r}")
+        try:
+            params[name] = json.loads(value)
+        except json.JSONDecodeError:
+            params[name] = value
+    from dataclasses import fields
+
+    names = {spec.name for spec in fields(cls)}
+    for flag in ("seed", "jobs", "engine"):
+        value = getattr(args, flag)
+        if value is not None and flag in names and flag not in params:
+            params[flag] = value
+    if args.smoke and "smoke" in names and "smoke" not in params:
+        params["smoke"] = True
+    cls.from_payload(params)        # reject bad params before the wire
+    client = ServeClient(url=args.url, name=args.client_name)
+    try:
+        job = client.submit(args.job_command, params, wait=args.wait,
+                            timeout=args.timeout)
+    except ServeError as exc:
+        print(str(exc), file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"retry after {exc.retry_after}s", file=sys.stderr)
+        return 1
+    note = " (cache hit)" if job.get("cached") else ""
+    print(f"job {job['id']}: {job['status']}{note}")
+    if args.json:
+        _write_json(args.json, job)
+    return 0
+
+
 _COMMANDS = {
     "characterize": _cmd_characterize,
     "run-workload": _cmd_run_workload,
@@ -403,6 +536,8 @@ _COMMANDS = {
     "ubench": _cmd_ubench,
     "explore": _cmd_explore,
     "validate": _cmd_validate,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -46,6 +46,7 @@ def _record(measurement, workload: str, instructions: int,
     import hashlib
 
     from repro.analysis.reduction import Reduction
+    from repro.explore.store import SCHEMA
     from repro.ucode.rows import COLUMN_ORDER, ROW_ORDER
 
     hist = measurement.histogram
@@ -62,6 +63,11 @@ def _record(measurement, workload: str, instructions: int,
     tracer = measurement.tracer
     mem = measurement.memory
     return {
+        # The schema/code pair is already part of the key; repeating it
+        # inside the record lets ResultStore.stats() break a store down
+        # by version without re-deriving keys.
+        "schema": SCHEMA,
+        "code": code_version(),
         "workload": workload,
         "instructions": instructions,
         "seed": seed,

@@ -38,7 +38,7 @@ SCHEMA = 1
 #: they observe or present results without shaping them.  Everything
 #: else — notably the cycle model and the lockstep batch engine
 #: (``batch/``), whose bugs would change stored records — is hashed.
-_UNHASHED = (("explore/", "report/", "validate/", "obs/"),
+_UNHASHED = (("explore/", "report/", "validate/", "obs/", "serve/"),
              ("cli.py", "api.py"))
 
 
@@ -66,11 +66,13 @@ def code_version() -> str:
 
     Hashes every module of the ``repro`` package except the explore
     subsystem itself, the validation checks, the observability layer,
-    the report renderers, the API facade and the CLI — those observe or
-    present results without shaping them, so iterating on them keeps a
-    warm store warm.  The batch execution engine IS hashed: its fused
-    runs produce the stored records, so a batch-engine change must
-    invalidate them.
+    the report renderers, the job server, the API facade and the CLI —
+    those observe or present results without shaping them, so iterating
+    on them keeps a warm store warm.  (The serve layer's own
+    canonicalization changes are guarded separately by its
+    ``SERVE_SCHEMA`` key component.)  The batch execution engine IS
+    hashed: its fused runs produce the stored records, so a
+    batch-engine change must invalidate them.
     """
     import repro
 
@@ -123,8 +125,12 @@ class ResultStore:
 
         A missing file is an ordinary miss; a file that exists but does
         not parse (truncated by a crash before atomic writes, bit rot,
-        hand editing) is also a miss but warns, since the point will be
-        silently re-simulated.
+        hand editing) is a miss that warns *and quarantines* — the file
+        is renamed to ``<key>.json.corrupt`` so a poisoned entry is
+        re-read (and re-warned about) at most once instead of on every
+        subsequent lookup, and the next successful simulation can
+        re-populate the key.  Quarantined files are left on disk for
+        post-mortem inspection; :meth:`stats` counts them.
         """
         path = self._path(key)
         try:
@@ -135,14 +141,27 @@ class ResultStore:
             metrics.counter("explore.store.misses").inc()
             return None
         except (OSError, json.JSONDecodeError) as exc:
-            warnings.warn(f"discarding unreadable store entry {path}: "
-                          f"{exc}", stacklevel=2)
+            quarantined = self._quarantine(path)
+            warnings.warn(
+                f"discarding unreadable store entry {path}: {exc}"
+                + (f" (quarantined as {quarantined.name})"
+                   if quarantined else ""), stacklevel=2)
             self.misses += 1
             metrics.counter("explore.store.misses").inc()
             return None
         self.hits += 1
         metrics.counter("explore.store.hits").inc()
         return record
+
+    def _quarantine(self, path: Path):
+        """Move an unreadable entry aside; None if the rename failed."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        metrics.counter("explore.store.quarantined").inc()
+        return target
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -172,3 +191,43 @@ class ResultStore:
         if not objects.is_dir():
             return 0
         return sum(1 for _ in objects.glob("*/*.json"))
+
+    def stats(self) -> dict:
+        """Inventory of the store: entries, bytes, version breakdown.
+
+        ``versions`` buckets entries by the ``schema``/``code`` fields
+        recorded inside each record (records predating those fields
+        land in the ``"schema=? code=?"`` bucket); ``quarantined``
+        counts entries :meth:`get` moved aside as unreadable.  Reads
+        every record, so this is a reporting call (``repro explore
+        --json``, the serve ``/metrics`` endpoint), not a hot-path one.
+        """
+        entries = 0
+        size = 0
+        quarantined = 0
+        versions: dict = {}
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for path in sorted(objects.glob("*/*")):
+                if path.name.endswith(".corrupt"):
+                    quarantined += 1
+                    continue
+                if path.suffix != ".json":
+                    continue
+                try:
+                    text = path.read_text()
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries += 1
+                size += stat.st_size
+                try:
+                    record = json.loads(text)
+                except json.JSONDecodeError:
+                    label = "unreadable"
+                else:
+                    label = (f"schema={record.get('schema', '?')} "
+                             f"code={record.get('code', '?')}")
+                versions[label] = versions.get(label, 0) + 1
+        return {"entries": entries, "bytes": size,
+                "quarantined": quarantined, "versions": versions}

@@ -1,0 +1,131 @@
+"""Job bookkeeping for the server: one record per distinct request.
+
+A :class:`Job` is the unit clients poll — it carries the canonical
+request, the content-address key, lifecycle timestamps, and eventually
+the result document (or the error).  The :class:`JobTable` indexes jobs
+two ways: by id for ``GET /jobs/<id>``, and by key for in-flight
+coalescing (a duplicate submission attaches to the queued/running job
+instead of enqueueing a second simulation).  Finished jobs age out of
+the id index after ``history`` entries — their results live on in the
+content-addressed store, which is the durable half of the service.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+
+#: Lifecycle states, in order.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class Job:
+    """One accepted request and everything that happened to it."""
+
+    __slots__ = ("id", "key", "request", "canonical", "status",
+                 "created", "started", "finished", "result", "error",
+                 "cached", "coalesced", "attempts", "client",
+                 "seconds")
+
+    def __init__(self, job_id: str, key: str, request,
+                 client: str = None, clock=time.time) -> None:
+        self.id = job_id
+        self.key = key
+        self.request = request
+        self.canonical = request.canonical()
+        self.status = QUEUED
+        self.created = clock()
+        self.started = None
+        self.finished = None
+        self.result = None       #: the facade result's to_json() doc
+        self.error = None
+        self.cached = False      #: served from the store, no simulation
+        self.coalesced = 0       #: duplicate submissions attached
+        self.attempts = 0        #: execution rounds started
+        self.client = client
+        self.seconds = None      #: execution wall seconds (None: cached)
+
+    @property
+    def done(self) -> bool:
+        return self.status in (DONE, FAILED)
+
+    def to_json(self) -> dict:
+        """The job document clients see (submission and polling)."""
+        doc = {
+            "id": self.id,
+            "key": self.key,
+            "command": self.request.command,
+            "params": self.canonical,
+            "status": self.status,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "created": round(self.created, 6),
+        }
+        if self.started is not None:
+            doc["started"] = round(self.started, 6)
+        if self.finished is not None:
+            doc["finished"] = round(self.finished, 6)
+        if self.seconds is not None:
+            doc["seconds"] = round(self.seconds, 6)
+        if self.status == DONE:
+            doc["result"] = self.result
+        if self.status == FAILED:
+            doc["error"] = self.error
+        return doc
+
+
+class JobTable:
+    """Id and key indexes over the server's jobs, with bounded history.
+
+    ``inflight`` holds exactly the not-yet-finished jobs, keyed by
+    content address — the coalescing index.  ``history`` bounds how
+    many *finished* jobs stay pollable by id; the store keeps their
+    results beyond that.
+    """
+
+    def __init__(self, history: int = 512) -> None:
+        self.history = history
+        self.by_id: dict = {}
+        self.inflight: dict = {}          #: key -> Job, not yet done
+        self._finished: deque = deque()
+        self._ids = itertools.count(1)
+        self.submitted = 0
+
+    def new_id(self) -> str:
+        return f"j{next(self._ids):06d}"
+
+    def add(self, job: Job) -> None:
+        self.by_id[job.id] = job
+        self.submitted += 1
+        if job.done:
+            self._retire(job)
+        else:
+            self.inflight[job.key] = job
+
+    def get(self, job_id: str):
+        return self.by_id.get(job_id)
+
+    def coalesce(self, key: str):
+        """The in-flight job this key would duplicate, or None."""
+        return self.inflight.get(key)
+
+    def finish(self, job: Job) -> None:
+        """Move a job out of the in-flight index and cap history."""
+        if self.inflight.get(job.key) is job:
+            del self.inflight[job.key]
+        self._retire(job)
+
+    def _retire(self, job: Job) -> None:
+        self._finished.append(job.id)
+        while len(self._finished) > self.history:
+            evicted = self._finished.popleft()
+            self.by_id.pop(evicted, None)
+
+    def counts(self) -> dict:
+        """Job totals by status, for ``/metrics``."""
+        counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for job in self.by_id.values():
+            counts[job.status] += 1
+        counts["submitted"] = self.submitted
+        return counts

@@ -1,0 +1,111 @@
+"""Minimal HTTP/1.1 + JSON framing over asyncio streams.
+
+Just enough HTTP for the job server: one request per connection
+(``Connection: close``), JSON bodies both ways, no chunked encoding, no
+keep-alive, no TLS.  The stdlib client (:mod:`http.client`) and plain
+``curl`` both speak this subset natively, which keeps
+:mod:`repro.serve.client` dependency-free.
+
+The parser is deliberately strict — a malformed request line, header,
+or body raises :class:`ProtocolError` and the server answers 400 —
+because the server sits behind trusted harnesses (tests, CI, the
+submit CLI), not the open internet.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Upper bound on accepted bodies; a characterize payload is < 1 KB,
+#: so anything near this is a client bug, not a big job.
+MAX_BODY = 1 << 20
+
+#: Reason phrases for every status the server emits.
+REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A request the HTTP layer could not parse."""
+
+
+class Request:
+    """One parsed HTTP request: method, target, headers, JSON body."""
+
+    __slots__ = ("method", "target", "headers", "body")
+
+    def __init__(self, method: str, target: str, headers: dict,
+                 body: bytes) -> None:
+        self.method = method
+        self.target = target
+        self.headers = headers       #: lower-cased name -> value
+        self.body = body
+
+    def json(self):
+        """The body parsed as JSON (``None`` for an empty body)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"body is not valid JSON: {exc}") \
+                from exc
+
+
+async def read_request(reader, max_body: int = MAX_BODY) -> Request:
+    """Parse one request from an asyncio stream reader.
+
+    Raises :class:`ProtocolError` on anything malformed and
+    ``asyncio.IncompleteReadError``/``ConnectionError`` when the peer
+    hangs up mid-request (callers treat those as a closed connection,
+    not a protocol error).
+    """
+    line = await reader.readline()
+    if not line:
+        raise ConnectionResetError("connection closed before request")
+    try:
+        method, target, version = line.decode("ascii").split()
+    except ValueError as exc:
+        raise ProtocolError(f"malformed request line {line!r}") from exc
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol {version!r}")
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = line.decode("ascii").partition(":")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"malformed header {line!r}") from exc
+        if not _:
+            raise ProtocolError(f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length", "0")
+    try:
+        length = int(length)
+    except ValueError as exc:
+        raise ProtocolError(f"bad Content-Length {length!r}") from exc
+    if length < 0 or length > max_body:
+        raise ProtocolError(f"body of {length} bytes out of range "
+                            f"(max {max_body})")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method.upper(), target, headers, body)
+
+
+def response_bytes(status: int, doc=None, headers: dict = None) -> bytes:
+    """One complete HTTP/1.1 response with a JSON body."""
+    body = b""
+    if doc is not None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    lines = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body

@@ -166,3 +166,20 @@ def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
 def clear_cache() -> None:
     """Drop memoised measurements (tests that vary parameters use this)."""
     _CACHE.clear()
+
+
+def prime_cache(name: str, instructions: int, seed: int,
+                measurement) -> None:
+    """Memoise a measurement produced elsewhere under its run key.
+
+    The lockstep batch engine's lanes are bit-identical to
+    :func:`run_workload`, so a caller that already holds a lane's
+    measurement (the serve dispatcher fusing co-queued budgets) may
+    pre-seed the memo and let the ordinary facade path find it.
+    """
+    _CACHE[(name, instructions, seed)] = measurement
+
+
+def is_cached(name: str, instructions: int, seed: int) -> bool:
+    """Whether a (profile, instructions, seed) run is already memoised."""
+    return (name, instructions, seed) in _CACHE

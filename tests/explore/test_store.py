@@ -86,6 +86,95 @@ class TestResultStore:
         assert leftovers == []
 
 
+class TestQuarantine:
+    def test_corrupt_entry_is_renamed_aside(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.put(key, {"cycles": 1})
+        path = store._path(key)
+        path.write_text("{truncated")
+        with pytest.warns(UserWarning, match="quarantined as"):
+            assert store.get(key) is None
+        assert not path.exists()
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.read_text() == "{truncated"
+
+    def test_quarantined_entry_warns_only_once(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.put(key, {"cycles": 1})
+        store._path(key).write_text("{truncated")
+        with pytest.warns(UserWarning):
+            store.get(key)
+        # The poisoned file is gone, so the next read is an ordinary
+        # silent miss — no warning spam on every lookup.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get(key) is None
+
+    def test_key_is_writable_again_after_quarantine(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.put(key, {"cycles": 1})
+        store._path(key).write_text("{truncated")
+        with pytest.warns(UserWarning):
+            store.get(key)
+        store.put(key, {"cycles": 2})
+        assert store.get(key) == {"cycles": 2}
+        assert store.stats()["quarantined"] == 1
+
+
+class TestStats:
+    def test_empty_store(self, tmp_path):
+        stats = ResultStore(tmp_path / "store").stats()
+        assert stats == {"entries": 0, "bytes": 0, "quarantined": 0,
+                         "versions": {}}
+
+    def test_counts_bytes_and_version_buckets(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for n, code in enumerate(("c0", "c0", "c1")):
+            key = result_key(VAX780, f"w{n}", 100, 1, code=code)
+            store.put(key, {"schema": 1, "code": code, "cycles": n})
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] == sum(
+            path.stat().st_size for path in
+            (tmp_path / "store" / "objects").glob("*/*.json"))
+        assert stats["versions"] == {"schema=1 code=c0": 2,
+                                     "schema=1 code=c1": 1}
+
+    def test_legacy_records_land_in_unknown_bucket(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = result_key(VAX780, "w", 100, 1, code="c")
+        store.put(key, {"cycles": 1})      # no schema/code fields
+        assert store.stats()["versions"] == {"schema=? code=?": 1}
+
+    def test_quarantined_files_counted_not_bucketed(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        good = result_key(VAX780, "good", 100, 1, code="c")
+        bad = result_key(VAX780, "bad", 100, 1, code="c")
+        store.put(good, {"schema": 1, "code": "c"})
+        store.put(bad, {"schema": 1, "code": "c"})
+        store._path(bad).write_text("{truncated")
+        with pytest.warns(UserWarning):
+            store.get(bad)
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["quarantined"] == 1
+        assert sum(stats["versions"].values()) == 1
+
+    def test_sweep_records_carry_their_version(self, smoke_store,
+                                               smoke_sweep):
+        """The runner stamps schema/code into every record, so a real
+        sweep's store breaks down into exactly one version bucket."""
+        from repro.explore.store import SCHEMA, code_version
+
+        stats = smoke_store.stats()
+        assert stats["entries"] == len(smoke_store)
+        label = f"schema={SCHEMA} code={code_version()}"
+        assert stats["versions"] == {label: stats["entries"]}
+
+
 class TestHashedPaths:
     """Pin which sources shape the code-version digest.
 
@@ -108,7 +197,7 @@ class TestHashedPaths:
 
         paths = hashed_paths()
         assert not any(p.startswith(("explore/", "report/",
-                                     "validate/", "obs/"))
+                                     "validate/", "obs/", "serve/"))
                        for p in paths)
         assert "cli.py" not in paths
         assert "api.py" not in paths

@@ -1,0 +1,87 @@
+"""Traffic shaping units: token buckets, the limiter, retry hints."""
+
+import pytest
+
+from repro.serve.flow import RateLimiter, RetryEstimator, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.take() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.take()
+        assert wait == pytest.approx(0.5)   # 1 token at 2/s
+        clock.now += 0.5
+        assert bucket.take() == 0.0
+        assert bucket.take() > 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.now += 60.0
+        assert [bucket.take() for _ in range(2)] == [0.0, 0.0]
+        assert bucket.take() > 0.0
+
+    def test_zero_rate_is_a_hard_cap(self):
+        bucket = TokenBucket(rate=0.0, burst=1, clock=FakeClock())
+        assert bucket.take() == 0.0
+        assert bucket.take() == TokenBucket.CAP
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0)
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=-1.0, burst=1)
+
+
+class TestRateLimiter:
+    def test_disabled_by_default_rate(self):
+        limiter = RateLimiter(None)
+        assert all(limiter.take("anyone") == 0.0 for _ in range(1000))
+
+    def test_clients_are_independent(self):
+        limiter = RateLimiter(0.0, burst=1, clock=FakeClock())
+        assert limiter.take("a") == 0.0
+        assert limiter.take("a") > 0.0
+        assert limiter.take("b") == 0.0
+
+    def test_idle_clients_are_pruned(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1, clock=clock)
+        for n in range(RateLimiter.MAX_CLIENTS):
+            limiter.take(f"client-{n}")
+        clock.now += 10.0               # everyone refills to full
+        limiter.take("the-straw")
+        assert len(limiter._buckets) <= RateLimiter.MAX_CLIENTS
+
+
+class TestRetryEstimator:
+    def test_hint_scales_with_depth_and_duration(self):
+        estimator = RetryEstimator(workers=1, initial=2.0)
+        assert estimator.retry_after(0) == 2
+        assert estimator.retry_after(3) == 8
+
+    def test_workers_divide_the_drain_time(self):
+        assert RetryEstimator(workers=4, initial=4.0).retry_after(3) == 4
+
+    def test_clamped_to_sane_bounds(self):
+        fast = RetryEstimator(initial=0.001)
+        assert fast.retry_after(0) == 1
+        slow = RetryEstimator(initial=1e6)
+        assert slow.retry_after(50) == RetryEstimator.MAX
+
+    def test_ewma_tracks_observations(self):
+        estimator = RetryEstimator(initial=1.0, alpha=0.5)
+        estimator.observe(9.0)
+        assert estimator.ewma == pytest.approx(5.0)
+        estimator.observe(9.0)
+        assert estimator.ewma == pytest.approx(7.0)

@@ -1,0 +1,102 @@
+"""The minimal HTTP layer: strict parsing, well-formed responses."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import protocol
+
+
+def parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await protocol.read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        request = parse(b"GET /metrics HTTP/1.1\r\n"
+                        b"Host: localhost\r\n\r\n")
+        assert request.method == "GET"
+        assert request.target == "/metrics"
+        assert request.headers["host"] == "localhost"
+        assert request.json() is None
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"command": "ubench"}).encode()
+        request = parse(b"POST /jobs HTTP/1.1\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body)
+        assert request.method == "POST"
+        assert request.json() == {"command": "ubench"}
+
+    def test_header_names_lowercase_and_strip(self):
+        request = parse(b"GET / HTTP/1.1\r\n"
+                        b"X-Repro-Client:  ci  \r\n\r\n")
+        assert request.headers["x-repro-client"] == "ci"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(protocol.ProtocolError, match="request line"):
+            parse(b"GARBAGE\r\n\r\n")
+
+    def test_unsupported_protocol_version(self):
+        with pytest.raises(protocol.ProtocolError, match="unsupported"):
+            parse(b"GET / SPDY/9\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(protocol.ProtocolError, match="header"):
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(protocol.ProtocolError,
+                           match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: lots\r\n\r\nx")
+
+    def test_oversized_body_rejected_before_reading(self):
+        huge = protocol.MAX_BODY + 1
+        with pytest.raises(protocol.ProtocolError, match="out of range"):
+            parse(b"POST / HTTP/1.1\r\n"
+                  + f"Content-Length: {huge}\r\n\r\n".encode())
+
+    def test_closed_connection_is_not_a_protocol_error(self):
+        with pytest.raises(ConnectionResetError):
+            parse(b"")
+
+    def test_non_json_body_fails_at_json_time(self):
+        request = parse(b"POST / HTTP/1.1\r\n"
+                        b"Content-Length: 4\r\n\r\n{oop")
+        with pytest.raises(protocol.ProtocolError, match="JSON"):
+            request.json()
+
+
+class TestResponseBytes:
+    def test_shape_and_content_length(self):
+        raw = protocol.response_bytes(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Connection: close" in lines
+        assert f"Content-Length: {len(body)}" in lines
+        assert json.loads(body) == {"ok": True}
+
+    def test_extra_headers_appended(self):
+        raw = protocol.response_bytes(429, {"error": "queue full"},
+                                      {"Retry-After": "7"})
+        head = raw.partition(b"\r\n\r\n")[0].decode()
+        assert head.startswith("HTTP/1.1 429 Too Many Requests")
+        assert "Retry-After: 7" in head
+
+    def test_every_emitted_status_has_a_reason(self):
+        for status in (200, 202, 400, 404, 405, 429, 500, 503):
+            assert status in protocol.REASONS
+
+    def test_bodyless_response(self):
+        raw = protocol.response_bytes(200)
+        assert raw.endswith(b"\r\n\r\n")
+        assert b"Content-Length: 0" in raw

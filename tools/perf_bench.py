@@ -72,6 +72,7 @@ def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
         "explore": measure_explore(repeats),
         "obs": measure_obs(instructions, seed, repeats),
         "batch": measure_batch(repeats),
+        "serve": measure_serve(repeats),
     }
 
 
@@ -278,6 +279,96 @@ def measure_batch(repeats: int) -> dict:
     }
 
 
+def measure_serve(repeats: int,
+                  requests: int = 6, instructions: int = 1_500) -> dict:
+    """Pair N duplicate service submissions against N scalar runs.
+
+    The scalar side simulates the same characterize job ``requests``
+    times on a cold memo (what N independent clients running the CLI
+    themselves would pay).  The serve side submits the identical job
+    ``requests`` times to a job server: the first submission simulates,
+    every later one is answered from the shared content-addressed cache
+    — so the comparison measures exactly what the service's dedup is
+    worth, plus the warm per-request overhead (HTTP round trip + store
+    read) that a cache hit costs.  Result documents are required to be
+    bit-identical across the scalar run, the served run, and every
+    cache hit before a timing is accepted.
+
+    Returns an empty dict when the measured tree predates the serve
+    subsystem (the ``--label before`` baseline).
+    """
+    try:
+        from repro.serve.testing import ServerThread  # noqa: F401
+    except ImportError:
+        return {}
+    import shutil
+    import tempfile
+
+    from repro import api
+    from repro.serve import ServeConfig
+    from repro.serve.testing import ServerThread
+    from repro.workloads import engine
+
+    params = {"instructions": instructions, "seed": 424_242,
+              "table": "4"}
+    scalar_runs, serve_runs = [], []
+    warm_requests = []
+    reference = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(requests):
+            engine.clear_cache()
+            doc = api.characterize(**params).to_json()
+        scalar_runs.append(round(time.perf_counter() - t0, 3))
+        if reference is None:
+            reference = json.dumps(doc, sort_keys=True)
+        elif json.dumps(doc, sort_keys=True) != reference:
+            raise SystemExit("non-deterministic scalar characterize — "
+                             "serve timings are not comparable")
+
+        engine.clear_cache()
+        root = tempfile.mkdtemp(prefix="serve-bench-")
+        try:
+            config = ServeConfig(store=os.path.join(root, "store"),
+                                 workers=1, queue_size=requests + 1)
+            with ServerThread(config) as handle:
+                client = handle.client(name="perf-bench")
+                t0 = time.perf_counter()
+                jobs = [client.submit("characterize", params)
+                        for _ in range(requests)]
+                serve_runs.append(round(time.perf_counter() - t0, 3))
+                for number, job in enumerate(jobs):
+                    served = json.dumps(job["result"], sort_keys=True)
+                    if served != reference:
+                        raise SystemExit(
+                            f"served result #{number} is not "
+                            "bit-identical to the scalar run")
+                if not all(job["cached"] for job in jobs[1:]):
+                    raise SystemExit("later duplicates were not cache "
+                                     "hits — dedup is broken")
+                # Warm per-request cost, timed individually.
+                for _ in range(3):
+                    t0 = time.perf_counter_ns()
+                    client.submit("characterize", params)
+                    warm_requests.append(time.perf_counter_ns() - t0)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    engine.clear_cache()
+    best_scalar = min(scalar_runs)
+    best_serve = min(serve_runs)
+    return {
+        "requests": requests,
+        "instructions": instructions,
+        "scalar_seconds": scalar_runs,
+        "best_scalar_seconds": best_scalar,
+        "serve_seconds": serve_runs,
+        "best_serve_seconds": best_serve,
+        "dedup_speedup": round(best_scalar / best_serve, 2),
+        "warm_request_nanoseconds": warm_requests,
+        "best_warm_request_seconds": round(min(warm_requests) / 1e9, 6),
+    }
+
+
 #: (label, path to the before/after seconds inside an entry) pairs the
 #: speedup block reports; ratios are before/after, > 1 means faster.
 _SPEEDUP_SECTIONS = (
@@ -286,6 +377,7 @@ _SPEEDUP_SECTIONS = (
     ("explore_cold", ("explore", "best_cold_seconds")),
     ("explore_warm", ("explore", "best_warm_seconds")),
     ("obs_plain", ("obs", "best_plain_seconds")),
+    ("serve_warm", ("serve", "best_warm_request_seconds")),
 )
 
 
@@ -373,6 +465,14 @@ def main() -> int:
               f"{ba['best_batch_seconds']:.2f}s  "
               f"speedup {ba['speedup']:.2f}x  "
               f"cycles={ba['sweep_cycles']}")
+    sv = entry["serve"]
+    if sv:
+        print(f"[{args.label}] serve dedup on {sv['requests']} "
+              f"duplicate submissions: scalar "
+              f"{sv['best_scalar_seconds']:.2f}s  served "
+              f"{sv['best_serve_seconds']:.2f}s  "
+              f"dedup speedup {sv['dedup_speedup']:.2f}x  warm request "
+              f"{sv['best_warm_request_seconds'] * 1000:.1f}ms")
 
     if args.output:
         doc = {}
@@ -390,6 +490,10 @@ def main() -> int:
             # top level (both sides run on the measured tree, so it
             # needs no before entry to be meaningful).
             doc["batch"] = entry["batch"]
+        if entry["serve"]:
+            # Likewise paired on the measured tree: N duplicate
+            # submissions vs N scalar runs.
+            doc["serve"] = entry["serve"]
         before, after = doc.get("before"), doc.get("after")
         if before and after:
             if before["composite_cycles"] != after["composite_cycles"]:

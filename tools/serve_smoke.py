@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""CI smoke for the job server: dedup, cache hits, clean SIGTERM drain.
+
+Starts ``python -m repro serve`` as a real subprocess (with ``--obs``
+so the run leaves a metrics.json artifact), then drives it over HTTP:
+
+1. submit a smoke characterize job and wait for the result;
+2. submit the identical job again — it must come back as a cache hit
+   with a bit-identical result document;
+3. submit one more (distinct) job without waiting, send ``SIGTERM``,
+   and require the server to drain: exit code 0, the pending job's
+   record present in the store, nothing lost.
+
+Exits non-zero with a diagnostic on the first violated expectation.
+
+Usage::
+
+    python tools/serve_smoke.py [--obs-dir serve-obs] [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+sys.path.insert(0, SRC)
+
+
+def fail(message: str) -> None:
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_server(store: str, obs_dir: str) -> tuple:
+    env = dict(os.environ, PYTHONPATH=SRC, PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", store, "--obs", obs_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    deadline = time.monotonic() + 60
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            return proc, line.strip().rsplit(" ", 1)[-1]
+        if not line or time.monotonic() > deadline:
+            proc.kill()
+            fail(f"server did not come up (last line: {line!r})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--obs-dir", default="serve-obs",
+                        help="observability artifact directory "
+                             "(uploaded by CI)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch store directory")
+    args = parser.parse_args()
+
+    from repro.explore.store import ResultStore
+    from repro.serve.client import ServeClient, ServeError
+
+    scratch = tempfile.mkdtemp(prefix="serve-smoke-")
+    store = os.path.join(scratch, "store")
+    proc, url = start_server(store, args.obs_dir)
+    print(f"serve_smoke: server at {url}, store {store}")
+
+    params = {"smoke": True, "table": "4", "seed": 417}
+    try:
+        client = ServeClient(url=url, name="serve-smoke")
+
+        first = client.submit("characterize", params)
+        if first["cached"]:
+            fail("first submission must simulate, not hit the cache")
+        print(f"serve_smoke: first run done in {first['seconds']}s")
+
+        second = client.submit("characterize", params)
+        if not second["cached"]:
+            fail("identical resubmission was not served from the cache")
+        a = json.dumps(first["result"], sort_keys=True)
+        b = json.dumps(second["result"], sort_keys=True)
+        if a != b:
+            fail("cached result is not bit-identical to the first run")
+        print("serve_smoke: resubmission was a bit-identical cache hit")
+
+        doc = client.metrics()
+        if doc["cache"]["hits"] != 1 or doc["cache"]["misses"] != 1:
+            fail(f"unexpected cache counters: {doc['cache']}")
+
+        pending = client.submit(
+            "characterize",
+            {"smoke": True, "table": "4", "seed": 418}, wait=False)
+        print(f"serve_smoke: queued {pending['id']}, sending SIGTERM")
+    except ServeError as exc:
+        proc.kill()
+        fail(f"server interaction failed: {exc}")
+
+    proc.send_signal(signal.SIGTERM)
+    try:
+        output, _ = proc.communicate(timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("server did not exit within 120s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"server exited {proc.returncode} after SIGTERM:\n{output}")
+    if "drained and stopped" not in output:
+        fail(f"server never reported a drain:\n{output}")
+
+    stats = ResultStore(store).stats()
+    if stats["entries"] != 2:
+        fail(f"expected 2 persisted records (one per distinct job), "
+             f"got {stats}")
+    print(f"serve_smoke: drain kept all work: store stats {stats}")
+
+    metrics_path = os.path.join(args.obs_dir, "metrics.json")
+    if not os.path.exists(metrics_path):
+        fail(f"server left no {metrics_path} (obs artifact)")
+    snapshot = json.load(open(metrics_path))
+    flat = json.dumps(snapshot)
+    if "serve.jobs.executed" not in flat:
+        fail("metrics.json has no serve counters")
+    print(f"serve_smoke: obs artifact ok: {metrics_path}")
+
+    if not args.keep:
+        shutil.rmtree(scratch, ignore_errors=True)
+    print("serve_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
