@@ -52,11 +52,11 @@ __all__ = ["ApiError", "DEFAULT_INSTRUCTIONS", "SMOKE_INSTRUCTIONS",
            "TABLES",
            "CharacterizeResult", "WorkloadResult", "HotspotsResult",
            "DisasmResult", "Figure1Result", "ProfilesResult",
-           "UbenchResult", "ExploreResult", "ExplorePointsResult",
-           "ValidateResult",
+           "MachinesResult", "UbenchResult", "ExploreResult",
+           "ExplorePointsResult", "ValidateResult",
            "characterize", "run_workload", "hotspots", "disasm",
-           "figure1", "profiles", "ubench", "explore", "explore_points",
-           "explore_spec", "validate"]
+           "figure1", "profiles", "machines", "ubench", "explore",
+           "explore_points", "explore_spec", "validate"]
 
 #: The budget the CLI has always defaulted to for measurement commands.
 DEFAULT_INSTRUCTIONS = 30_000
@@ -90,6 +90,22 @@ def _engine(value, choices=None):
     try:
         return validate_engine(value, choices or ENGINES)
     except ValueError as exc:
+        raise ApiError(str(exc)) from exc
+
+
+def _machine(value):
+    """Resolve a ``machine`` argument before anything simulates.
+
+    ``None`` means the default backend (the paper's 11/780); anything
+    not in the registry raises :class:`ApiError` listing the registered
+    machine names — the same pre-validation contract as ``--table``,
+    engines and the sweep axes.
+    """
+    from repro.machines import MachineError, validate_machine
+
+    try:
+        return validate_machine(value)
+    except MachineError as exc:
         raise ApiError(str(exc)) from exc
 
 
@@ -156,6 +172,7 @@ class CharacterizeResult(_Result):
     jobs: int
     paranoid: bool
     engine: str
+    machine: str
     cycles: int
     instructions_measured: int
     cycles_per_instruction: float
@@ -166,16 +183,19 @@ class CharacterizeResult(_Result):
 def characterize(instructions: int = None, seed: int = 1984,
                  jobs: int = 1, paranoid: bool = False,
                  table="all", smoke: bool = False,
-                 engine: str = None) -> CharacterizeResult:
+                 engine: str = None,
+                 machine: str = None) -> CharacterizeResult:
     """Run the paper's measurement campaign and compute its tables.
 
     ``table`` selects what to compute: ``"all"``, one key (``"1"``
     ... ``"9"``, ``"s4"``), or an iterable of keys.  Unknown keys raise
     :class:`ApiError` before the (expensive) composite run, as does an
     unknown ``engine`` (scalar, batch, or auto; results are
-    bit-identical, see :mod:`repro.batch`).
+    bit-identical, see :mod:`repro.batch`) or an unknown ``machine``
+    (a registered backend, see :mod:`repro.machines`).
     """
     engine_name = _engine(engine)
+    machine_name = _machine(machine)
     if table in ("all", None):
         keys = list(TABLES)
     elif isinstance(table, str):
@@ -188,10 +208,11 @@ def characterize(instructions: int = None, seed: int = 1984,
                            f"{', '.join(TABLES)}")
     instructions = _budget(instructions, smoke)
     with _span("characterize", instructions=instructions, seed=seed,
-               jobs=jobs, engine=engine_name):
+               jobs=jobs, engine=engine_name, machine=machine_name):
         measurement = _engines.standard_composite(
             instructions=instructions, seed=seed, jobs=jobs,
-            paranoid=paranoid, engine=engine_name)
+            paranoid=paranoid, engine=engine_name,
+            machine=machine_name)
         rendered = tuple(
             {"table": key,
              "text": TABLES[key][1](TABLES[key][0](measurement))}
@@ -199,7 +220,7 @@ def characterize(instructions: int = None, seed: int = 1984,
         summary = table8(measurement)
     return CharacterizeResult(
         instructions=instructions, seed=seed, jobs=jobs,
-        paranoid=paranoid, engine=engine_name,
+        paranoid=paranoid, engine=engine_name, machine=machine_name,
         cycles=measurement.cycles,
         instructions_measured=summary.instructions,
         cycles_per_instruction=summary.cycles_per_instruction,
@@ -218,6 +239,7 @@ class WorkloadResult(_Result):
     instructions: int
     seed: int
     paranoid: bool
+    machine: str
     cycles: int
     instructions_measured: int
     cycles_per_instruction: float
@@ -235,24 +257,27 @@ def _find_profile(profile):
 
 
 def run_workload(profile, instructions: int = None, seed: int = 1984,
-                 paranoid: bool = False,
-                 smoke: bool = False) -> WorkloadResult:
+                 paranoid: bool = False, smoke: bool = False,
+                 machine: str = None) -> WorkloadResult:
     """Run one workload environment (by name, suffix, or profile)."""
+    machine_name = _machine(machine)
     resolved = _find_profile(profile)
     if resolved is None:
         raise ApiError(f"unknown profile {profile!r}; "
                        "see 'repro profiles'")
     instructions = _budget(instructions, smoke)
     with _span("run-workload", profile=resolved.name,
-               instructions=instructions, seed=seed):
+               instructions=instructions, seed=seed,
+               machine=machine_name):
         measurement = _engines.run_workload(resolved, instructions,
-                                          seed=seed, paranoid=paranoid)
+                                          seed=seed, paranoid=paranoid,
+                                          machine=machine_name)
         summary = table8(measurement)
         table1_text = render_table1(table1(measurement))
     return WorkloadResult(
         profile=resolved.name, description=resolved.description,
         instructions=instructions, seed=seed, paranoid=paranoid,
-        cycles=measurement.cycles,
+        machine=machine_name, cycles=measurement.cycles,
         instructions_measured=summary.instructions,
         cycles_per_instruction=summary.cycles_per_instruction,
         table1_text=table1_text, measurement=measurement)
@@ -355,6 +380,24 @@ def profiles() -> ProfilesResult:
         for profile in STANDARD_PROFILES))
 
 
+@dataclass(frozen=True)
+class MachinesResult(_Result):
+    """The registered machine backends."""
+
+    machines: tuple  #: ({"name", "description", "default", ...}, ...)
+
+
+def machines() -> MachinesResult:
+    """List the registered machine backends (see :mod:`repro.machines`)."""
+    from repro.machines import DEFAULT_MACHINE, MACHINES
+
+    return MachinesResult(machines=tuple(
+        {"name": spec.name, "description": spec.description,
+         "default": spec.name == DEFAULT_MACHINE, "subset": spec.subset,
+         "cpi_nominal": spec.cpi_nominal}
+        for spec in MACHINES.values()))
+
+
 # -- ubench -------------------------------------------------------------
 
 
@@ -366,6 +409,7 @@ class UbenchResult(_Result):
     kernel_count: int
     seed: int
     jobs: int
+    machine: str
     failed: tuple            #: kernels not exact-and-reconciled
     check_ok: object         #: composite consistency verdict, or None
     ok: bool
@@ -375,34 +419,45 @@ class UbenchResult(_Result):
 
 def ubench(group: str = None, mode: str = None, variant: str = None,
            smoke: bool = False, jobs: int = 1, check: bool = True,
-           check_instructions: int = 20_000,
-           seed: int = 1984) -> UbenchResult:
-    """Run the microbenchmark kernels and confront them with the model."""
+           check_instructions: int = 20_000, seed: int = 1984,
+           machine: str = None) -> UbenchResult:
+    """Run the microbenchmark kernels and confront them with the model.
+
+    ``machine`` selects the backend the kernels run on; the suite is
+    filtered to the families that machine implements, and the model
+    predicts with that machine's params (patch set, per-group extra
+    cycles), so exactness holds on every backend.
+    """
     from repro.ubench import runner, suite
 
+    machine_name = _machine(machine)
     kernels = suite.select(group=group, mode=mode, variant=variant,
-                           smoke=smoke)
+                           smoke=smoke, machine=machine_name)
     if not kernels:
         raise ApiError(
             f"no kernels match group={group!r} mode={mode!r} "
-            f"variant={variant!r}; groups: "
+            f"variant={variant!r} on machine {machine_name!r}; groups: "
             f"{', '.join(suite.groups())}; modes: "
             f"{', '.join(suite.modes())}")
-    with _span("ubench", kernels=len(kernels), jobs=jobs):
-        results = runner.run_suite(kernels, jobs=jobs)
+    with _span("ubench", kernels=len(kernels), jobs=jobs,
+               machine=machine_name):
+        results = runner.run_suite(kernels, jobs=jobs,
+                                   machine=machine_name)
         check_doc = None
         if check:
             from repro.ubench.consistency import check_composite
 
             composite = _engines.standard_composite(
-                instructions=check_instructions, seed=seed, jobs=jobs)
-            check_doc = check_composite(composite)
+                instructions=check_instructions, seed=seed, jobs=jobs,
+                machine=machine_name)
+            check_doc = check_composite(composite, machine=machine_name)
     failed = tuple(r["kernel"] for r in results
                    if not (r["exact"] and r["reconciled"]))
     check_ok = None if check_doc is None else bool(check_doc["ok"])
     return UbenchResult(
         suite="smoke" if smoke else "standard",
-        kernel_count=len(kernels), seed=seed, jobs=jobs, failed=failed,
+        kernel_count=len(kernels), seed=seed, jobs=jobs,
+        machine=machine_name, failed=failed,
         check_ok=check_ok, ok=not failed and check_ok is not False,
         results=tuple(results), check=check_doc)
 
@@ -417,6 +472,7 @@ class ExploreResult(_Result):
     spec: str
     mode: str
     engine: str
+    machine: str
     instructions: int
     seed: int
     stats: dict
@@ -438,18 +494,22 @@ class ExplorePointsResult(_Result):
 
 def explore_spec(spec: str = "paper-sensitivity", axes=(),
                  mode: str = None, instructions: int = None,
-                 seed: int = None, smoke: bool = False):
+                 seed: int = None, smoke: bool = False,
+                 machine: str = None):
     """Resolve facade arguments into a validated SweepSpec.
 
     ``axes`` entries may be ``"name=v1,v2"`` strings or Axis objects;
     any axis replaces the named spec's axes (the spec is then called
-    ``custom``).  Unknown specs, axes or values raise :class:`ApiError`
+    ``custom``).  ``machine`` re-baselines the sweep on a registered
+    backend (a ``machine=...`` axis still varies it point by point).
+    Unknown specs, axes, values or machines raise :class:`ApiError`
     before anything simulates.
     """
     from dataclasses import replace
 
     from repro.explore import SPECS, SpaceError, parse_axis
 
+    machine_name = _machine(machine)
     parsed = []
     for axis in axes:
         if isinstance(axis, str):
@@ -473,6 +533,8 @@ def explore_spec(spec: str = "paper-sensitivity", axes=(),
         overrides["instructions"] = instructions
     if seed is not None:
         overrides["seed"] = seed
+    if machine is not None:
+        overrides["machine"] = machine_name
     try:
         return replace(base, **overrides) if overrides else base
     except SpaceError as exc:
@@ -482,11 +544,12 @@ def explore_spec(spec: str = "paper-sensitivity", axes=(),
 def explore_points(spec: str = "paper-sensitivity", axes=(),
                    mode: str = None, instructions: int = None,
                    seed: int = None, smoke: bool = False,
-                   store=None) -> ExplorePointsResult:
+                   store=None, machine: str = None) -> ExplorePointsResult:
     """Enumerate a sweep's points (and store status) without simulating."""
     from repro.explore import ResultStore, code_version, result_key
 
-    resolved = explore_spec(spec, axes, mode, instructions, seed, smoke)
+    resolved = explore_spec(spec, axes, mode, instructions, seed, smoke,
+                            machine=machine)
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
     code = code_version()
@@ -497,7 +560,7 @@ def explore_points(spec: str = "paper-sensitivity", axes=(),
             1 for workload in resolved.workloads
             if store is not None and result_key(
                 params, workload, point.instructions, point.seed,
-                code=code) in store)
+                code=code, machine=point.machine) in store)
         listing.append({"label": point.label(), "cached": cached})
     return ExplorePointsResult(spec=resolved.name, mode=resolved.mode,
                                workloads=len(resolved.workloads),
@@ -508,24 +571,27 @@ def explore(spec: str = "paper-sensitivity", axes=(), mode: str = None,
             instructions: int = None, seed: int = None,
             smoke: bool = False, store=".explore/store",
             resume: bool = True, jobs: int = 1,
-            progress=None, engine: str = None) -> ExploreResult:
+            progress=None, engine: str = None,
+            machine: str = None) -> ExploreResult:
     """Run a design-space sweep and compute its sensitivity report.
 
     ``store`` is a directory path, a ResultStore, or None (no
     persistence).  ``progress`` is an optional ``callable(str)``.
     ``engine`` selects the execution engine (scalar, batch, or auto —
     batch fuses budget-only point variants onto shared machines; the
-    records are bit-identical); an unknown name raises
+    records are bit-identical); ``machine`` re-baselines the sweep on a
+    registered backend.  An unknown engine or machine name raises
     :class:`ApiError` before anything simulates.
     """
     from repro.explore import ResultStore, run_sweep, sensitivity
 
     engine_name = _engine(engine)
-    resolved = explore_spec(spec, axes, mode, instructions, seed, smoke)
+    resolved = explore_spec(spec, axes, mode, instructions, seed, smoke,
+                            machine=machine)
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
     with _span("explore", spec=resolved.name, jobs=jobs,
-               engine=engine_name):
+               engine=engine_name, machine=resolved.machine):
         sweep = run_sweep(resolved, store=store, jobs=jobs,
                           resume=resume, progress=progress,
                           engine=engine_name)
@@ -535,6 +601,7 @@ def explore(spec: str = "paper-sensitivity", axes=(), mode: str = None,
     return ExploreResult(
         spec=resolved.name, mode=resolved.mode,
         engine=sweep.stats.get("engine", engine_name),
+        machine=resolved.machine,
         instructions=resolved.instructions, seed=resolved.seed,
         stats=dict(sweep.stats), decode_claim_ok=claim_ok,
         ok=claim_ok is not False, sweep=sweep, report=report)
@@ -550,6 +617,7 @@ class ValidateResult(_Result):
     instructions: int
     seed: int
     engine: str
+    machine: str
     fuzz_cases: int
     fuzz_instructions: int
     smoke: bool
@@ -563,7 +631,7 @@ class ValidateResult(_Result):
 def validate(instructions: int = None, fuzz_cases: int = 0,
              fuzz_instructions: int = 400, seed: int = 1984,
              smoke: bool = False, progress=None,
-             engine: str = None) -> ValidateResult:
+             engine: str = None, machine: str = None) -> ValidateResult:
     """Check the conservation laws on all five workloads, then fuzz.
 
     ``engine`` selects what the fuzzer differences against: ``scalar``
@@ -571,21 +639,34 @@ def validate(instructions: int = None, fuzz_cases: int = 0,
     reference spec; ``batch`` runs the lockstep batch engine against
     independent scalar runs, capturing each case at several prefix
     boundaries.  ``auto`` is rejected here — a validation run must name
-    the engine it is validating.
+    the engine it is validating.  ``machine`` selects the backend the
+    workloads run on; the conservation laws are chosen to match its
+    capabilities (no IB / overlapped-decode laws on a machine without
+    them), and the fuzzer — which differences the 780's fast path
+    against its reference spec — only runs on the default machine.
     """
+    from repro.machines import DEFAULT_MACHINE
     from repro.validate import check_measurement, fuzz, fuzz_batch
 
     engine_name = _engine(engine, choices=("scalar", "batch"))
+    machine_name = _machine(machine)
+    if machine_name != DEFAULT_MACHINE and fuzz_cases:
+        raise ApiError(
+            f"differential fuzzing validates the {DEFAULT_MACHINE} "
+            f"engines; drop --fuzz to validate machine "
+            f"{machine_name!r}")
     if instructions is None:
         instructions = SMOKE_INSTRUCTIONS if smoke else 20_000
     if smoke:
         fuzz_instructions = min(fuzz_instructions, 200)
     fuzzer = fuzz_batch if engine_name == "batch" else fuzz
     with _span("validate", instructions=instructions,
-               fuzz_cases=fuzz_cases, engine=engine_name):
+               fuzz_cases=fuzz_cases, engine=engine_name,
+               machine=machine_name):
         reports = tuple(
             check_measurement(_engines.run_workload(
-                profile, instructions, seed=seed))
+                profile, instructions, seed=seed,
+                machine=machine_name), machine=machine_name)
             for profile in STANDARD_PROFILES)
         fuzz_results = tuple(
             fuzzer(fuzz_cases, seed=seed,
@@ -595,7 +676,7 @@ def validate(instructions: int = None, fuzz_cases: int = 0,
     invariants_ok = all(report.ok for report in reports)
     return ValidateResult(
         instructions=instructions, seed=seed, engine=engine_name,
-        fuzz_cases=fuzz_cases,
+        machine=machine_name, fuzz_cases=fuzz_cases,
         fuzz_instructions=fuzz_instructions, smoke=smoke,
         invariants_ok=invariants_ok, divergences=divergences,
         ok=invariants_ok and divergences == 0,

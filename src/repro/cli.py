@@ -16,6 +16,9 @@ Commands:
 * ``disasm`` — assemble a VAX MACRO source file and print its listing.
 * ``figure1`` — render the 11/780 block diagram from the machine model.
 * ``profiles`` — list the five standard workload profiles.
+* ``machines`` — list the registered machine backends
+  (:mod:`repro.machines`): the paper's 11/780 and the MicroVAX 78032
+  subset machine, selectable everywhere via ``--machine``.
 * ``ubench`` — run the microbenchmark kernel sweep (per-instruction
   cycle characterization, measured vs. analytical model).
 * ``explore`` — design-space sweep: simulate MachineParams variations
@@ -30,8 +33,8 @@ Commands:
   result.
 
 Every command accepts the shared flags ``--jobs``, ``--seed``,
-``--json``, ``--smoke``, ``--store``, ``--engine``, ``--obs DIR`` and
-``--heartbeat SECS``; the last two wrap the run in a
+``--json``, ``--smoke``, ``--store``, ``--engine``, ``--machine``,
+``--obs DIR`` and ``--heartbeat SECS``; the obs pair wraps the run in a
 :class:`repro.obs.Observation` (live JSONL events, metrics snapshot,
 Chrome trace, flamegraph, liveness lines on stderr) without changing a
 single simulated count.
@@ -71,6 +74,11 @@ SHARED_FLAGS = (
         help="execution engine: scalar (default), batch (lockstep "
              "many-lane engine, bit-identical results), or auto; "
              "validated before anything simulates")),
+    (("--machine",), dict(
+        default=None, metavar="NAME",
+        help="machine backend: vax780 (default, the paper's machine) "
+             "or uvax78032 (MicroVAX subset VAX); see 'repro "
+             "machines'; validated before anything simulates")),
     (("--obs",), dict(
         default=None, metavar="DIR",
         help="write observability artifacts (events.jsonl, "
@@ -148,6 +156,8 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="render the block diagram")
     sub.add_parser("profiles", parents=[parent],
                    help="list the workload profiles")
+    sub.add_parser("machines", parents=[parent],
+                   help="list the registered machine backends")
 
     ubench = sub.add_parser(
         "ubench", parents=[parent],
@@ -285,7 +295,8 @@ def _cmd_characterize(args) -> int:
     result = api.characterize(instructions=args.instructions,
                               seed=_seed(args), jobs=_jobs(args),
                               paranoid=args.paranoid, table=args.table,
-                              smoke=args.smoke, engine=args.engine)
+                              smoke=args.smoke, engine=args.engine,
+                              machine=args.machine)
     for entry in result.tables:
         print(entry["text"])
         print()
@@ -298,8 +309,9 @@ def _cmd_run_workload(args) -> int:
     result = api.run_workload(args.profile,
                               instructions=args.instructions,
                               seed=_seed(args), paranoid=args.paranoid,
-                              smoke=args.smoke)
+                              smoke=args.smoke, machine=args.machine)
     print(f"workload:  {result.profile}")
+    print(f"machine:   {result.machine}")
     print(f"           {result.description}")
     print(f"instructions measured: {result.instructions_measured}")
     print(f"cycles per instruction: "
@@ -353,6 +365,19 @@ def _cmd_profiles(args) -> int:
     return 0
 
 
+def _cmd_machines(args) -> int:
+    result = api.machines()
+    for machine in result.machines:
+        marker = "*" if machine["default"] else " "
+        print(f"{marker} {machine['name']:12s} "
+              f"(nominal CPI ~{machine['cpi_nominal']:.1f}) "
+              f"{machine['description']}")
+    print("\n* = default backend; select with --machine NAME")
+    if args.json:
+        _write_json(args.json, result.to_json())
+    return 0
+
+
 def _cmd_ubench(args) -> int:
     from repro.report.ubench import render_ubench, ubench_json
 
@@ -360,7 +385,7 @@ def _cmd_ubench(args) -> int:
                         variant=args.variant, smoke=args.smoke,
                         jobs=_jobs(args), check=args.check,
                         check_instructions=args.check_instructions,
-                        seed=_seed(args))
+                        seed=_seed(args), machine=args.machine)
     print(render_ubench(list(result.results), result.check))
     if args.json:
         _write_json(args.json, ubench_json(
@@ -368,6 +393,7 @@ def _cmd_ubench(args) -> int:
                 "suite": result.suite,
                 "kernel_count": result.kernel_count,
                 "seed": result.seed,
+                "machine": result.machine,
             }))
     if result.failed:
         print(f"inexact kernels: {', '.join(result.failed)}",
@@ -388,7 +414,7 @@ def _cmd_explore(args) -> int:
         listing = api.explore_points(
             spec=args.spec, axes=args.axis, mode=args.mode,
             instructions=args.instructions, seed=args.seed,
-            smoke=args.smoke, store=store)
+            smoke=args.smoke, store=store, machine=args.machine)
         print(f"spec '{listing.spec}' ({listing.mode}): "
               f"{len(listing.points)} points x "
               f"{listing.workloads} workloads")
@@ -403,7 +429,7 @@ def _cmd_explore(args) -> int:
         spec=args.spec, axes=args.axis, mode=args.mode,
         instructions=args.instructions, seed=args.seed,
         smoke=args.smoke, store=store, resume=args.resume,
-        jobs=_jobs(args), engine=args.engine,
+        jobs=_jobs(args), engine=args.engine, machine=args.machine,
         progress=lambda line: print(line, file=sys.stderr))
     print(render_sensitivity(result.report, result.stats))
     if args.json:
@@ -433,7 +459,7 @@ def _cmd_validate(args) -> int:
                           fuzz_cases=args.fuzz,
                           fuzz_instructions=args.fuzz_instructions,
                           seed=_seed(args), smoke=args.smoke,
-                          engine=args.engine,
+                          engine=args.engine, machine=args.machine,
                           progress=lambda line: print(line,
                                                       file=sys.stderr))
     print(render_validate(list(result.reports),
@@ -446,6 +472,7 @@ def _cmd_validate(args) -> int:
                 "fuzz_instructions": result.fuzz_instructions,
                 "seed": result.seed,
                 "smoke": result.smoke,
+                "machine": result.machine,
             }))
     return 0 if result.ok else 1
 
@@ -455,16 +482,19 @@ def _cmd_serve(args) -> int:
     import signal
 
     from repro.serve import JobServer, ServeConfig
-    from repro.serve.canonical import _engine
+    from repro.serve.canonical import _engine, _machine
 
     if args.engine is not None:
         _engine(args.engine)        # fail at startup, not per request
+    if args.machine is not None:
+        _machine(args.machine)      # likewise
     config = ServeConfig(
         host=args.host, port=args.port, queue_size=args.queue_size,
         workers=_jobs(args), rate=args.rate, burst=args.burst,
         store=(args.store or ".explore/store") if args.use_store
         else None,
-        engine=args.engine, job_timeout=args.job_timeout)
+        engine=args.engine, machine=args.machine,
+        job_timeout=args.job_timeout)
 
     async def run() -> None:
         server = JobServer(config)
@@ -503,7 +533,7 @@ def _cmd_submit(args) -> int:
     from dataclasses import fields
 
     names = {spec.name for spec in fields(cls)}
-    for flag in ("seed", "jobs", "engine"):
+    for flag in ("seed", "jobs", "engine", "machine"):
         value = getattr(args, flag)
         if value is not None and flag in names and flag not in params:
             params[flag] = value
@@ -533,6 +563,7 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "figure1": _cmd_figure1,
     "profiles": _cmd_profiles,
+    "machines": _cmd_machines,
     "ubench": _cmd_ubench,
     "explore": _cmd_explore,
     "validate": _cmd_validate,

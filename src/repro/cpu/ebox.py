@@ -81,6 +81,10 @@ class EBox:
         self.board = board
         self.tracer = tracer
         self.ib = InstructionBuffer(mem, tb, translator, params)
+        #: With I-stream prefetch disabled (no-IB machines) decoded
+        #: bytes cost nothing per byte: the fetch time is folded into
+        #: the per-group execute cycles (params.exec_extra_cycles).
+        self._ib_free = not params.ib_prefetch
 
         #: Hot-loop bindings.  Every one of these objects is created once
         #: and then mutated in place for the life of the machine (the
@@ -570,6 +574,8 @@ class EBox:
         if ib.count >= nbytes:
             ib.count -= nbytes
             return
+        if self._ib_free:
+            return
         count = self.board.count
         guard = 0
         while ib.count < nbytes:
@@ -596,6 +602,8 @@ class EBox:
     def ib_take_reference(self, nbytes: int, stall_upc: int) -> None:
         """Per-cycle reference for :meth:`ib_take` (executable spec)."""
         ib = self.ib
+        if self._ib_free and ib.count < nbytes:
+            return
         guard = 0
         while ib.count < nbytes:
             if ib.tb_miss_va is not None:

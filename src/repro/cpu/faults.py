@@ -20,6 +20,23 @@ class IllegalOperand(SimulatorError):
     """An operand/addressing-mode combination this subset does not allow."""
 
 
+class UnsupportedInstructionError(SimulatorError):
+    """An instruction outside the selected machine's implemented subset.
+
+    Subset-VAX backends (the MicroVAX 78032) omit whole executor
+    families; dispatching one is a configuration error of the workload,
+    not an architectural event, so it unwinds the run.
+    """
+
+    def __init__(self, mnemonic: str, family: str, machine: str) -> None:
+        super().__init__(
+            f"{mnemonic} (family {family}) is not implemented on "
+            f"machine {machine!r}")
+        self.mnemonic = mnemonic
+        self.family = family
+        self.machine = machine
+
+
 class PageFaultTrap(Exception):
     """A translation-valid fault to be delivered to the kernel.
 

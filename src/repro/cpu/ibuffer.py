@@ -29,7 +29,11 @@ class InstructionBuffer:
         self._mem = mem
         self._tb = tb
         self._translator = translator
-        self.capacity = params.ib_bytes
+        # A machine without a prefetching I-Fetch engine (ib_prefetch
+        # False) has zero capacity: the fill engine is permanently idle
+        # (count >= capacity holds at 0) and the EBOX treats decoded
+        # bytes as free (see EBox._ib_free).
+        self.capacity = params.ib_bytes if params.ib_prefetch else 0
         self.count = 0
         self.prefetch_va = 0
         #: in-flight fill: (ready_cycle, fetch_va) or None.

@@ -20,7 +20,8 @@ from repro.arch.registers import KERNEL, SP
 from repro.arch.specifiers import AddressingMode
 from repro.cpu import prs
 from repro.cpu.ebox import EBox
-from repro.cpu.faults import MachineHalt, PageFaultTrap, SimulatorError
+from repro.cpu.faults import (MachineHalt, PageFaultTrap, SimulatorError,
+                              UnsupportedInstructionError)
 from repro.cpu.tracer import Tracer
 from repro.mem.subsystem import MemorySubsystem
 from repro.monitor.histogram import HistogramBoard
@@ -77,8 +78,13 @@ class PendingInterrupt:
 class VAX780:
     """The complete simulated machine."""
 
-    def __init__(self, params: MachineParams = VAX780_PARAMS) -> None:
+    def __init__(self, params: MachineParams = VAX780_PARAMS,
+                 name: str = "vax780") -> None:
         self.params = params
+        #: Registry name of the machine backend these params model (the
+        #: timing policy is entirely params-driven; the name labels
+        #: reports and unsupported-instruction errors).
+        self.name = name
         self.store = ControlStore()
         self.umap = MicrocodeMap(self.store)
         self.mem = MemorySubsystem(params)
@@ -109,6 +115,19 @@ class VAX780:
         self._decode_cache = {}
         self._patched_families = frozenset(params.patched_families)
         self._overlapped_decode = params.overlapped_decode
+        for family in params.unsupported_families:
+            if family not in EXECUTORS:
+                raise ValueError(
+                    f"unsupported_families names unknown executor "
+                    f"family {family!r}")
+        self._unsupported = frozenset(params.unsupported_families)
+        for group_name, _ in params.exec_extra_cycles:
+            if group_name not in OpcodeGroup.__members__:
+                raise ValueError(
+                    f"exec_extra_cycles names unknown opcode group "
+                    f"{group_name!r}; choose from "
+                    f"{', '.join(OpcodeGroup.__members__)}")
+        self._exec_extra_by_group = dict(params.exec_extra_cycles)
         self._ird_stall = self.umap.ird_stall
         self._bdisp_stall = self.umap.bdisp_stall
         #: True when the previous instruction changed the PC (pipeline
@@ -400,7 +419,7 @@ class VAX780:
         hot = inst.exec_info
         if hot is None:
             hot = self._compile_step_info(inst)
-        ird_upc, patched, br_nbytes, func, slots = hot
+        ird_upc, patched, br_nbytes, func, slots, extra = hot
         try:
             ib = e.ib
             if ib.count >= 1:
@@ -441,6 +460,11 @@ class VAX780:
                 fused = self._compute_fused_upc(inst)
             if fused is not False:
                 e._fused_upc = fused
+            if extra is not None:
+                # Per-group base-cycle surcharge of a slower microcoded
+                # backend, charged to the family's first compute slot so
+                # it lands in the group's execute row.
+                e._cycle_raw(extra[0], extra[1])
             next_pc = func(e, inst, ops, slots)
             e._fused_upc = None
             self._pc_changed = next_pc is not None
@@ -459,17 +483,29 @@ class VAX780:
         """Per-instruction dispatch constants, cached on the instruction.
 
         (IRD µPC, patched-family flag, branch-displacement byte count,
-        execute function, µPC slot map) — everything :meth:`step` would
-        otherwise re-derive from the opcode info on every execution.
+        execute function, µPC slot map, extra-cycle charge) — everything
+        :meth:`step` would otherwise re-derive from the opcode info on
+        every execution.  Subset machines reject their unimplemented
+        families here, before any cycle of the instruction is charged.
         """
         info = inst.info
         family = info.family
+        if family in self._unsupported:
+            raise UnsupportedInstructionError(inst.mnemonic, family,
+                                              self.name)
         branch = info.branch_operand
         br_nbytes = 0 if branch is None else (1 if branch.dtype == "b"
                                               else 2)
         func, slots = self._dispatch[family]
+        extra = None
+        n = self._exec_extra_by_group.get(info.group.name, 0)
+        if n:
+            for slot_name, code in EXECUTORS[family].slots.items():
+                if code == "C" and slot_name != "redirect":
+                    extra = (slots[slot_name], n)
+                    break
         hot = (self.umap.ird[family], family in self._patched_families,
-               br_nbytes, func, slots)
+               br_nbytes, func, slots, extra)
         inst.exec_info = hot
         return hot
 

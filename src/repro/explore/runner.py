@@ -41,7 +41,8 @@ SIMULATIONS = 0
 
 
 def _record(measurement, workload: str, instructions: int,
-            seed: int, overrides: dict) -> dict:
+            seed: int, overrides: dict,
+            machine: str = "vax780") -> dict:
     """Shape one run into the compact store record."""
     import hashlib
 
@@ -71,6 +72,7 @@ def _record(measurement, workload: str, instructions: int,
         "workload": workload,
         "instructions": instructions,
         "seed": seed,
+        "machine": machine,
         "overrides": dict(overrides),
         "cycles": measurement.cycles,
         "instructions_measured": red.instructions,
@@ -98,22 +100,24 @@ def _record(measurement, workload: str, instructions: int,
 def _simulate_task(task) -> dict:
     """Worker entry point (top-level, so it pickles): one simulation."""
     global SIMULATIONS
-    workload, instructions, seed, overrides = task
+    workload, instructions, seed, overrides, machine_name = task
     overrides = dict(overrides)
 
-    from repro.cpu.machine import VAX780
+    from repro.machines.registry import get_machine
     from repro.osim.executive import Executive
-    from repro.params import VAX780 as STOCK
 
+    spec = get_machine(machine_name)
     profile = next(p for p in STANDARD_PROFILES if p.name == workload)
-    machine = VAX780(STOCK.with_overrides(**overrides))
-    executive = Executive(machine, profile, seed=seed)
+    machine = spec.build(spec.params.with_overrides(**overrides))
+    executive = Executive(machine, spec.adapt_profile(profile),
+                          seed=seed)
     executive.boot()
     executive.run(instructions)
     measurement = Measurement.capture(workload, machine)
     SIMULATIONS += 1
     metrics.counter("explore.simulations").inc()
-    return _record(measurement, workload, instructions, seed, overrides)
+    return _record(measurement, workload, instructions, seed, overrides,
+                   machine=machine_name)
 
 
 class SweepResult:
@@ -198,7 +202,7 @@ def _run_batch(spec, todo, points, records, store, progress) -> None:
         point = points[index]
         record = _record(result.measurement, workload,
                          point.instructions, point.seed,
-                         dict(point.overrides))
+                         dict(point.overrides), machine=point.machine)
         records[key] = record
         if store is not None:
             store.put(key, record)
@@ -228,6 +232,19 @@ def _batch_fuses(todo, points) -> bool:
     return len(set(keys)) < len(keys)
 
 
+def _all_default_machine(todo, points) -> bool:
+    """Whether every outstanding task runs on the default backend.
+
+    The lockstep batch engine shares one 780 timing model across
+    lanes, so any non-default point forces the scalar path (mirroring
+    ``run_standard_experiments``).
+    """
+    from repro.machines.registry import DEFAULT_MACHINE
+
+    return all(points[index].machine == DEFAULT_MACHINE
+               for index, _workload, _key in todo)
+
+
 def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
               resume: bool = True, retries: int = 1,
               progress=None, engine: str = "scalar") -> SweepResult:
@@ -251,7 +268,8 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
         params = point.params()
         for workload in spec.workloads:
             key = result_key(params, workload, point.instructions,
-                             point.seed, code=code)
+                             point.seed, code=code,
+                             machine=point.machine)
             tasks.append((index, workload, key))
 
     records = {}        # key -> record
@@ -266,7 +284,9 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
             todo.append((index, workload, key))
     cached = len(set(k for _, _, k in tasks)) - len(todo)
     metrics.counter("explore.resumed_points").inc(cached)
-    if engine == "auto":
+    if not _all_default_machine(todo, points):
+        engine = "scalar"
+    elif engine == "auto":
         engine = "batch" if _batch_fuses(todo, points) else "scalar"
     started = time.monotonic()
     obs.emit("sweep_started", spec=spec.name, points=len(points),
@@ -291,7 +311,8 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
             for index, workload, key in shard:
                 point = points[index]
                 payloads.append((workload, point.instructions,
-                                 point.seed, point.overrides))
+                                 point.seed, point.overrides,
+                                 point.machine))
             results = run_tasks(_simulate_task, payloads, jobs=jobs,
                                 retries=retries)
             for (index, workload, key), record in zip(shard, results):
@@ -323,7 +344,8 @@ def run_sweep(spec: SweepSpec, store: ResultStore = None, jobs: int = None,
         by_workload = {}
         for workload in spec.workloads:
             key = result_key(params, workload, point.instructions,
-                             point.seed, code=code)
+                             point.seed, code=code,
+                             machine=point.machine)
             by_workload[workload] = records[key]
         out_points.append({
             "point": point,

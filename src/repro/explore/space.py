@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import product
 
+from repro.machines.registry import (DEFAULT_MACHINE, MachineError,
+                                     get_machine, machine_names,
+                                     validate_machine)
 from repro.params import MachineParams, VAX780
 from repro.workloads.profiles import STANDARD_PROFILES
 
@@ -28,8 +31,11 @@ class SpaceError(ValueError):
     """An invalid axis name, axis value, or enumerated point."""
 
 
-#: Axes that parameterize the experiment rather than the machine.
-SPECIAL_AXES = ("seed", "instructions")
+#: Axes that parameterize the experiment rather than the machine
+#: configuration: the rng seed, the measurement budget, and the machine
+#: *backend* (a registry name selecting a whole baseline, against which
+#: the parameter axes then apply as overrides).
+SPECIAL_AXES = ("seed", "instructions", "machine")
 
 
 def valid_axes() -> tuple:
@@ -74,6 +80,7 @@ class Point:
     overrides: tuple
     instructions: int
     seed: int
+    machine: str = DEFAULT_MACHINE
 
     @property
     def param_overrides(self) -> dict:
@@ -83,24 +90,35 @@ class Point:
 
     def params(self) -> MachineParams:
         """The machine configuration this point simulates."""
-        return VAX780.with_overrides(**self.param_overrides)
+        base = get_machine(self.machine).params
+        return base.with_overrides(**self.param_overrides)
 
     def label(self) -> str:
         """Human-readable point name, e.g. ``cache_bytes=4096``."""
-        if not self.overrides:
-            return "baseline"
-        return ",".join(f"{name}={value}"
-                        for name, value in self.overrides)
+        parts = []
+        if self.machine != DEFAULT_MACHINE:
+            parts.append(f"machine={self.machine}")
+        parts.extend(f"{name}={value}" for name, value in self.overrides)
+        return ",".join(parts) if parts else "baseline"
 
 
-def _point(overrides: dict, instructions: int, seed: int) -> Point:
+def _point(overrides: dict, instructions: int, seed: int,
+           machine: str = DEFAULT_MACHINE) -> Point:
     instructions = overrides.pop("instructions", instructions)
     seed = overrides.pop("seed", seed)
-    # An override equal to the stock value IS the baseline; dropping it
-    # makes the shared one-factor-at-a-time baseline point compare equal.
+    machine = overrides.pop("machine", machine)
+    try:
+        machine = validate_machine(machine)
+    except MachineError as exc:
+        raise SpaceError(str(exc)) from exc
+    # An override equal to the machine's stock value IS that machine's
+    # baseline; dropping it makes the shared one-factor-at-a-time
+    # baseline point compare equal.
+    base = get_machine(machine).params
     overrides = {name: value for name, value in overrides.items()
-                 if getattr(VAX780, name) != value}
-    point = Point(tuple(sorted(overrides.items())), instructions, seed)
+                 if getattr(base, name) != value}
+    point = Point(tuple(sorted(overrides.items())), instructions, seed,
+                  machine)
     try:
         point.params()
     except ValueError as exc:
@@ -121,10 +139,18 @@ class SweepSpec:
     seed: int = 1984
     workloads: tuple = field(
         default_factory=lambda: tuple(p.name for p in STANDARD_PROFILES))
+    #: The baseline backend every point starts from (a ``machine`` axis
+    #: still overrides it point by point).
+    machine: str = DEFAULT_MACHINE
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "axes", tuple(self.axes))
         object.__setattr__(self, "workloads", tuple(self.workloads))
+        try:
+            object.__setattr__(self, "machine",
+                               validate_machine(self.machine))
+        except MachineError as exc:
+            raise SpaceError(str(exc)) from exc
         if self.mode not in ("ofat", "cartesian"):
             raise SpaceError(
                 f"unknown mode {self.mode!r}; use 'ofat' or 'cartesian'")
@@ -146,7 +172,7 @@ class SweepSpec:
 
     def points(self) -> list:
         """All concrete points, deduplicated, baseline first."""
-        baseline = _point({}, self.instructions, self.seed)
+        baseline = _point({}, self.instructions, self.seed, self.machine)
         points = [baseline]
         seen = {baseline}
         if self.mode == "ofat":
@@ -157,7 +183,8 @@ class SweepSpec:
                           for combo in product(
                               *[a.values for a in self.axes]))
         for overrides in candidates:
-            point = _point(overrides, self.instructions, self.seed)
+            point = _point(overrides, self.instructions, self.seed,
+                           self.machine)
             if point not in seen:
                 seen.add(point)
                 points.append(point)
@@ -168,7 +195,8 @@ def parse_axis(text: str) -> Axis:
     """Parse a CLI axis spec like ``cache_bytes=4096,8192,16384``.
 
     Values are coerced to the field's type: integers for the counts and
-    sizes, ``true/false/on/off/1/0`` for booleans.
+    sizes, ``true/false/on/off/1/0`` for booleans.  The ``machine``
+    axis takes registered machine names, validated eagerly.
     """
     name, sep, values_text = text.partition("=")
     name = name.strip()
@@ -176,6 +204,18 @@ def parse_axis(text: str) -> Axis:
     if not sep or not values_text.strip():
         raise SpaceError(
             f"axis {text!r} has no values; expected name=v1,v2,...")
+    if name == "machine":
+        values = []
+        for part in values_text.split(","):
+            part = part.strip()
+            try:
+                values.append(validate_machine(part))
+            except MachineError as exc:
+                raise SpaceError(
+                    f"axis 'machine': {part!r} is not a registered "
+                    f"machine; choose from "
+                    f"{', '.join(machine_names())}") from exc
+        return Axis(name, tuple(values))
     if name in SPECIAL_AXES:
         kind = int
     else:

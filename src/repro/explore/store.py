@@ -31,7 +31,8 @@ from repro.obs import metrics
 from repro.params import MachineParams
 
 #: Bump when the record layout changes; part of every key.
-SCHEMA = 1
+#: 2: keys and records carry the machine backend name.
+SCHEMA = 2
 
 
 #: Package prefixes and modules excluded from the code-version digest:
@@ -87,14 +88,21 @@ def code_version() -> str:
 
 
 def result_key(params: MachineParams, workload: str, instructions: int,
-               seed: int, code: str = None) -> str:
-    """The content address of one (params, workload, seed) simulation."""
+               seed: int, code: str = None,
+               machine: str = "vax780") -> str:
+    """The content address of one (params, workload, seed) simulation.
+
+    ``machine`` names the backend (see :mod:`repro.machines`): two
+    machines can share identical params yet adapt the workload profile
+    differently, so the name is part of the address.
+    """
     payload = {
         "schema": SCHEMA,
         "code": code_version() if code is None else code,
         "workload": workload,
         "instructions": instructions,
         "seed": seed,
+        "machine": machine,
         "params": {name: (list(value) if isinstance(value, tuple)
                           else value)
                    for name, value in asdict(params).items()},
@@ -197,7 +205,9 @@ class ResultStore:
 
         ``versions`` buckets entries by the ``schema``/``code`` fields
         recorded inside each record (records predating those fields
-        land in the ``"schema=? code=?"`` bucket); ``quarantined``
+        land in the ``"schema=? code=?"`` bucket); ``machines`` buckets
+        them by backend (records predating the machine field count as
+        ``vax780``, the only backend that existed); ``quarantined``
         counts entries :meth:`get` moved aside as unreadable.  Reads
         every record, so this is a reporting call (``repro explore
         --json``, the serve ``/metrics`` endpoint), not a hot-path one.
@@ -206,6 +216,7 @@ class ResultStore:
         size = 0
         quarantined = 0
         versions: dict = {}
+        machines: dict = {}
         objects = self.root / "objects"
         if objects.is_dir():
             for path in sorted(objects.glob("*/*")):
@@ -225,9 +236,21 @@ class ResultStore:
                     record = json.loads(text)
                 except json.JSONDecodeError:
                     label = "unreadable"
+                    machine = "unreadable"
                 else:
                     label = (f"schema={record.get('schema', '?')} "
                              f"code={record.get('code', '?')}")
+                    machine = record.get("machine")
+                    if machine is None:
+                        # Serve records carry it inside the canonical
+                        # params; sweep records predating the field
+                        # can only be the 780.
+                        params = record.get("params")
+                        machine = (params or {}).get("machine") \
+                            if isinstance(params, dict) else None
+                        machine = machine or "vax780"
                 versions[label] = versions.get(label, 0) + 1
+                machines[machine] = machines.get(machine, 0) + 1
         return {"entries": entries, "bytes": size,
-                "quarantined": quarantined, "versions": versions}
+                "quarantined": quarantined, "versions": versions,
+                "machines": machines}

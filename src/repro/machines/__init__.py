@@ -1,0 +1,23 @@
+"""repro.machines: selectable machine backends and the analytical tier.
+
+The registry (:mod:`repro.machines.registry`) names the available
+timing backends — the paper's VAX-11/780 and the MicroVAX 78032 subset
+machine — and the analytical tier (:mod:`repro.machines.analytical`)
+generalizes the microbenchmark busy-cycle model to whole workloads for
+instant CPI estimates, validated against the full simulator.
+"""
+
+from repro.machines.analytical import (CALIBRATION_ANCHORS, ERROR_BOUND,
+                                       AnalyticalError, CpiEstimate,
+                                       WorkloadMix, calibrate,
+                                       check_estimate, kernel_mix)
+from repro.machines.registry import (DEFAULT_MACHINE, MACHINES,
+                                     MachineError, MachineSpec,
+                                     get_machine, machine_names,
+                                     validate_machine)
+
+__all__ = ["AnalyticalError", "CALIBRATION_ANCHORS", "CpiEstimate",
+           "DEFAULT_MACHINE", "ERROR_BOUND",
+           "MACHINES", "MachineError", "MachineSpec", "WorkloadMix",
+           "calibrate", "check_estimate", "get_machine",
+           "kernel_mix", "machine_names", "validate_machine"]

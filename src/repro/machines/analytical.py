@@ -1,0 +1,258 @@
+"""Analytical CPI tier: workload estimates without full simulation.
+
+The microbenchmark model (:mod:`repro.ubench.model`) predicts busy
+cycles *exactly*, but only for straight-line kernels whose data
+dependencies are fixed by construction.  Whole workloads add what no
+static model can see: cold-start TB and cache transients, bursty
+string/decimal phases, interrupt arrivals.  This module generalizes
+the busy-cycle model to workloads with a grey-box calibration:
+
+1. Run the real simulator at a handful of *anchor* budgets (the runs
+   go through the memoised workload engine, so anything else that
+   needs them shares the cost).
+2. Record every Table-8 cell — each (row, column) cycle count — at
+   each anchor.  The cumulative cell counts between anchors form a
+   piecewise-linear model of cost versus instruction budget; the
+   changing slopes capture the cold-start transient, the TB-capacity
+   knee of a narrow-TB machine, and the drifting phase mix that defeat
+   any single-rate model.
+3. Estimate: CPI at any budget inside the calibrated envelope is a
+   per-cell interpolation — instant, and carrying the full
+   Table-8-style decomposition (rows x stall columns) plus a
+   Table-1-style group mix.  Beyond the last anchor the last
+   segment's slope extrapolates (documented as degraded accuracy).
+
+:func:`kernel_mix` closes the loop with the microbenchmark tier: a
+mix built from a kernel is *purely analytical* (no simulation — its
+single anchor comes from :func:`repro.ubench.model.predict_kernel`),
+and agrees with the ubench model exactly at every copy count;
+``tests/machines/test_analytical.py`` pins both that exactness and
+the whole-workload error bounds against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.registry import get_machine
+
+#: Default calibration anchors: five budgets straddling the
+#: characterize default (60k), spaced so no interpolation gap exceeds
+#: 20k instructions.  Deliberately offset from the budgets anything
+#: validates at, so an estimate is never a free lookup of its target.
+CALIBRATION_ANCHORS = (10_000, 30_000, 50_000, 70_000, 90_000)
+
+#: Documented per-workload relative error bound of the analytical CPI
+#: against a full simulation inside the calibrated envelope.  Recorded
+#: from the five paper workloads x both machines (see MACHINES.json);
+#: ``tests/machines/test_analytical.py`` holds every workload to it.
+ERROR_BOUND = 0.05
+
+
+class AnalyticalError(Exception):
+    """A mix that cannot be calibrated or estimated."""
+
+
+@dataclass(frozen=True)
+class CpiEstimate:
+    """One analytical estimate: total cycles plus the decomposition."""
+
+    workload: str
+    machine: str
+    instructions: int
+    cycles: float
+    cpi: float
+    #: row name -> estimated cycles per instruction (Table-8 rows).
+    row_totals: dict
+    #: column name -> estimated cycles per instruction (busy + stalls).
+    column_totals: dict
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload, "machine": self.machine,
+            "instructions": self.instructions,
+            "cycles": round(self.cycles, 3), "cpi": round(self.cpi, 6),
+            "rows": {name: round(value, 6)
+                     for name, value in sorted(self.row_totals.items())},
+            "columns": {name: round(value, 6)
+                        for name, value
+                        in sorted(self.column_totals.items())},
+        }
+
+
+def _interpolate(anchors, counts, n):
+    """Piecewise-linear cumulative count at budget ``n``.
+
+    The implicit origin (0 instructions, 0 cycles) starts the first
+    segment; past the last anchor the final segment's slope continues.
+    """
+    points = ((0, 0.0),) + tuple(zip(anchors, counts))
+    for (n1, c1), (n2, c2) in zip(points, points[1:]):
+        if n <= n2:
+            return c1 + (c2 - c1) * (n - n1) / (n2 - n1)
+    (n1, c1), (n2, c2) = points[-2], points[-1]
+    return c2 + (c2 - c1) * (n - n2) / (n2 - n1)
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A calibrated workload on one machine: the fitted cell model.
+
+    ``cells`` holds ``(row, column, counts)`` tuples — the cumulative
+    cycle count of one Table-8 cell at each anchor budget.
+    ``group_mix`` is the Table-1-style share of instructions per
+    opcode group at the largest anchor.
+    """
+
+    workload: str
+    machine: str
+    anchors: tuple
+    cells: tuple
+    group_mix: tuple
+
+    @property
+    def steady_cpi(self) -> float:
+        """Cycles per instruction over the last calibrated segment."""
+        points = (0,) + self.anchors
+        span = points[-1] - points[-2]
+        return sum((counts[-1] - (counts[-2] if len(counts) > 1 else 0))
+                   for _, _, counts in self.cells) / span
+
+    @property
+    def envelope(self) -> tuple:
+        """The budget range the mix interpolates inside."""
+        return (self.anchors[0], self.anchors[-1])
+
+    def estimate(self, instructions: int) -> CpiEstimate:
+        """Predicted cycles and decomposition at ``instructions``."""
+        if instructions <= 0:
+            raise AnalyticalError(
+                f"estimate needs a positive budget, got {instructions}")
+        rows: dict = {}
+        cols: dict = {}
+        total = 0.0
+        for row, col, counts in self.cells:
+            cycles = max(0.0, _interpolate(self.anchors, counts,
+                                           instructions))
+            total += cycles
+            rows[row] = rows.get(row, 0.0) + cycles / instructions
+            cols[col] = cols.get(col, 0.0) + cycles / instructions
+        return CpiEstimate(self.workload, self.machine, instructions,
+                           total, total / instructions, rows, cols)
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload, "machine": self.machine,
+            "anchors": list(self.anchors),
+            "steady_cpi": round(self.steady_cpi, 6),
+            "group_mix": {name: round(share, 6)
+                          for name, share in self.group_mix},
+        }
+
+
+def _reduction(measurement):
+    from repro.analysis.reduction import Reduction
+
+    return Reduction(measurement.histogram)
+
+
+def _profile(profile):
+    from repro.workloads.profiles import STANDARD_PROFILES
+
+    if not isinstance(profile, str):
+        return profile
+    for candidate in STANDARD_PROFILES:
+        if candidate.name == profile:
+            return candidate
+    raise AnalyticalError(f"unknown workload profile {profile!r}")
+
+
+def calibrate(profile, machine: str = None,
+              anchors: tuple = CALIBRATION_ANCHORS,
+              seed: int = 1984) -> WorkloadMix:
+    """Fit a :class:`WorkloadMix` from simulator runs at the anchors.
+
+    ``profile`` is a :class:`~repro.workloads.profiles.MixProfile` (or
+    a standard profile's name); the anchor runs go through the
+    memoised workload engine, so repeated calibrations — and anything
+    else at those budgets — are free after the first.
+    """
+    from repro.workloads import engine as _engines
+
+    profile = _profile(profile)
+    machine = get_machine(machine).name
+    anchors = tuple(sorted(anchors))
+    if not anchors or anchors[0] <= 0 or len(set(anchors)) < 2:
+        raise AnalyticalError(
+            f"calibration needs at least two distinct positive anchor "
+            f"budgets, got {anchors!r}")
+    reds = [_reduction(_engines.run_workload(profile, n, seed=seed,
+                                             machine=machine))
+            for n in anchors]
+    keys = sorted({key for red in reds for key in red.cells
+                   if red.cells[key]},
+                  key=lambda key: (key[0].name, key[1].name))
+    cells = tuple(
+        (row.name, col.name,
+         tuple(float(red.cells.get((row, col), 0)) for red in reds))
+        for row, col in keys)
+    last = reds[-1]
+    total = last.instructions or 1
+    group_mix = tuple(
+        (group.name, last.group_instructions[group] / total)
+        for group in sorted(last.group_instructions,
+                            key=lambda g: g.name)
+        if last.group_instructions[group])
+    return WorkloadMix(profile.name, machine, anchors, cells, group_mix)
+
+
+def kernel_mix(kernel, machine: str = None) -> WorkloadMix:
+    """A purely analytical mix for one microbenchmark kernel.
+
+    No simulation: the single anchor comes straight from
+    :func:`repro.ubench.model.predict_kernel` with the machine's
+    params, so ``kernel_mix(k, m).estimate(c * k.ipc).cycles`` equals
+    the ubench model's predicted busy total for ``c`` copies, exactly.
+    """
+    from repro.arch.opcodes import opcode
+    from repro.ubench import model
+
+    spec = get_machine(machine)
+    predicted = model.predict_kernel(kernel, spec.params)
+    ipc = kernel.ipc
+    cells = tuple((bucket, "COMPUTE", (float(predicted[bucket]),))
+                  for bucket in model.BUCKETS if predicted[bucket])
+    groups: dict = {}
+    for instr in kernel.instrs:
+        name = opcode(instr.mnemonic).group.name
+        groups[name] = groups.get(name, 0) + 1
+    group_mix = tuple((name, count / len(kernel.instrs))
+                      for name, count in sorted(groups.items()))
+    return WorkloadMix(kernel.name, spec.name, (ipc,), cells, group_mix)
+
+
+def check_estimate(mix: WorkloadMix, instructions: int,
+                   seed: int = 1984) -> dict:
+    """Confront an analytical estimate with a full simulation.
+
+    Returns the estimate, the simulated CPI, and their relative error —
+    the quantity MACHINES.json records per workload and the test suite
+    bounds by :data:`ERROR_BOUND`.
+    """
+    from repro.workloads import engine as _engines
+
+    profile = _profile(mix.workload)
+    estimate = mix.estimate(instructions)
+    red = _reduction(_engines.run_workload(
+        profile, instructions, seed=seed, machine=mix.machine))
+    sim_cpi = red.cycles_per_instruction()
+    rel_err = abs(estimate.cpi - sim_cpi) / sim_cpi if sim_cpi else 0.0
+    return {
+        "workload": mix.workload, "machine": mix.machine,
+        "instructions": instructions,
+        "analytical_cpi": round(estimate.cpi, 6),
+        "simulated_cpi": round(sim_cpi, 6),
+        "rel_err": round(rel_err, 6),
+        "ok": rel_err <= ERROR_BOUND,
+        "estimate": estimate,
+    }

@@ -79,6 +79,26 @@ class MachineParams:
     #: patch"); the measured machines ran patched microcode.
     patched_families: tuple = ("ADDSUB", "CALL", "CHM", "MOVC")
 
+    # -- timing policy (machine backends) ---------------------------------
+    #: When False the machine has no autonomous I-Fetch/IB engine (the
+    #: MicroVAX-class single-chip implementations fetch I-stream bytes as
+    #: part of decode): decoded bytes cost nothing per byte and the fetch
+    #: time is folded into the per-group execute cycles instead
+    #: (``exec_extra_cycles``).  The 11/780 keeps the prefetching IB.
+    ib_prefetch: bool = True
+
+    #: Extra execute-flow compute cycles per instruction, by opcode group:
+    #: ``((group_name, cycles), ...)`` with names from
+    #: :class:`repro.arch.groups.OpcodeGroup` members.  This is the
+    #: per-category base-cycle table of a slower microcoded
+    #: implementation, layered on the 780 flows rather than forking them.
+    exec_extra_cycles: tuple = ()
+
+    #: Executor families the machine does not implement (subset-VAX
+    #: backends).  Executing one raises
+    #: :class:`repro.cpu.faults.UnsupportedInstructionError`.
+    unsupported_families: tuple = ()
+
     def __post_init__(self) -> None:
         positive = ("cycle_ns", "memory_bytes", "cache_bytes",
                     "cache_ways", "cache_block_bytes", "write_buffer_depth",
@@ -124,6 +144,27 @@ class MachineParams:
             raise ValueError(
                 f"ib_fill_bytes={self.ib_fill_bytes} exceeds "
                 f"ib_bytes={self.ib_bytes}")
+        if not isinstance(self.ib_prefetch, bool):
+            raise ValueError(
+                f"ib_prefetch must be a bool, got {self.ib_prefetch!r}")
+        for entry in self.exec_extra_cycles:
+            ok = (isinstance(entry, tuple) and len(entry) == 2
+                  and isinstance(entry[0], str)
+                  and isinstance(entry[1], int)
+                  and not isinstance(entry[1], bool) and entry[1] >= 0)
+            if not ok:
+                raise ValueError(
+                    "exec_extra_cycles entries must be (group_name, "
+                    f"non-negative cycles) pairs, got {entry!r}")
+        seen = [name for name, _ in self.exec_extra_cycles]
+        if len(seen) != len(set(seen)):
+            raise ValueError(
+                f"exec_extra_cycles names duplicate a group: {seen}")
+        for family in self.unsupported_families:
+            if not isinstance(family, str):
+                raise ValueError(
+                    "unsupported_families entries must be family name "
+                    f"strings, got {family!r}")
 
     def with_overrides(self, **kwargs) -> "MachineParams":
         """Return a copy with the given fields replaced."""

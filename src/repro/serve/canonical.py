@@ -32,7 +32,9 @@ from repro.explore.store import code_version
 
 #: Bump when canonicalization or the served record layout changes;
 #: part of every request key.
-SERVE_SCHEMA = 1
+#: 2: every request carries the machine backend name (default vax780),
+#:    so results from different machines can never share a key.
+SERVE_SCHEMA = 2
 
 
 def _expect(request, name, value, kinds, none_ok=False):
@@ -109,6 +111,7 @@ class CharacterizeRequest(ServeRequest):
     table: object = "all"
     smoke: bool = False
     engine: object = None
+    machine: object = None
 
     def canonical(self) -> dict:
         _expect(self, "instructions", self.instructions, int,
@@ -117,6 +120,7 @@ class CharacterizeRequest(ServeRequest):
         _expect(self, "jobs", self.jobs, int)
         _expect(self, "paranoid", self.paranoid, bool)
         _expect(self, "smoke", self.smoke, bool)
+        _expect(self, "machine", self.machine, str, none_ok=True)
         engine = _engine(self.engine)
         if self.table in ("all", None):
             keys = list(api.TABLES)
@@ -132,7 +136,7 @@ class CharacterizeRequest(ServeRequest):
         return {"instructions": _budget(self.instructions, self.smoke),
                 "seed": self.seed, "jobs": self.jobs,
                 "paranoid": self.paranoid, "table": keys,
-                "engine": engine}
+                "engine": engine, "machine": _machine(self.machine)}
 
     def exec_kwargs(self) -> dict:
         canonical = self.canonical()
@@ -149,6 +153,10 @@ class CharacterizeRequest(ServeRequest):
         canonical = self.canonical()
         if canonical["engine"] != "auto":
             return None
+        from repro.machines import DEFAULT_MACHINE
+
+        if canonical["machine"] != DEFAULT_MACHINE:
+            return None         # the lockstep batch engine is 780-only
         del canonical["instructions"]
         return f"{self.command}:" + json.dumps(canonical, sort_keys=True)
 
@@ -161,6 +169,7 @@ class RunWorkloadRequest(ServeRequest):
     seed: int = 1984
     paranoid: bool = False
     smoke: bool = False
+    machine: object = None
 
     def canonical(self) -> dict:
         _expect(self, "profile", self.profile, str)
@@ -169,13 +178,15 @@ class RunWorkloadRequest(ServeRequest):
         _expect(self, "seed", self.seed, int)
         _expect(self, "paranoid", self.paranoid, bool)
         _expect(self, "smoke", self.smoke, bool)
+        _expect(self, "machine", self.machine, str, none_ok=True)
         resolved = api._find_profile(self.profile)
         if resolved is None:
             raise api.ApiError(f"unknown profile {self.profile!r}; "
                                "see 'repro profiles'")
         return {"profile": resolved.name,
                 "instructions": _budget(self.instructions, self.smoke),
-                "seed": self.seed, "paranoid": self.paranoid}
+                "seed": self.seed, "paranoid": self.paranoid,
+                "machine": _machine(self.machine)}
 
     def exec_kwargs(self) -> dict:
         return self.canonical()
@@ -192,6 +203,7 @@ class UbenchRequest(ServeRequest):
     check: bool = True
     check_instructions: int = 20_000
     seed: int = 1984
+    machine: object = None
 
     def canonical(self) -> dict:
         from repro.ubench import suite
@@ -203,19 +215,23 @@ class UbenchRequest(ServeRequest):
         _expect(self, "check", self.check, bool)
         _expect(self, "check_instructions", self.check_instructions, int)
         _expect(self, "seed", self.seed, int)
+        _expect(self, "machine", self.machine, str, none_ok=True)
+        machine = _machine(self.machine)
         kernels = suite.select(group=self.group, mode=self.mode,
-                               variant=self.variant, smoke=self.smoke)
+                               variant=self.variant, smoke=self.smoke,
+                               machine=machine)
         if not kernels:
             raise api.ApiError(
                 f"no kernels match group={self.group!r} "
-                f"mode={self.mode!r} variant={self.variant!r}; groups: "
+                f"mode={self.mode!r} variant={self.variant!r} on "
+                f"machine {machine!r}; groups: "
                 f"{', '.join(suite.groups())}; modes: "
                 f"{', '.join(suite.modes())}")
         return {"group": self.group, "mode": self.mode,
                 "variant": self.variant, "smoke": self.smoke,
                 "jobs": self.jobs, "check": self.check,
                 "check_instructions": self.check_instructions,
-                "seed": self.seed}
+                "seed": self.seed, "machine": machine}
 
     def exec_kwargs(self) -> dict:
         return self.canonical()
@@ -232,6 +248,7 @@ class ExploreRequest(ServeRequest):
     smoke: bool = False
     jobs: int = 1
     engine: object = None
+    machine: object = None
 
     def _spec(self):
         axes = self.axes
@@ -240,7 +257,8 @@ class ExploreRequest(ServeRequest):
                 f"{self.command}: field 'axes' must be a list of "
                 f"NAME=V1,V2 strings, got {axes!r}")
         return api.explore_spec(self.spec, tuple(axes), self.mode,
-                                self.instructions, self.seed, self.smoke)
+                                self.instructions, self.seed, self.smoke,
+                                machine=self.machine)
 
     def canonical(self) -> dict:
         _expect(self, "spec", self.spec, str)
@@ -250,6 +268,7 @@ class ExploreRequest(ServeRequest):
         _expect(self, "seed", self.seed, int, none_ok=True)
         _expect(self, "smoke", self.smoke, bool)
         _expect(self, "jobs", self.jobs, int)
+        _expect(self, "machine", self.machine, str, none_ok=True)
         resolved = self._spec()
         return {"spec": resolved.name,
                 "axes": [[axis.name, list(axis.values)]
@@ -258,7 +277,8 @@ class ExploreRequest(ServeRequest):
                 "workloads": list(resolved.workloads),
                 "instructions": resolved.instructions,
                 "seed": resolved.seed, "jobs": self.jobs,
-                "engine": _engine(self.engine)}
+                "engine": _engine(self.engine),
+                "machine": resolved.machine}
 
     def exec_kwargs(self) -> dict:
         # The sweep spec re-resolves from the original arguments (the
@@ -267,7 +287,8 @@ class ExploreRequest(ServeRequest):
         return {"spec": self.spec, "axes": tuple(self.axes),
                 "mode": self.mode, "instructions": self.instructions,
                 "seed": self.seed, "smoke": self.smoke,
-                "jobs": self.jobs, "engine": _engine(self.engine)}
+                "jobs": self.jobs, "engine": _engine(self.engine),
+                "machine": self.machine}
 
 
 @dataclass(frozen=True)
@@ -279,15 +300,25 @@ class ValidateRequest(ServeRequest):
     seed: int = 1984
     smoke: bool = False
     engine: object = None
+    machine: object = None
 
     def canonical(self) -> dict:
+        from repro.machines import DEFAULT_MACHINE
+
         _expect(self, "instructions", self.instructions, int,
                 none_ok=True)
         _expect(self, "fuzz_cases", self.fuzz_cases, int)
         _expect(self, "fuzz_instructions", self.fuzz_instructions, int)
         _expect(self, "seed", self.seed, int)
         _expect(self, "smoke", self.smoke, bool)
+        _expect(self, "machine", self.machine, str, none_ok=True)
         engine = _engine(self.engine, choices=("scalar", "batch"))
+        machine = _machine(self.machine)
+        if machine != DEFAULT_MACHINE and self.fuzz_cases:
+            raise api.ApiError(
+                f"differential fuzzing validates the {DEFAULT_MACHINE} "
+                f"engines; drop fuzz_cases to validate machine "
+                f"{machine!r}")
         instructions = self.instructions
         if instructions is None:
             instructions = api.SMOKE_INSTRUCTIONS if self.smoke \
@@ -299,7 +330,7 @@ class ValidateRequest(ServeRequest):
                 "fuzz_cases": self.fuzz_cases,
                 "fuzz_instructions": fuzz_instructions,
                 "seed": self.seed, "smoke": self.smoke,
-                "engine": engine}
+                "engine": engine, "machine": machine}
 
     def exec_kwargs(self) -> dict:
         return self.canonical()
@@ -328,14 +359,27 @@ def _engine(value, choices=None) -> str:
         raise api.ApiError(str(exc)) from exc
 
 
-def parse_request(doc, default_engine: str = None) -> ServeRequest:
+def _machine(value) -> str:
+    from repro.machines import MachineError, validate_machine
+
+    try:
+        return validate_machine(value)
+    except MachineError as exc:
+        raise api.ApiError(str(exc)) from exc
+
+
+def parse_request(doc, default_engine: str = None,
+                  default_machine: str = None) -> ServeRequest:
     """Parse a submission body into a validated request.
 
     ``doc`` is ``{"command": <name>, "params": {...}}``.
     ``default_engine`` (the server's ``--engine`` flag) fills in the
     ``engine`` field of requests that have one and did not set it —
     ``repro serve --engine auto`` is what turns co-queued budget-only
-    characterize jobs into fused batch lanes.
+    characterize jobs into fused batch lanes.  ``default_machine``
+    (the server's ``--machine`` flag) likewise fills in an unset
+    ``machine`` field, turning the server into a dedicated backend for
+    one machine.
     """
     if not isinstance(doc, dict):
         raise api.ApiError("request body must be a JSON object like "
@@ -351,10 +395,13 @@ def parse_request(doc, default_engine: str = None) -> ServeRequest:
             f"{', '.join(sorted(COMMANDS))}")
     cls = COMMANDS[command]
     params = doc.get("params") or {}
+    names = {spec.name for spec in fields(cls)}
     if default_engine is not None and isinstance(params, dict) \
-            and "engine" in {spec.name for spec in fields(cls)} \
-            and params.get("engine") is None:
+            and "engine" in names and params.get("engine") is None:
         params = {**params, "engine": default_engine}
+    if default_machine is not None and isinstance(params, dict) \
+            and "machine" in names and params.get("machine") is None:
+        params = {**params, "machine": default_machine}
     return cls.from_payload(params)
 
 

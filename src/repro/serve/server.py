@@ -57,6 +57,7 @@ class ServeConfig:
     burst: int = 8                #: per-client token-bucket capacity
     store: str = ".explore/store"  #: shared result cache (None = off)
     engine: str = None            #: default engine for engine-less requests
+    machine: str = None           #: default machine for machine-less requests
     job_timeout: float = None     #: seconds per dispatcher round (None = off)
     job_retries: int = 1          #: re-runs after a round timeout
     round_limit: int = 16         #: max jobs drained into one round
@@ -308,7 +309,8 @@ class JobServer:
                     {"Retry-After": str(retry)})
         try:
             request = _canonical.parse_request(
-                doc, default_engine=self.config.engine)
+                doc, default_engine=self.config.engine,
+                default_machine=self.config.machine)
         except api.ApiError as exc:
             metrics.counter("serve.rejected.invalid").inc()
             return 400, {"error": str(exc)}, {}

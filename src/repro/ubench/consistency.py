@@ -120,15 +120,17 @@ _EXEC_MODEL = {
 }
 
 
-def _family_prediction(family, slots, ns, n):
+def _family_prediction(family, slots, ns, n, extra=0):
     """(predicted cycles, modeled cycles) for one family's execute row.
 
     ``slots`` is the family's slot->address map; ``ns`` the nonstalled
-    histogram; ``n`` the family's executed-instruction count.  The
-    modeled part excludes every slot carried at its measured value.
+    histogram; ``n`` the family's executed-instruction count; ``extra``
+    the machine's per-instruction execute surcharge for the family's
+    group (zero on the 780).  The modeled part excludes every slot
+    carried at its measured value.
     """
     rules = _EXEC_MODEL.get(family, {})
-    predicted = modeled = 0
+    predicted = modeled = extra * n
     for slot, addr in slots.items():
         rule = rules.get(slot, "meas")
         if rule == "meas":
@@ -151,14 +153,21 @@ def _family_prediction(family, slots, ns, n):
     return predicted, modeled
 
 
-def check_composite(measurement, tolerance=TOLERANCE):
+def check_composite(measurement, tolerance=TOLERANCE, machine=None):
     """Check per-group execute cycles of a composite measurement.
 
     Returns a dict with one row per populated opcode group (SIMPLE and
     FIELD combined): measured vs. predicted busy cycles in the group's
     execute row, the relative error, and the modeled fraction.  ``ok``
     is True when every row's relative error is within ``tolerance``.
+    ``machine`` optionally names the backend the composite ran on, so
+    the prediction includes that machine's per-group execute surcharge.
     """
+    extras = {}
+    if machine is not None:
+        from repro.machines import get_machine
+
+        extras = dict(get_machine(machine).params.exec_extra_cycles)
     store, umap = reference_map()
     ns = measurement.histogram.nonstalled
     groups = family_groups()
@@ -169,7 +178,9 @@ def check_composite(measurement, tolerance=TOLERANCE):
         measured = sum(ns[addr] for addr in slots.values())
         if not n and not measured:
             continue
-        predicted, modeled = _family_prediction(family, slots, ns, n)
+        predicted, modeled = _family_prediction(
+            family, slots, ns, n,
+            extra=extras.get(groups[family].name, 0))
         group = groups[family].name.lower()
         row = per_group.setdefault(group, {
             "group": group, "instructions": 0, "measured": 0,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.arch.opcodes import opcode
 from repro.cpu.machine import _FUSABLE_FAMILIES
+from repro.params import VAX780 as _STOCK
 
 #: Families routed through the ECO "patch board" detour by default
 #: (mirrors MachineParams.patched_families): one extra cycle per decode.
@@ -219,12 +220,21 @@ def exec_busy(info, params) -> int:
     raise ModelError(f"no execute-cost model for family {f!r} ({mn})")
 
 
-def predict_instr(instr) -> dict:
-    """Busy-cycle buckets for one instruction of a kernel copy."""
+def predict_instr(instr, params=None) -> dict:
+    """Busy-cycle buckets for one instruction of a kernel copy.
+
+    ``params`` is the target machine's :class:`MachineParams` (default:
+    the stock 11/780): the patch detour follows the machine's patch
+    set, and a machine's per-group execute surcharge
+    (``exec_extra_cycles``) lands in the execute bucket, exactly where
+    the engine charges it.
+    """
+    if params is None:
+        params = _STOCK
     info = opcode(instr.mnemonic)
     out = dict.fromkeys(BUCKETS, 0)
     out["decode"] = 1
-    if info.family in PATCHED_FAMILIES:
+    if info.family in params.patched_families:
         out["patch"] = 1
     kinds = info.specifier_operands
     if len(instr.ops) != len(kinds):
@@ -234,6 +244,7 @@ def predict_instr(instr) -> dict:
     for op, kind in zip(instr.ops, kinds):
         out["spec"] += specifier_cost(op, kind)
     execute = exec_busy(info, instr.params)
+    execute += dict(params.exec_extra_cycles).get(info.group.name, 0)
     if _is_fused(info, instr.ops):
         # The first execute cycle issues from the fused-specifier
         # address; total busy cycles are unchanged, attribution moves.
@@ -245,11 +256,11 @@ def predict_instr(instr) -> dict:
     return out
 
 
-def predict_kernel(kernel) -> dict:
+def predict_kernel(kernel, params=None) -> dict:
     """Busy-cycle buckets for one copy of the kernel (all instructions)."""
     out = dict.fromkeys(BUCKETS, 0)
     for instr in kernel.instrs:
-        for bucket, cycles in predict_instr(instr).items():
+        for bucket, cycles in predict_instr(instr, params).items():
             out[bucket] += cycles
     out["total"] = sum(out[b] for b in BUCKETS)
     return out

@@ -21,7 +21,6 @@ import functools
 
 from repro import obs
 from repro.analysis.reduction import reference_map
-from repro.cpu.machine import VAX780
 from repro.monitor.session import MeasurementSession
 from repro.obs import metrics
 from repro.ubench import model
@@ -109,8 +108,17 @@ def _classify(histogram):
     return busy, causes
 
 
-def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
-    """Run one kernel and return its measured-vs-predicted result dict."""
+def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES,
+               machine="vax780"):
+    """Run one kernel and return its measured-vs-predicted result dict.
+
+    ``machine`` names the registered backend to run on (see
+    :mod:`repro.machines`); the model predicts with that backend's
+    params, so the busy buckets must still match exactly.
+    """
+    from repro.machines import get_machine
+
+    spec = get_machine(machine)
     if copies <= 0:
         raise UbenchError(
             f"{kernel.name}: need at least one measured copy, got {copies}")
@@ -118,7 +126,7 @@ def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
     if emitted.measured_instructions <= 0:
         raise UbenchError(
             f"{kernel.name}: kernel emits no measured instructions")
-    machine = VAX780()
+    machine = spec.build()
     machine.boot(emitted.image)
 
     pre = emitted.setup_instructions + emitted.warmup_instructions
@@ -141,7 +149,7 @@ def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
             f"{kernel.name}: decode count {busy['decode']} != "
             f"{emitted.measured_instructions} measured instructions")
 
-    predicted = model.predict_kernel(kernel)
+    predicted = model.predict_kernel(kernel, spec.params)
     delta = {b: busy[b] - predicted[b] * copies for b in model.BUCKETS}
     exact = not any(delta.values())
     overhead = {c: n for c, n in causes.items() if n}
@@ -156,6 +164,7 @@ def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
     return {
         "kernel": kernel.name,
         "group": kernel.group,
+        "machine": spec.name,
         "mode": kernel.mode,
         "variant": kernel.variant,
         "note": kernel.note,
@@ -178,14 +187,15 @@ def run_kernel(kernel, warmup=WARMUP_COPIES, copies=MEASURED_COPIES):
 
 def _run_task(task):
     """Worker entry point (top-level, so it pickles): one kernel."""
-    name, warmup, copies = task
+    name, warmup, copies, machine = task
     from repro.ubench import suite
 
-    return run_kernel(suite.kernel_by_name(name), warmup, copies)
+    return run_kernel(suite.kernel_by_name(name), warmup, copies,
+                      machine=machine)
 
 
 def run_suite(kernels, jobs=None, warmup=WARMUP_COPIES,
-              copies=MEASURED_COPIES):
+              copies=MEASURED_COPIES, machine="vax780"):
     """Run kernels (serially or across processes), preserving order.
 
     Every kernel gets a fresh machine, so results are bit-identical
@@ -194,5 +204,5 @@ def run_suite(kernels, jobs=None, warmup=WARMUP_COPIES,
     """
     from repro.workloads.parallel import run_tasks
 
-    tasks = [(k.name, warmup, copies) for k in kernels]
+    tasks = [(k.name, warmup, copies, machine) for k in kernels]
     return run_tasks(_run_task, tasks, jobs=jobs)

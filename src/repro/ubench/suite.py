@@ -299,11 +299,37 @@ def modes():
     return tuple(sorted({k.mode for k in STANDARD_SUITE}))
 
 
-def select(group=None, mode=None, variant=None, smoke=False):
-    """Filter the suite by group/mode/variant labels."""
+def kernel_families(kernel) -> tuple:
+    """The executor families one kernel's instructions dispatch to."""
+    from repro.arch.opcodes import opcode
+
+    return tuple({opcode(instr.mnemonic).family
+                  for instr in kernel.instrs})
+
+
+def supported_on(kernel, machine) -> bool:
+    """Whether every family the kernel uses exists on ``machine``."""
+    from repro.machines import get_machine
+
+    unsupported = set(get_machine(machine).params.unsupported_families)
+    if not unsupported:
+        return True
+    return not any(family in unsupported
+                   for family in kernel_families(kernel))
+
+
+def select(group=None, mode=None, variant=None, smoke=False,
+           machine=None):
+    """Filter the suite by group/mode/variant labels.
+
+    ``machine`` additionally drops kernels whose executor families the
+    named backend does not implement (a subset machine refuses them at
+    decode, so they cannot be benchmarked there).
+    """
     pool = SMOKE_SUITE if smoke else STANDARD_SUITE
     out = [k for k in pool
            if (group is None or k.group == group)
            and (mode is None or k.mode == mode)
-           and (variant is None or k.variant == variant)]
+           and (variant is None or k.variant == variant)
+           and (machine is None or supported_on(k, machine))]
     return tuple(out)

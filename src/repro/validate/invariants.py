@@ -102,8 +102,16 @@ class ValidationReport:
                 "checks": [check.to_dict() for check in self.checks]}
 
 
-def check_measurement(measurement) -> ValidationReport:
-    """Evaluate every conservation law against one measurement."""
+def check_measurement(measurement, machine: str = None) \
+        -> ValidationReport:
+    """Evaluate every conservation law against one measurement.
+
+    ``machine`` optionally names the registered backend the measurement
+    ran on (:mod:`repro.machines`); the capability laws that only make
+    sense for that backend's feature set are then selected — e.g. a
+    machine without the autonomous IB engine must show zero IB
+    references, zero IB-stall cycles and zero overlapped decodes.
+    """
     t = measurement.tracer
     h = measurement.histogram
     mem = measurement.memory
@@ -240,6 +248,39 @@ def check_measurement(measurement) -> ValidationReport:
                      "memory statistics are ungated; bound only")
     report.bound("write-issues", mem.writes, writes,
                  "a crossing write issues twice for one WRITE cycle")
+
+    # -- machine capabilities ---------------------------------------------
+    if machine is not None:
+        from repro.machines import get_machine
+
+        params = get_machine(machine).params
+        if not params.ib_prefetch:
+            report.exact("no-ib-engine", 0, mem.ib_references,
+                         "a machine without the IB fill engine never "
+                         "references the IB")
+            report.exact("no-ib-stalls", 0,
+                         red.column_total(Column.IBSTALL),
+                         "no IB engine, no IB-stall cycles")
+        if not params.overlapped_decode:
+            report.exact("no-overlapped-decode", 0, t.overlapped_decodes,
+                         "overlapped decode is absent from this machine")
+        if params.unsupported_families:
+            unsupported_groups = {
+                family_groups()[family]
+                for family in params.unsupported_families}
+            for group in sorted(unsupported_groups,
+                                key=lambda g: g.name):
+                implemented = any(
+                    family_groups()[family] is group
+                    and family not in params.unsupported_families
+                    for family in u.exec_flows)
+                if implemented:
+                    continue
+                report.exact(
+                    f"no-{group.name.lower()}-group-cycles", 0,
+                    red.group_execute_cycles(group),
+                    "the machine implements none of this group's "
+                    "families, so its execute row must be empty")
 
     return report
 

@@ -721,6 +721,10 @@ class ProgramGenerator:
         roll = rng.random()
         len_op = enc.literal(length) if length <= 63 \
             else enc.immediate(length)
+        # Subset machines restrict the mnemonic set; draws happen
+        # unconditionally so the rng stream (and hence everything
+        # generated afterwards) is identical across machines.
+        supported = self.profile.char_opcodes
         if roll < 0.55:
             b.emit("MOVC3", len_op, enc.displacement(10, src),
                    enc.displacement(10, dst))
@@ -728,21 +732,37 @@ class ProgramGenerator:
             # Compare a string against itself: equal bytes, so the
             # microcode scans the whole length (random-vs-random data
             # would mismatch after a byte or two and undercount work).
-            b.emit("CMPC3", len_op, enc.displacement(10, src),
-                   enc.displacement(10, src))
+            if "CMPC3" in supported:
+                b.emit("CMPC3", len_op, enc.displacement(10, src),
+                       enc.displacement(10, src))
+            else:
+                b.emit("MOVC3", len_op, enc.displacement(10, src),
+                       enc.displacement(10, dst))
         elif roll < 0.85:
             # Search printable text for a control character: full scan.
-            b.emit(rng.choice(("LOCC", "SKPC")),
-                   enc.literal(1 if rng.random() < 0.5 else 0), len_op,
-                   enc.displacement(10, src))
+            mnemonic = rng.choice(("LOCC", "SKPC"))
+            char_op = enc.literal(1 if rng.random() < 0.5 else 0)
+            if mnemonic in supported:
+                b.emit(mnemonic, char_op, len_op,
+                       enc.displacement(10, src))
+            else:
+                b.emit("MOVC3", len_op, enc.displacement(10, src),
+                       enc.displacement(10, dst))
         elif roll < 0.95:
-            b.emit("MOVC5", enc.literal(min(63, length // 2)),
-                   enc.displacement(10, src), enc.literal(0x20),
-                   len_op, enc.displacement(10, dst))
-        else:
+            if "MOVC5" in supported:
+                b.emit("MOVC5", enc.literal(min(63, length // 2)),
+                       enc.displacement(10, src), enc.literal(0x20),
+                       len_op, enc.displacement(10, dst))
+            else:
+                b.emit("MOVC3", len_op, enc.displacement(10, src),
+                       enc.displacement(10, dst))
+        elif "SCANC" in supported:
             # Mask 0x80 never matches printable table bytes: full scan.
             b.emit("SCANC", len_op, enc.displacement(10, src),
                    enc.displacement(10, dst & ~0xFF), enc.immediate(0x80))
+        else:
+            b.emit("MOVC3", len_op, enc.displacement(10, src),
+                   enc.displacement(10, dst))
 
     def _emit_decimal(self, b) -> None:
         rng = self.rng

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from repro import obs
 from repro.analysis.measurement import Measurement, composite
-from repro.cpu.machine import VAX780
+from repro.machines.registry import DEFAULT_MACHINE, get_machine
 from repro.obs import metrics
 from repro.osim.executive import Executive
 from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
@@ -43,16 +43,20 @@ _CACHE: dict = {}
 
 
 def run_workload(profile: MixProfile, instructions: int = None,
-                 seed: int = 1984, paranoid: bool = False) -> Measurement:
+                 seed: int = 1984, paranoid: bool = False,
+                 machine: str = DEFAULT_MACHINE) -> Measurement:
     """Run one workload experiment and return its measurement.
 
     With ``paranoid`` the run carries a sampling invariant monitor (see
     :mod:`repro.validate.paranoid`); the monitor is passive, so the
     measurement is bit-identical and memoised under the same key.
+    ``machine`` names a registered backend (:mod:`repro.machines`); a
+    subset machine's profile adaptation is applied here, so callers
+    always pass the paper's profiles.
     """
     if instructions is None:
         instructions = DEFAULT_INSTRUCTIONS
-    key = (profile.name, instructions, seed)
+    key = (profile.name, instructions, seed, machine)
     cached = _CACHE.get(key)
     if cached is not None:
         metrics.counter("workloads.memo_hits").inc()
@@ -63,8 +67,10 @@ def run_workload(profile: MixProfile, instructions: int = None,
         return cached
     obs.emit("workload_started", workload=profile.name,
              instructions=instructions, seed=seed)
-    machine = VAX780()
-    executive = Executive(machine, profile, seed=seed)
+    spec = get_machine(machine)
+    machine = spec.build()
+    executive = Executive(machine, spec.adapt_profile(profile),
+                          seed=seed)
     executive.boot()
     observation = obs.active()
     sampler = None
@@ -101,7 +107,8 @@ def run_workload(profile: MixProfile, instructions: int = None,
 def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
                              seed: int = 1984, jobs: int = 1,
                              paranoid: bool = False,
-                             engine: str = "scalar") -> dict:
+                             engine: str = "scalar",
+                             machine: str = DEFAULT_MACHINE) -> dict:
     """Run all five standard experiments; returns name -> Measurement.
 
     With ``jobs > 1`` the five independent simulations are distributed
@@ -110,51 +117,57 @@ def run_standard_experiments(instructions: int = DEFAULT_INSTRUCTIONS,
     lockstep batch instead (see :mod:`repro.batch`).  Both paths are
     bit-identical to the serial loop, so results memoise under the same
     per-workload keys.  ``paranoid`` forces the serial scalar path (the
-    monitor hooks one live machine in this process).
+    monitor hooks one live machine in this process); a non-default
+    ``machine`` also forces scalar (lockstep fusion shares one 780
+    timing model across lanes).
     """
     from repro.batch import validate_engine
 
     engine = validate_engine(engine)
-    if paranoid:
-        jobs = 1
+    if paranoid or machine != DEFAULT_MACHINE:
+        jobs = 1 if paranoid else jobs
         engine = "scalar"
     if engine == "auto":
         # The batch path needs no spare cores and shares one histogram
         # sink, so auto prefers it whenever a pool was not requested.
         engine = "scalar" if jobs > 1 else "batch"
     todo = [profile for profile in STANDARD_PROFILES
-            if (profile.name, instructions, seed) not in _CACHE]
+            if (profile.name, instructions, seed, machine) not in _CACHE]
     if engine == "batch" and todo:
         from repro.workloads.parallel import run_standard_batch
 
         fresh = run_standard_batch(instructions, seed, profiles=todo)
         for profile in todo:
-            _CACHE[(profile.name, instructions, seed)] = \
+            _CACHE[(profile.name, instructions, seed, machine)] = \
                 fresh[profile.name]
     elif jobs > 1 and len(todo) > 1:
         from repro.workloads.parallel import run_standard_parallel
 
-        fresh = run_standard_parallel(instructions, seed, jobs)
+        fresh = run_standard_parallel(instructions, seed, jobs,
+                                      machine=machine)
         for profile in todo:
-            _CACHE[(profile.name, instructions, seed)] = \
+            _CACHE[(profile.name, instructions, seed, machine)] = \
                 fresh[profile.name]
     return {profile.name: run_workload(profile, instructions, seed,
-                                       paranoid=paranoid)
+                                       paranoid=paranoid,
+                                       machine=machine)
             for profile in STANDARD_PROFILES}
 
 
 def standard_composite(instructions: int = DEFAULT_INSTRUCTIONS,
                        seed: int = 1984, jobs: int = 1,
                        paranoid: bool = False,
-                       engine: str = "scalar") -> Measurement:
+                       engine: str = "scalar",
+                       machine: str = DEFAULT_MACHINE) -> Measurement:
     """The five-workload composite measurement (memoised)."""
-    key = ("composite", instructions, seed)
+    key = ("composite", instructions, seed, machine)
     cached = _CACHE.get(key)
     if cached is not None:
         obs.record_measurement(cached)
         return cached
     runs = run_standard_experiments(instructions, seed, jobs=jobs,
-                                    paranoid=paranoid, engine=engine)
+                                    paranoid=paranoid, engine=engine,
+                                    machine=machine)
     total = composite(runs.values())
     _CACHE[key] = total
     obs.emit("composite_finished", workloads=len(runs),
@@ -168,8 +181,8 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
-def prime_cache(name: str, instructions: int, seed: int,
-                measurement) -> None:
+def prime_cache(name: str, instructions: int, seed: int, measurement,
+                machine: str = DEFAULT_MACHINE) -> None:
     """Memoise a measurement produced elsewhere under its run key.
 
     The lockstep batch engine's lanes are bit-identical to
@@ -177,9 +190,10 @@ def prime_cache(name: str, instructions: int, seed: int,
     measurement (the serve dispatcher fusing co-queued budgets) may
     pre-seed the memo and let the ordinary facade path find it.
     """
-    _CACHE[(name, instructions, seed)] = measurement
+    _CACHE[(name, instructions, seed, machine)] = measurement
 
 
-def is_cached(name: str, instructions: int, seed: int) -> bool:
+def is_cached(name: str, instructions: int, seed: int,
+              machine: str = DEFAULT_MACHINE) -> bool:
     """Whether a (profile, instructions, seed) run is already memoised."""
-    return (name, instructions, seed) in _CACHE
+    return (name, instructions, seed, machine) in _CACHE

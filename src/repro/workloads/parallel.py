@@ -168,21 +168,23 @@ def run_standard_batch(instructions: int, seed: int = 1984,
 
 def _run_one(task) -> "Measurement":
     """Worker entry point (top-level, so it pickles): one experiment."""
-    name, instructions, seed = task
+    name, instructions, seed, machine = task
     from repro.workloads import engine
 
     profile = next(p for p in STANDARD_PROFILES if p.name == name)
-    return engine.run_workload(profile, instructions, seed)
+    return engine.run_workload(profile, instructions, seed,
+                               machine=machine)
 
 
 def run_standard_parallel(instructions: int, seed: int = 1984,
-                          jobs: int = None) -> dict:
+                          jobs: int = None,
+                          machine: str = "vax780") -> dict:
     """Run all five standard experiments across worker processes.
 
     Returns name -> Measurement in the paper's profile order, exactly as
     :func:`repro.workloads.engine.run_standard_experiments` does.
     """
-    tasks = [(profile.name, instructions, seed)
+    tasks = [(profile.name, instructions, seed, machine)
              for profile in STANDARD_PROFILES]
     results = run_tasks(_run_one, tasks, jobs=jobs)
     return {profile.name: measurement

@@ -58,6 +58,13 @@ class MixProfile:
     blocking_syscall_fraction: float = 0.11
     #: mean character-string length in bytes (paper: 36-44).
     string_length: int = 44
+    #: character-string mnemonics the generator may emit.  Subset-VAX
+    #: machine backends restrict this (the 78032 implements only the
+    #: MOVC forms in its base microcode); draws for a restricted
+    #: mnemonic substitute an equivalent full-scan MOVC so the string
+    #: workload volume is preserved.
+    char_opcodes: tuple = ("MOVC3", "CMPC3", "LOCC", "SKPC", "MOVC5",
+                           "SCANC")
     #: packed-decimal digit count (paper: ~101-cycle average).
     decimal_digits: int = 12
     #: registers pushed by PUSHR/POPR pairs and typical entry masks.

@@ -111,7 +111,7 @@ class TestComposite:
         results = engine.run_standard_experiments(
             instructions=500, seed=11, engine="batch")
         for profile in STANDARD_PROFILES:
-            assert engine._CACHE[(profile.name, 500, 11)] is \
+            assert engine._CACHE[(profile.name, 500, 11, "vax780")] is \
                 results[profile.name]
             assert_identical(results[profile.name],
                              scalar_measure(profile, 500, 11))

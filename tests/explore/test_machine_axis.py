@@ -1,0 +1,73 @@
+"""The machine axis in explore: validation, sweeping, store stats."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import api
+from repro.explore import (ResultStore, SpaceError, parse_axis, run_sweep)
+from repro.explore.space import SMOKE, Axis
+
+
+class TestValidation:
+    def test_explore_rejects_an_unknown_machine_up_front(self):
+        with pytest.raises(api.ApiError) as err:
+            api.explore(smoke=True, machine="pdp11", store=None)
+        assert "pdp11" in str(err.value)
+        assert "vax780" in str(err.value)
+
+    def test_explore_points_rejects_it_too(self):
+        with pytest.raises(api.ApiError):
+            api.explore_points(smoke=True, machine="pdp11")
+
+    def test_parse_axis_validates_machine_values(self):
+        with pytest.raises(SpaceError) as err:
+            parse_axis("machine=vax780,nope")
+        assert "nope" in str(err.value)
+        axis = parse_axis("machine=vax780,uvax78032")
+        assert axis.values == ("vax780", "uvax78032")
+
+    def test_point_label_names_a_nondefault_machine(self):
+        spec = replace(SMOKE, axes=(Axis("machine", ("uvax78032",)),))
+        labels = {point.label() for point in spec.points()}
+        assert "machine=uvax78032" in labels
+        assert "baseline" in labels
+
+
+class TestMachineSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, tmp_path_factory):
+        spec = replace(
+            SMOKE, name="machines-smoke",
+            axes=(Axis("machine", ("vax780", "uvax78032")),),
+            workloads=("rte-educational",))
+        store = ResultStore(tmp_path_factory.mktemp("machine-axis"))
+        return store, run_sweep(spec, store=store, jobs=1)
+
+    def test_machines_produce_distinct_results(self, sweep):
+        _, result = sweep
+        by_label = {entry["label"]: entry for entry in result.points}
+        assert set(by_label) == {"baseline", "machine=uvax78032"}
+        records = {label: entry["records"]["rte-educational"]
+                   for label, entry in by_label.items()}
+        assert (records["baseline"]["cycles"]
+                != records["machine=uvax78032"]["cycles"])
+        assert records["baseline"]["machine"] == "vax780"
+        assert records["machine=uvax78032"]["machine"] == "uvax78032"
+
+    def test_store_stats_buckets_by_machine(self, sweep):
+        store, _ = sweep
+        machines = store.stats()["machines"]
+        assert machines.get("vax780", 0) >= 1
+        assert machines.get("uvax78032", 0) >= 1
+
+    def test_resume_reuses_both_machines_records(self, sweep):
+        store, first = sweep
+        spec = replace(
+            SMOKE, name="machines-smoke",
+            axes=(Axis("machine", ("vax780", "uvax78032")),),
+            workloads=("rte-educational",))
+        again = run_sweep(spec, store=store, jobs=1)
+        assert again.stats["simulated"] == 0
+        assert again.stats["cached"] == again.stats["tasks"]
+        assert again.stats["tasks"] == first.stats["tasks"]

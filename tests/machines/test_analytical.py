@@ -1,0 +1,130 @@
+"""The analytical CPI tier: error bounds, kernel exactness, MACHINES.json."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.machines import (ERROR_BOUND, AnalyticalError, calibrate,
+                            check_estimate, kernel_mix, machine_names)
+from repro.machines.analytical import CALIBRATION_ANCHORS
+from repro.ubench import model, suite
+from repro.workloads.profiles import STANDARD_PROFILES
+
+#: Scaled-down anchor envelope so the whole-workload checks run in
+#: test time; the full-scale envelope backs the committed MACHINES.json.
+MINI_ANCHORS = (1000, 3000, 5000, 7000, 9000)
+#: Validation budgets inside the mini envelope, off every anchor.
+MINI_TARGETS = (4000, 6000)
+
+PROFILE_NAMES = [p.name for p in STANDARD_PROFILES]
+
+
+class TestWorkloadEstimates:
+    @pytest.mark.parametrize("machine", machine_names())
+    @pytest.mark.parametrize("profile", PROFILE_NAMES)
+    def test_within_recorded_bound_on_every_workload(self, profile,
+                                                     machine):
+        mix = calibrate(profile, machine, anchors=MINI_ANCHORS)
+        for target in MINI_TARGETS:
+            check = check_estimate(mix, target)
+            assert check["ok"], (
+                f"{profile} on {machine} at {target}: analytical "
+                f"{check['analytical_cpi']} vs simulated "
+                f"{check['simulated_cpi']} "
+                f"(rel_err {check['rel_err']} > {ERROR_BOUND})")
+
+    def test_estimate_carries_the_decomposition(self):
+        mix = calibrate("rte-educational", "vax780",
+                        anchors=MINI_ANCHORS)
+        est = mix.estimate(MINI_TARGETS[0])
+        assert est.cpi == pytest.approx(sum(est.row_totals.values()))
+        assert est.cpi == pytest.approx(sum(est.column_totals.values()))
+        assert est.cycles == pytest.approx(est.cpi * est.instructions)
+
+    def test_uvax_has_no_stall_columns(self):
+        # no IB, no miss penalty, no write recycle: every cycle is busy
+        mix = calibrate("rte-educational", "uvax78032",
+                        anchors=MINI_ANCHORS)
+        est = mix.estimate(MINI_TARGETS[0])
+        for column in ("RSTALL", "WSTALL", "IBSTALL"):
+            assert est.column_totals.get(column, 0.0) == 0.0
+
+    def test_calibration_rejects_degenerate_anchors(self):
+        with pytest.raises(AnalyticalError):
+            calibrate("rte-educational", anchors=(2000,))
+        with pytest.raises(AnalyticalError):
+            calibrate("rte-educational", anchors=(0, 2000))
+
+    def test_estimate_rejects_a_nonpositive_budget(self):
+        mix = calibrate("rte-educational", anchors=MINI_ANCHORS)
+        with pytest.raises(AnalyticalError):
+            mix.estimate(0)
+
+    def test_unknown_profile_is_an_analytical_error(self):
+        with pytest.raises(AnalyticalError):
+            calibrate("no-such-workload", anchors=MINI_ANCHORS)
+
+
+class TestKernelExactness:
+    """kernel_mix agrees with the ubench busy-cycle model exactly."""
+
+    @pytest.mark.parametrize("machine", machine_names())
+    def test_matches_predict_kernel_at_any_copy_count(self, machine):
+        from repro.machines import get_machine
+
+        spec = get_machine(machine)
+        kernels = suite.select(smoke=True, machine=machine)
+        assert kernels, f"smoke suite empty on {machine}"
+        for kernel in kernels:
+            predicted = model.predict_kernel(kernel, spec.params)
+            per_copy = sum(predicted[b] for b in model.BUCKETS)
+            mix = kernel_mix(kernel, machine)
+            for copies in (1, 7):
+                est = mix.estimate(copies * kernel.ipc)
+                assert est.cycles == pytest.approx(copies * per_copy), \
+                    f"{kernel.name} on {machine} at {copies} copies"
+
+
+class TestCommittedMachinesReport:
+    """The committed MACHINES.json holds the acceptance numbers."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        path = (pathlib.Path(__file__).resolve().parents[2]
+                / "MACHINES.json")
+        assert path.exists(), "MACHINES.json missing from the repo root"
+        return json.loads(path.read_text())
+
+    def test_schema_and_provenance(self, doc):
+        from repro.report.machines import MACHINES_SCHEMA
+
+        assert doc["schema"] == MACHINES_SCHEMA
+        assert tuple(doc["anchors"]) == CALIBRATION_ANCHORS
+        assert doc["error_bound"] == ERROR_BOUND
+        assert set(doc["machines"]) == set(machine_names())
+
+    def test_every_workload_is_inside_the_error_bound(self, doc):
+        for name, machine in doc["machines"].items():
+            assert set(machine["workloads"]) == set(PROFILE_NAMES)
+            for wname, row in machine["workloads"].items():
+                assert row["analytical_ok"], f"{name}/{wname}"
+                assert row["analytical_error"] <= doc["error_bound"]
+        assert doc["analytical_all_ok"]
+        assert doc["analytical_worst_error"] <= doc["error_bound"]
+
+    def test_the_780_composite_is_bit_identical_to_the_seed(self, doc):
+        composite = doc["machines"]["vax780"]["composite"]
+        assert composite["instructions"] == 300_000
+        assert composite["cycles"] == 2_082_708
+
+    def test_the_78032_lands_at_its_published_cpi(self, doc):
+        composite = doc["machines"]["uvax78032"]["composite"]
+        assert 5.0 <= composite["cpi"] <= 6.0
+
+    def test_comparison_carries_cpi_ratios(self, doc):
+        assert set(doc["comparison"]) == set(PROFILE_NAMES)
+        for row in doc["comparison"].values():
+            ratio = row["cpi_ratio_uvax78032"]
+            assert ratio == pytest.approx(
+                row["vax780"] / row["uvax78032"], rel=1e-4)

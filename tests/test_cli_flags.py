@@ -1,8 +1,8 @@
 """Every subcommand carries the shared flag set; argparse stays in cli.
 
 The shared parent parser exists so that ``--jobs``, ``--seed``,
-``--json``, ``--smoke``, ``--store``, ``--engine``, ``--obs`` and
-``--heartbeat`` mean the same thing everywhere.  These tests introspect the built
+``--json``, ``--smoke``, ``--store``, ``--engine``, ``--machine``,
+``--obs`` and ``--heartbeat`` mean the same thing everywhere.  These tests introspect the built
 parser rather than pattern-match help text, so a subcommand that
 forgets ``parents=[...]`` fails loudly.
 """
@@ -14,7 +14,7 @@ from repro import cli
 SRC = Path(cli.__file__).resolve().parent
 
 SHARED_OPTIONS = ["--jobs", "--seed", "--json", "--smoke", "--store",
-                  "--engine", "--obs", "--heartbeat"]
+                  "--engine", "--machine", "--obs", "--heartbeat"]
 
 
 def _subparsers():

@@ -73,6 +73,7 @@ def measure(instructions: int, seed: int, jobs: int, repeats: int) -> dict:
         "obs": measure_obs(instructions, seed, repeats),
         "batch": measure_batch(repeats),
         "serve": measure_serve(repeats),
+        "analytical": measure_analytical(repeats),
     }
 
 
@@ -369,6 +370,73 @@ def measure_serve(repeats: int,
     }
 
 
+def measure_analytical(repeats: int, target: int = 6_000) -> dict:
+    """Pair the analytical CPI tier against a full simulation.
+
+    Calibrates one workload per machine at a scaled-down anchor
+    envelope, then times (a) a cold simulator run at the target budget
+    and (b) the calibrated mix's estimate at the same budget; the
+    estimate must land inside the tier's recorded error bound against
+    the simulation before a timing is accepted.  Calibration cost is
+    reported separately — it amortizes over every budget the mix is
+    asked about.  Returns an empty dict when the measured tree predates
+    ``repro.machines`` (the ``--label before`` baseline).
+    """
+    try:
+        from repro.machines import calibrate, check_estimate
+    except ImportError:
+        return {}
+    from repro.workloads import engine
+    from repro.workloads.profiles import STANDARD_PROFILES
+
+    anchors = (1_000, 3_000, 5_000, 7_000, 9_000)
+    workload = "rte-educational"
+    profile = next(p for p in STANDARD_PROFILES if p.name == workload)
+    machines = {}
+    for machine in ("vax780", "uvax78032"):
+        calib_runs, sim_runs, estimate_ns = [], [], []
+        rel_err = None
+        for _ in range(repeats):
+            engine.clear_cache()
+            t0 = time.perf_counter()
+            mix = calibrate(profile, machine, anchors=anchors)
+            calib_runs.append(round(time.perf_counter() - t0, 3))
+
+            engine.clear_cache()
+            t0 = time.perf_counter()
+            engine.run_workload(profile, target, machine=machine)
+            sim_runs.append(round(time.perf_counter() - t0, 3))
+
+            check = check_estimate(mix, target)
+            if not check["ok"]:
+                raise SystemExit(
+                    f"analytical estimate off by {check['rel_err']} on "
+                    f"{workload}/{machine} — timings are not comparable")
+            rel_err = check["rel_err"]
+            for _ in range(5):
+                t0 = time.perf_counter_ns()
+                mix.estimate(target)
+                estimate_ns.append(time.perf_counter_ns() - t0)
+        best_sim = min(sim_runs)
+        best_estimate = min(estimate_ns) / 1e9
+        machines[machine] = {
+            "calibration_seconds": calib_runs,
+            "best_calibration_seconds": min(calib_runs),
+            "simulation_seconds": sim_runs,
+            "best_simulation_seconds": best_sim,
+            "best_estimate_seconds": round(best_estimate, 9),
+            "rel_err": rel_err,
+            "speedup": round(best_sim / best_estimate, 1),
+        }
+    engine.clear_cache()
+    return {
+        "workload": workload,
+        "instructions": target,
+        "anchors": list(anchors),
+        "machines": machines,
+    }
+
+
 #: (label, path to the before/after seconds inside an entry) pairs the
 #: speedup block reports; ratios are before/after, > 1 means faster.
 _SPEEDUP_SECTIONS = (
@@ -473,6 +541,15 @@ def main() -> int:
               f"{sv['best_serve_seconds']:.2f}s  "
               f"dedup speedup {sv['dedup_speedup']:.2f}x  warm request "
               f"{sv['best_warm_request_seconds'] * 1000:.1f}ms")
+    an = entry["analytical"]
+    if an:
+        for machine, row in an["machines"].items():
+            print(f"[{args.label}] analytical tier on "
+                  f"{an['workload']}/{machine}: sim "
+                  f"{row['best_simulation_seconds']:.2f}s  estimate "
+                  f"{row['best_estimate_seconds'] * 1e6:.1f}us  "
+                  f"speedup {row['speedup']:,.0f}x  "
+                  f"rel_err {row['rel_err']:.4f}")
 
     if args.output:
         doc = {}
@@ -494,6 +571,10 @@ def main() -> int:
             # Likewise paired on the measured tree: N duplicate
             # submissions vs N scalar runs.
             doc["serve"] = entry["serve"]
+        if entry["analytical"]:
+            # Paired on the measured tree: the analytical tier's
+            # estimate vs a cold simulation at the same budget.
+            doc["analytical"] = entry["analytical"]
         before, after = doc.get("before"), doc.get("after")
         if before and after:
             if before["composite_cycles"] != after["composite_cycles"]:
