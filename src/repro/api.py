@@ -53,10 +53,10 @@ __all__ = ["ApiError", "DEFAULT_INSTRUCTIONS", "SMOKE_INSTRUCTIONS",
            "CharacterizeResult", "WorkloadResult", "HotspotsResult",
            "DisasmResult", "Figure1Result", "ProfilesResult",
            "MachinesResult", "UbenchResult", "ExploreResult",
-           "ExplorePointsResult", "ValidateResult",
+           "ExplorePointsResult", "ValidateResult", "RefuteResult",
            "characterize", "run_workload", "hotspots", "disasm",
            "figure1", "profiles", "machines", "ubench", "explore",
-           "explore_points", "explore_spec", "validate"]
+           "explore_points", "explore_spec", "validate", "refute"]
 
 #: The budget the CLI has always defaulted to for measurement commands.
 DEFAULT_INSTRUCTIONS = 30_000
@@ -630,7 +630,7 @@ class ValidateResult(_Result):
 
 def validate(instructions: int = None, fuzz_cases: int = 0,
              fuzz_instructions: int = 400, seed: int = 1984,
-             smoke: bool = False, progress=None,
+             smoke: bool = False, progress=None, jobs: int = 1,
              engine: str = None, machine: str = None) -> ValidateResult:
     """Check the conservation laws on all five workloads, then fuzz.
 
@@ -644,6 +644,8 @@ def validate(instructions: int = None, fuzz_cases: int = 0,
     capabilities (no IB / overlapped-decode laws on a machine without
     them), and the fuzzer — which differences the 780's fast path
     against its reference spec — only runs on the default machine.
+    ``jobs`` parallelises the fuzz cases; the results (and every shrunk
+    reproducer) are byte-identical at any value.
     """
     from repro.machines import DEFAULT_MACHINE
     from repro.validate import check_measurement, fuzz, fuzz_batch
@@ -671,7 +673,7 @@ def validate(instructions: int = None, fuzz_cases: int = 0,
         fuzz_results = tuple(
             fuzzer(fuzz_cases, seed=seed,
                    instructions=fuzz_instructions,
-                   progress=progress)) if fuzz_cases else ()
+                   progress=progress, jobs=jobs)) if fuzz_cases else ()
     divergences = sum(1 for r in fuzz_results if not r["ok"])
     invariants_ok = all(report.ok for report in reports)
     return ValidateResult(
@@ -681,3 +683,77 @@ def validate(instructions: int = None, fuzz_cases: int = 0,
         invariants_ok=invariants_ok, divergences=divergences,
         ok=invariants_ok and divergences == 0,
         reports=reports, fuzz_results=fuzz_results)
+
+
+# -- refute -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RefuteResult(_Result):
+    """One refutation campaign plus the planted-bug self-check."""
+
+    campaign: str
+    seed: int
+    jobs: int
+    plant: str               #: perturbation installed, or None (clean)
+    machines: tuple
+    workloads: tuple
+    probes: int
+    refutations: int
+    planted_total: object    #: self-check size, or None when skipped
+    planted_detected: object
+    ok: bool
+    campaign_result: object = _attachment(default=None)
+    planted: object = _attachment(default=None)
+
+
+def refute(campaign: str = None, smoke: bool = False, seed: int = None,
+           jobs: int = 1, store=".explore/store",
+           self_check: bool = True, plant: str = None,
+           progress=None) -> RefuteResult:
+    """Run an assumption-refutation campaign (see :mod:`repro.refute`).
+
+    ``campaign`` names a registered campaign (``standard`` or
+    ``smoke``; ``smoke=True`` is shorthand for the latter).  A clean
+    run also executes the planted-bug ``self_check`` — the smoke
+    campaign once per registered perturbation, every one of which must
+    be detected — so "zero refutations" is evidence, not silence.
+    ``plant`` installs one named perturbation for the campaign itself
+    (the self-check is then skipped, and ``ok`` means the plant *was*
+    caught by the assumptions that must see it).  Probes, reproducers
+    and the JSON document are byte-identical at any ``jobs``.
+    """
+    from repro.refute import (CAMPAIGNS, PERTURBATIONS, run_campaign,
+                              run_self_check)
+
+    name = "smoke" if smoke else (campaign or "standard")
+    spec = CAMPAIGNS.get(name)
+    if spec is None:
+        raise ApiError(f"unknown campaign {name!r}; choose from "
+                       f"{', '.join(CAMPAIGNS)}")
+    if plant is not None and plant not in PERTURBATIONS:
+        raise ApiError(f"unknown perturbation {plant!r}; choose from "
+                       f"{', '.join(PERTURBATIONS)}")
+    with _span("refute", campaign=spec.name, jobs=jobs, plant=plant):
+        result = run_campaign(spec, seed=seed, jobs=jobs,
+                              store=None if plant is not None else store,
+                              plant=plant, progress=progress)
+        checks = None
+        if self_check and plant is None:
+            checks = run_self_check(seed=seed, jobs=jobs,
+                                    progress=progress)
+    if plant is not None:
+        expect = set(PERTURBATIONS[plant].expect)
+        flagged = {item["assumption"] for item in result.refutations}
+        ok = expect <= flagged
+    else:
+        ok = result.ok and (checks is None
+                            or all(c["detected"] for c in checks))
+    return RefuteResult(
+        campaign=spec.name, seed=result.seed, jobs=jobs, plant=plant,
+        machines=tuple(spec.machines), workloads=tuple(spec.workloads),
+        probes=len(result.probes), refutations=len(result.refutations),
+        planted_total=len(checks) if checks is not None else None,
+        planted_detected=(sum(1 for c in checks if c["detected"])
+                          if checks is not None else None),
+        ok=ok, campaign_result=result, planted=checks)

@@ -26,6 +26,10 @@ Commands:
   sensitivity tables.
 * ``validate`` — conservation-invariant checks on the five workloads
   plus fastpath-vs-reference differential fuzzing.
+* ``refute`` — assumption-refutation campaign: sweep the configuration
+  space hunting for violations of every registered assumption, shrink
+  each to a minimal reproducer, self-check with planted bugs, and emit
+  ``REFUTATIONS.json`` (see :mod:`repro.refute`).
 * ``serve`` — run the simulation service: an async HTTP job server
   with a shared result cache, bounded queue, and backpressure (see
   :mod:`repro.serve`).
@@ -224,6 +228,22 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(0 = invariants only)")
     validate.add_argument("--fuzz-instructions", type=int, default=400,
                           help="measured instructions per fuzz case")
+
+    refute = sub.add_parser(
+        "refute", parents=[parent],
+        help="assumption-refutation campaign: hunt, shrink, and file "
+             "model/simulator divergences (REFUTATIONS.json)")
+    refute.add_argument("--campaign", default=None,
+                        help="named campaign: standard (default) or "
+                             "smoke (--smoke is shorthand)")
+    refute.add_argument("--plant", default=None, metavar="NAME",
+                        help="install one named perturbation for the "
+                             "campaign (the run must then catch it); "
+                             "see repro.refute.perturbation_names()")
+    refute.add_argument("--no-self-check", dest="self_check",
+                        action="store_false", default=True,
+                        help="skip the planted-bug self-check that "
+                             "normally follows a clean campaign")
 
     serve = sub.add_parser(
         "serve", parents=[parent],
@@ -459,6 +479,7 @@ def _cmd_validate(args) -> int:
                           fuzz_cases=args.fuzz,
                           fuzz_instructions=args.fuzz_instructions,
                           seed=_seed(args), smoke=args.smoke,
+                          jobs=_jobs(args),
                           engine=args.engine, machine=args.machine,
                           progress=lambda line: print(line,
                                                       file=sys.stderr))
@@ -474,6 +495,22 @@ def _cmd_validate(args) -> int:
                 "smoke": result.smoke,
                 "machine": result.machine,
             }))
+    return 0 if result.ok else 1
+
+
+def _cmd_refute(args) -> int:
+    from repro.report.refute import refute_json, render_refute
+
+    result = api.refute(campaign=args.campaign, smoke=args.smoke,
+                        seed=args.seed, jobs=_jobs(args),
+                        store=args.store or ".explore/store",
+                        self_check=args.self_check, plant=args.plant,
+                        progress=lambda line: print(line,
+                                                    file=sys.stderr))
+    print(render_refute(result.campaign_result, result.planted))
+    if args.json:
+        _write_json(args.json, refute_json(result.campaign_result,
+                                           result.planted))
     return 0 if result.ok else 1
 
 
@@ -567,6 +604,7 @@ _COMMANDS = {
     "ubench": _cmd_ubench,
     "explore": _cmd_explore,
     "validate": _cmd_validate,
+    "refute": _cmd_refute,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
 }

@@ -39,7 +39,11 @@ SCHEMA = 2
 #: they observe or present results without shaping them.  Everything
 #: else — notably the cycle model and the lockstep batch engine
 #: (``batch/``), whose bugs would change stored records — is hashed.
-_UNHASHED = (("explore/", "report/", "validate/", "obs/", "serve/"),
+#: ``refute/`` only *reads* simulations (its planted perturbations are
+#: installed per-run behind a context manager and never write through
+#: a store), so it is excluded like the other observers.
+_UNHASHED = (("explore/", "report/", "validate/", "obs/", "serve/",
+              "refute/"),
              ("cli.py", "api.py"))
 
 

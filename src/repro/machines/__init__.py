@@ -8,6 +8,9 @@ instant CPI estimates, validated against the full simulator.
 """
 
 from repro.machines.analytical import (CALIBRATION_ANCHORS, ERROR_BOUND,
+                                       EXTRAPOLATION_BOUND,
+                                       EXTRAPOLATION_WINDOW,
+                                       TRANSIENT_BOUND,
                                        AnalyticalError, CpiEstimate,
                                        WorkloadMix, calibrate,
                                        check_estimate, kernel_mix)
@@ -17,7 +20,8 @@ from repro.machines.registry import (DEFAULT_MACHINE, MACHINES,
                                      validate_machine)
 
 __all__ = ["AnalyticalError", "CALIBRATION_ANCHORS", "CpiEstimate",
-           "DEFAULT_MACHINE", "ERROR_BOUND",
+           "DEFAULT_MACHINE", "ERROR_BOUND", "EXTRAPOLATION_BOUND",
+           "EXTRAPOLATION_WINDOW", "TRANSIENT_BOUND",
            "MACHINES", "MachineError", "MachineSpec", "WorkloadMix",
            "calibrate", "check_estimate", "get_machine",
            "kernel_mix", "machine_names", "validate_machine"]

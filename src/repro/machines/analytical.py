@@ -19,8 +19,12 @@ the busy-cycle model to workloads with a grey-box calibration:
 3. Estimate: CPI at any budget inside the calibrated envelope is a
    per-cell interpolation — instant, and carrying the full
    Table-8-style decomposition (rows x stall columns) plus a
-   Table-1-style group mix.  Beyond the last anchor the last
-   segment's slope extrapolates (documented as degraded accuracy).
+   Table-1-style group mix.  Outside the envelope the edge segment's
+   slope extends — *explicitly*: the estimate comes back flagged
+   ``extrapolated`` under the widened :data:`EXTRAPOLATION_BOUND`,
+   and only inside the honor window (:attr:`WorkloadMix.window`);
+   beyond it :meth:`WorkloadMix.estimate` raises rather than return a
+   number no recorded bound covers.
 
 :func:`kernel_mix` closes the loop with the microbenchmark tier: a
 mix built from a kernel is *purely analytical* (no simulation — its
@@ -32,6 +36,7 @@ the whole-workload error bounds against the simulator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.machines.registry import get_machine
@@ -47,6 +52,30 @@ CALIBRATION_ANCHORS = (10_000, 30_000, 50_000, 70_000, 90_000)
 #: from the five paper workloads x both machines (see MACHINES.json);
 #: ``tests/machines/test_analytical.py`` holds every workload to it.
 ERROR_BOUND = 0.05
+
+#: Documented bound for *extrapolated* estimates — budgets outside the
+#: anchor envelope but inside the honor window below.  Recorded from
+#: the refute campaign's edge probes (see EXPERIMENTS.md): the worst
+#: observed rel err at the window edges is ~0.13, so 0.15 holds with
+#: margin while 1.25x already shows ~0.17 failures just beyond it.
+EXTRAPOLATION_BOUND = 0.15
+
+#: Extrapolation honor window, as fractions of the first/last anchor:
+#: budgets in [0.75 * anchors[0], 1.25 * anchors[-1]] extrapolate with
+#: the widened bound; beyond that no bound can be honored and
+#: :meth:`WorkloadMix.estimate` refuses rather than guessing.
+EXTRAPOLATION_WINDOW = (0.75, 1.25)
+
+#: Documented bound inside the *cold-start segment* — budgets strictly
+#: between the first two anchors.  The cache/TB warmup transient makes
+#: the cumulative cycle curve concave there, so the linear chord
+#: systematically underpredicts; the refute campaign surfaced interior
+#: violations up to rel err 0.117 at the segment midpoint (1k/3k
+#: anchors, timesharing workloads — see EXPERIMENTS.md) where every
+#: later segment honors :data:`ERROR_BOUND`.  0.15 holds the observed
+#: worst case with margin and matches the extrapolation bound: both
+#: regimes share the same cause, an unamortized transient.
+TRANSIENT_BOUND = 0.15
 
 
 class AnalyticalError(Exception):
@@ -66,12 +95,28 @@ class CpiEstimate:
     row_totals: dict
     #: column name -> estimated cycles per instruction (busy + stalls).
     column_totals: dict
+    #: True when the budget fell outside the anchor envelope and the
+    #: edge segment's slope was extended (documented degraded accuracy).
+    extrapolated: bool = False
+    #: True when the budget fell inside the cold-start segment (between
+    #: the first two anchors), where the warmup transient degrades the
+    #: linear interpolation (see :data:`TRANSIENT_BOUND`).
+    transient: bool = False
+    #: The relative error bound this estimate is held to:
+    #: :data:`ERROR_BOUND` in the amortized envelope,
+    #: :data:`TRANSIENT_BOUND` in the cold-start segment,
+    #: :data:`EXTRAPOLATION_BOUND` when extrapolated, 0.0 for exact
+    #: single-anchor (kernel) mixes.
+    error_bound: float = ERROR_BOUND
 
     def to_json(self) -> dict:
         return {
             "workload": self.workload, "machine": self.machine,
             "instructions": self.instructions,
             "cycles": round(self.cycles, 3), "cpi": round(self.cpi, 6),
+            "extrapolated": self.extrapolated,
+            "transient": self.transient,
+            "error_bound": self.error_bound,
             "rows": {name: round(value, 6)
                      for name, value in sorted(self.row_totals.items())},
             "columns": {name: round(value, 6)
@@ -123,11 +168,60 @@ class WorkloadMix:
         """The budget range the mix interpolates inside."""
         return (self.anchors[0], self.anchors[-1])
 
-    def estimate(self, instructions: int) -> CpiEstimate:
-        """Predicted cycles and decomposition at ``instructions``."""
+    @property
+    def window(self) -> tuple:
+        """The budget range estimates are honored inside at all.
+
+        The envelope widened by :data:`EXTRAPOLATION_WINDOW`; outside
+        it :meth:`estimate` raises instead of returning a number no
+        recorded bound covers.  Single-anchor (kernel) mixes are exact
+        linear models, so their window is unbounded.
+        """
+        if len(self.anchors) < 2:
+            return (1, None)
+        low, high = EXTRAPOLATION_WINDOW
+        return (max(1, math.ceil(self.anchors[0] * low)),
+                math.floor(self.anchors[-1] * high))
+
+    def estimate(self, instructions: int,
+                 extrapolate: bool = True) -> CpiEstimate:
+        """Predicted cycles and decomposition at ``instructions``.
+
+        Budgets inside the anchor envelope interpolate under
+        :data:`ERROR_BOUND` — except strictly between the first two
+        anchors, the *cold-start segment*, where the warmup transient
+        degrades the chord and the estimate comes back flagged
+        ``transient`` under :data:`TRANSIENT_BOUND`.  Budgets outside
+        the envelope but inside
+        :attr:`window` extend the edge segment's slope and come back
+        flagged ``extrapolated`` under the widened
+        :data:`EXTRAPOLATION_BOUND` (or raise, with
+        ``extrapolate=False``).  Budgets outside the window always
+        raise: no recorded bound covers them, so the caller must
+        recalibrate with anchors that do.
+        """
         if instructions <= 0:
             raise AnalyticalError(
                 f"estimate needs a positive budget, got {instructions}")
+        exact = len(self.anchors) < 2
+        extrapolated = not exact and not (
+            self.anchors[0] <= instructions <= self.anchors[-1])
+        transient = not exact and not extrapolated \
+            and self.anchors[0] < instructions < self.anchors[1]
+        if extrapolated:
+            low, high = self.window
+            if not low <= instructions <= high:
+                raise AnalyticalError(
+                    f"budget {instructions} is outside the honored "
+                    f"window [{low}, {high}] of the "
+                    f"{self.workload}/{self.machine} calibration "
+                    f"(anchors {self.anchors}); recalibrate with "
+                    f"anchors that straddle it")
+            if not extrapolate:
+                raise AnalyticalError(
+                    f"budget {instructions} is outside the calibrated "
+                    f"envelope {self.envelope} and extrapolation was "
+                    f"declined")
         rows: dict = {}
         cols: dict = {}
         total = 0.0
@@ -137,8 +231,13 @@ class WorkloadMix:
             total += cycles
             rows[row] = rows.get(row, 0.0) + cycles / instructions
             cols[col] = cols.get(col, 0.0) + cycles / instructions
+        bound = 0.0 if exact else (
+            EXTRAPOLATION_BOUND if extrapolated
+            else TRANSIENT_BOUND if transient else ERROR_BOUND)
         return CpiEstimate(self.workload, self.machine, instructions,
-                           total, total / instructions, rows, cols)
+                           total, total / instructions, rows, cols,
+                           extrapolated=extrapolated,
+                           transient=transient, error_bound=bound)
 
     def to_json(self) -> dict:
         return {
@@ -237,7 +336,9 @@ def check_estimate(mix: WorkloadMix, instructions: int,
 
     Returns the estimate, the simulated CPI, and their relative error —
     the quantity MACHINES.json records per workload and the test suite
-    bounds by :data:`ERROR_BOUND`.
+    bounds by the estimate's own ``error_bound``
+    (:data:`ERROR_BOUND` interpolated, :data:`EXTRAPOLATION_BOUND`
+    extrapolated).
     """
     from repro.workloads import engine as _engines
 
@@ -253,6 +354,9 @@ def check_estimate(mix: WorkloadMix, instructions: int,
         "analytical_cpi": round(estimate.cpi, 6),
         "simulated_cpi": round(sim_cpi, 6),
         "rel_err": round(rel_err, 6),
-        "ok": rel_err <= ERROR_BOUND,
+        "error_bound": estimate.error_bound,
+        "extrapolated": estimate.extrapolated,
+        "transient": estimate.transient,
+        "ok": rel_err <= estimate.error_bound,
         "estimate": estimate,
     }

@@ -1,0 +1,29 @@
+"""repro.refute — the assumption-refutation loop.
+
+A declarative registry of every quantitative assumption the
+reproduction rests on (:mod:`repro.refute.assumptions`), a campaign
+planner that sweeps the configuration space hunting for violations and
+shrinks each one to a minimal reproducer
+(:mod:`repro.refute.planner`), and a set of planted timing-rule bugs
+(:mod:`repro.refute.perturb`) the self-check campaign must catch —
+proof the loop can actually fire.
+"""
+
+from repro.refute.assumptions import (ASSUMPTIONS, ASSUMPTIONS_BY_NAME,
+                                      Assumption, ProbePoint,
+                                      shrink_measurement)
+from repro.refute.perturb import (PERTURBATIONS, Perturbation,
+                                  perturbation, perturbation_names)
+from repro.refute.planner import (CAMPAIGNS, REFUTATIONS_SCHEMA,
+                                  CampaignResult, CampaignSpec,
+                                  RefuteError, run_campaign,
+                                  run_self_check)
+
+__all__ = [
+    "ASSUMPTIONS", "ASSUMPTIONS_BY_NAME", "Assumption", "ProbePoint",
+    "shrink_measurement",
+    "PERTURBATIONS", "Perturbation", "perturbation",
+    "perturbation_names",
+    "CAMPAIGNS", "REFUTATIONS_SCHEMA", "CampaignResult", "CampaignSpec",
+    "RefuteError", "run_campaign", "run_self_check",
+]

@@ -1,0 +1,102 @@
+"""Plain-text and JSON rendering of refutation campaigns.
+
+``refute_json`` shapes a campaign (plus the planted-bug self-check)
+into the machine-readable ``REFUTATIONS.json`` document the repo
+commits and CI archives.  The document carries *no* wall-clock timing
+and nothing that depends on ``--jobs`` or store warmth, so the same
+committed-seed campaign regenerates byte-identically on any host at
+any parallelism — exactly the property the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+
+def refute_json(result, self_checks=None) -> dict:
+    """Shape a refute run into the REFUTATIONS.json document.
+
+    ``result`` is the clean campaign's
+    :class:`~repro.refute.planner.CampaignResult`; ``self_checks`` is
+    the planted-bug verdict list from
+    :func:`~repro.refute.planner.run_self_check` (``None`` when the
+    self-check was skipped).
+    """
+    from repro.explore.store import code_version
+    from repro.refute.perturb import PERTURBATIONS
+    from repro.refute.planner import REFUTATIONS_SCHEMA
+
+    doc = result.to_json()
+    planted = list(self_checks) if self_checks is not None else None
+    planted_ok = (all(check["detected"] for check in planted)
+                  if planted is not None else None)
+    if result.plant is not None:
+        # A planted campaign succeeds by *catching* its plant: every
+        # assumption that promised to see it must have refuted.
+        flagged = {item["assumption"] for item in result.refutations}
+        ok = set(PERTURBATIONS[result.plant].expect) <= flagged
+    else:
+        ok = result.ok and (planted_ok is not False)
+    return {
+        "schema": REFUTATIONS_SCHEMA,
+        "code": code_version(),
+        **doc,
+        "planted": planted,
+        "ok": ok,
+    }
+
+
+def render_refute(result, self_checks=None) -> str:
+    """Human-readable campaign summary: rollup, margins, verdicts."""
+    lines = [f"REFUTE - campaign '{result.spec.name}' "
+             f"seed={result.seed}"
+             + (f" plant={result.plant}" if result.plant else ""),
+             f"{'assumption':28s} {'kind':12s} {'probes':>6s} "
+             f"{'checks':>6s} {'viol':>5s} {'margin':>8s}"]
+    for row in result.assumptions_summary():
+        margin = ("-" if row["worst_margin"] is None
+                  else f"{row['worst_margin']:.4f}")
+        lines.append(f"{row['name']:28s} {row['kind']:12s} "
+                     f"{row['probes']:6d} {row['checks']:6d} "
+                     f"{row['violations']:5d} {margin:>8s}")
+    margins = result.margins(top=5)
+    if margins:
+        lines.append("nearest bounds:")
+        lines += [f"  {m['margin']:.4f}  {m['assumption']}  {m['label']}"
+                  for m in margins]
+    for item in result.refutations:
+        lines.append(f"REFUTED {item['assumption']} at {item['label']}:")
+        lines.append(f"  {item['field']}: observed {item['observed']!r} "
+                     f"predicted {item['predicted']!r}"
+                     + (f" (delta {item['delta']})"
+                        if item["delta"] is not None else ""))
+        if item["note"]:
+            lines.append(f"  {item['note']}")
+        reproducer = item["reproducer"]
+        if reproducer is not None:
+            budget = reproducer.get("instructions")
+            lines.append(f"  reproducer: {reproducer['kind']}"
+                         + (f" at {budget} instruction(s)"
+                            if budget is not None else ""))
+    if self_checks is not None:
+        lines.append("planted-bug self-check:")
+        for check in self_checks:
+            verdict = "DETECTED" if check["detected"] else "MISSED"
+            detected_by = ", ".join(check["detected_by"]) or "nothing"
+            lines.append(f"  {verdict} {check['perturbation']}: "
+                         f"flagged by {detected_by} "
+                         f"({check['refutations']} refutation(s))")
+    planted_ok = (self_checks is None
+                  or all(c["detected"] for c in self_checks))
+    if result.ok and planted_ok:
+        verdict = "no assumption refuted"
+        if self_checks is not None:
+            verdict += (f"; all {len(self_checks)} planted bug(s) "
+                        f"caught")
+    elif result.plant:
+        verdict = (f"{len(result.refutations)} refutation(s) under "
+                   f"planted bug '{result.plant}'")
+    else:
+        verdict = (f"{len(result.refutations)} assumption "
+                   f"refutation(s)" if result.refutations
+                   else "planted self-check MISSED a bug")
+    lines.append(verdict)
+    return "\n".join(lines)

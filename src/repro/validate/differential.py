@@ -296,41 +296,70 @@ def shrink(divergence: Divergence) -> Reproducer:
     return Reproducer(small, confirmed)
 
 
-def _fuzz_loop(count: int, seed: int, instructions: int, progress,
-               runner, shrinker, kind: str) -> list:
-    """The shared fuzz driver: draw cases, run, shrink divergences."""
-    rng = random.Random(seed)
-    results = []
-    for index in range(count):
-        case = random_case(rng, index, instructions)
+def _fuzz_task(payload):
+    """Worker entry point (top-level, so it pickles): one fuzz case.
+
+    Runs and — on divergence — shrinks the case entirely inside the
+    worker, applying the optional planted perturbation there too (the
+    plant's name travels in the payload, so the patch exists in the
+    worker process regardless of the multiprocessing start method).
+    """
+    kind, case, plant = payload
+    from repro.refute.perturb import perturbation
+
+    runner, shrinker = _FUZZ_KINDS[kind]
+    with perturbation(plant):
         divergence = runner(case)
-        metrics.counter("validate.fuzz_cases").inc()
-        if divergence is not None:
-            metrics.counter("validate.divergences").inc()
-            obs.emit("fuzz_divergence", label=case.label(), kind=kind,
-                     field=divergence.field, step=divergence.step)
         reproducer = shrinker(divergence) if divergence is not None \
             else None
-        results.append({"case": case, "label": case.label(),
-                        "ok": divergence is None,
-                        "reproducer": reproducer})
-        obs.emit("fuzz_case", index=index, label=case.label(),
-                 kind=kind, ok=divergence is None)
+    return {"case": case, "label": case.label(),
+            "ok": divergence is None, "reproducer": reproducer}
+
+
+def _fuzz_loop(count: int, seed: int, instructions: int, progress,
+               kind: str, jobs: int = 1, plant: str = None) -> list:
+    """The shared fuzz driver: draw cases, run, shrink divergences.
+
+    Case drawing happens up front from one seeded RNG and results come
+    back in submission order (``run_tasks`` preserves it), so the
+    result list — including every shrunk reproducer — is identical at
+    any ``jobs``; only the wall-clock changes.  Metrics and obs events
+    are emitted from this process, in case order, for the same reason.
+    """
+    from repro.workloads.parallel import run_tasks
+
+    rng = random.Random(seed)
+    cases = [random_case(rng, index, instructions)
+             for index in range(count)]
+    payloads = [(kind, case, plant) for case in cases]
+    results = run_tasks(_fuzz_task, payloads, jobs=jobs)
+    for index, result in enumerate(results):
+        metrics.counter("validate.fuzz_cases").inc()
+        if not result["ok"]:
+            divergence = result["reproducer"].divergence
+            metrics.counter("validate.divergences").inc()
+            obs.emit("fuzz_divergence", label=result["label"],
+                     kind=kind, field=divergence.field,
+                     step=divergence.step)
+        obs.emit("fuzz_case", index=index, label=result["label"],
+                 kind=kind, ok=result["ok"])
         if progress is not None:
-            verdict = "ok" if divergence is None else "DIVERGED"
-            progress(f"[{index + 1}/{count}] {case.label()}: {verdict}")
+            verdict = "ok" if result["ok"] else "DIVERGED"
+            progress(f"[{index + 1}/{count}] {result['label']}: "
+                     f"{verdict}")
     return results
 
 
 def fuzz(count: int, seed: int, instructions: int = 400,
-         progress=None) -> list:
+         progress=None, jobs: int = 1, plant: str = None) -> list:
     """Run ``count`` random fast-vs-reference differential cases.
 
     Returns a list of result dicts, one per case, each with the case
-    label and either ``None`` or a shrunk :class:`Reproducer`.
+    label and either ``None`` or a shrunk :class:`Reproducer`.  The
+    results are byte-identical at any ``jobs``.
     """
     return _fuzz_loop(count, seed, instructions, progress,
-                      run_case, shrink, kind="reference")
+                      kind="reference", jobs=jobs, plant=plant)
 
 
 # -- scalar <-> batch lockstep ------------------------------------------
@@ -456,7 +485,7 @@ def shrink_batch(divergence: Divergence) -> Reproducer:
 
 
 def fuzz_batch(count: int, seed: int, instructions: int = 400,
-               progress=None) -> list:
+               progress=None, jobs: int = 1, plant: str = None) -> list:
     """Run ``count`` random scalar-vs-batch differential cases.
 
     Same result shape as :func:`fuzz`: one dict per case with either
@@ -465,4 +494,11 @@ def fuzz_batch(count: int, seed: int, instructions: int = 400,
     diverges on one axis can be replayed on the other.
     """
     return _fuzz_loop(count, seed, instructions, progress,
-                      run_case_batch, shrink_batch, kind="batch")
+                      kind="batch", jobs=jobs, plant=plant)
+
+
+#: kind -> (runner, shrinker); the fuzz axes workers dispatch on.
+_FUZZ_KINDS = {
+    "reference": (run_case, shrink),
+    "batch": (run_case_batch, shrink_batch),
+}

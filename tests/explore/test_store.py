@@ -197,7 +197,8 @@ class TestHashedPaths:
 
         paths = hashed_paths()
         assert not any(p.startswith(("explore/", "report/",
-                                     "validate/", "obs/", "serve/"))
+                                     "validate/", "obs/", "serve/",
+                                     "refute/"))
                        for p in paths)
         assert "cli.py" not in paths
         assert "api.py" not in paths

@@ -5,7 +5,8 @@ import pathlib
 
 import pytest
 
-from repro.machines import (ERROR_BOUND, AnalyticalError, calibrate,
+from repro.machines import (ERROR_BOUND, EXTRAPOLATION_BOUND,
+                            TRANSIENT_BOUND, AnalyticalError, calibrate,
                             check_estimate, kernel_mix, machine_names)
 from repro.machines.analytical import CALIBRATION_ANCHORS
 from repro.ubench import model, suite
@@ -64,6 +65,112 @@ class TestWorkloadEstimates:
     def test_unknown_profile_is_an_analytical_error(self):
         with pytest.raises(AnalyticalError):
             calibrate("no-such-workload", anchors=MINI_ANCHORS)
+
+
+class TestColdStartSegment:
+    """Budgets between the first two anchors carry the widened,
+    documented transient bound — the divergence the refute campaign
+    surfaced (rel err up to 0.117 at the segment midpoint, where the
+    warmup transient makes the cycle curve concave)."""
+
+    def test_first_segment_interior_is_flagged_transient(self):
+        mix = calibrate("timesharing-cpu-dev", "vax780",
+                        anchors=MINI_ANCHORS)
+        est = mix.estimate(1500)
+        assert est.transient and not est.extrapolated
+        assert est.error_bound == TRANSIENT_BOUND
+
+    def test_anchors_and_later_segments_keep_the_tight_bound(self):
+        mix = calibrate("timesharing-cpu-dev", "vax780",
+                        anchors=MINI_ANCHORS)
+        for budget in (MINI_ANCHORS[0], MINI_ANCHORS[1],
+                       MINI_TARGETS[0]):
+            est = mix.estimate(budget)
+            assert not est.transient, budget
+            assert est.error_bound == ERROR_BOUND
+
+    @pytest.mark.parametrize("machine", machine_names())
+    def test_worst_observed_midpoints_hold_the_transient_bound(
+            self, machine):
+        # The exact points the refute campaign refuted under the old
+        # uniform 5% bound (worst: timesharing-cpu-dev at 1500).
+        mix = calibrate("timesharing-cpu-dev", machine,
+                        anchors=MINI_ANCHORS)
+        for budget in (1500, 2000, 2500):
+            check = check_estimate(mix, budget)
+            assert check["transient"]
+            assert check["error_bound"] == TRANSIENT_BOUND
+            assert check["ok"], (
+                f"{machine} at {budget}: rel_err {check['rel_err']} > "
+                f"{TRANSIENT_BOUND}")
+
+
+class TestExtrapolationEdges:
+    """Outside-envelope behavior is explicit: flagged, bounded, or
+    refused — on each machine, at both edges."""
+
+    @pytest.fixture(scope="class")
+    def mixes(self):
+        return {machine: calibrate("rte-educational", machine,
+                                   anchors=MINI_ANCHORS)
+                for machine in machine_names()}
+
+    def test_window_widens_the_envelope_by_a_quarter(self, mixes):
+        for mix in mixes.values():
+            assert mix.envelope == (MINI_ANCHORS[0], MINI_ANCHORS[-1])
+            assert mix.window == (750, 11250)
+
+    @pytest.mark.parametrize("machine", machine_names())
+    def test_below_envelope_extrapolates_within_the_wider_bound(
+            self, mixes, machine):
+        mix = mixes[machine]
+        est = mix.estimate(mix.window[0])
+        assert est.extrapolated
+        assert est.error_bound == EXTRAPOLATION_BOUND
+        check = check_estimate(mix, mix.window[0])
+        assert check["extrapolated"]
+        assert check["ok"], (
+            f"{machine} low edge: rel_err {check['rel_err']} > "
+            f"{EXTRAPOLATION_BOUND}")
+
+    @pytest.mark.parametrize("machine", machine_names())
+    def test_above_envelope_extrapolates_within_the_wider_bound(
+            self, mixes, machine):
+        mix = mixes[machine]
+        est = mix.estimate(mix.window[1])
+        assert est.extrapolated
+        assert est.error_bound == EXTRAPOLATION_BOUND
+        check = check_estimate(mix, mix.window[1])
+        assert check["extrapolated"]
+        assert check["ok"], (
+            f"{machine} high edge: rel_err {check['rel_err']} > "
+            f"{EXTRAPOLATION_BOUND}")
+
+    @pytest.mark.parametrize("machine", machine_names())
+    def test_beyond_the_window_refuses_both_ways(self, mixes, machine):
+        mix = mixes[machine]
+        with pytest.raises(AnalyticalError, match="honored window"):
+            mix.estimate(mix.window[0] - 1)
+        with pytest.raises(AnalyticalError, match="honored window"):
+            mix.estimate(mix.window[1] + 1)
+
+    def test_declining_extrapolation_raises_inside_the_window(self,
+                                                              mixes):
+        mix = mixes["vax780"]
+        with pytest.raises(AnalyticalError, match="declined"):
+            mix.estimate(mix.window[0], extrapolate=False)
+        # Inside the envelope the flag is irrelevant.
+        est = mix.estimate(MINI_TARGETS[0], extrapolate=False)
+        assert not est.extrapolated
+        assert est.error_bound == ERROR_BOUND
+
+    def test_single_anchor_kernel_mixes_are_exempt(self):
+        kernel = suite.select(smoke=True, machine="vax780")[0]
+        mix = kernel_mix(kernel, "vax780")
+        est = mix.estimate(40 * kernel.ipc)  # far past the one anchor
+        assert not est.extrapolated
+        assert est.error_bound == 0.0
+        assert est.to_json()["error_bound"] == 0.0
 
 
 class TestKernelExactness:

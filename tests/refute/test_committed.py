@@ -1,0 +1,56 @@
+"""The committed REFUTATIONS.json holds the acceptance verdicts.
+
+Structure and verdicts only — the committed ``code`` hash is *not*
+pinned against the live tree (any later source change would break the
+suite until regeneration); ``repro refute --json REFUTATIONS.json``
+regenerates the document byte-identically at the committed seed.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.refute import ASSUMPTIONS, PERTURBATIONS, REFUTATIONS_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def doc():
+    path = (pathlib.Path(__file__).resolve().parents[2]
+            / "REFUTATIONS.json")
+    assert path.exists(), "REFUTATIONS.json missing from the repo root"
+    return json.loads(path.read_text())
+
+
+class TestCommittedRefutations:
+    def test_schema_and_provenance(self, doc):
+        assert doc["schema"] == REFUTATIONS_SCHEMA
+        assert doc["campaign"] == "standard"
+        assert doc["seed"] == 1984
+        assert doc["plant"] is None
+        assert isinstance(doc["code"], str) and doc["code"]
+
+    def test_every_assumption_was_probed_and_none_refuted(self, doc):
+        rows = {row["name"]: row for row in doc["assumptions"]}
+        assert set(rows) == {a.name for a in ASSUMPTIONS}
+        for name, row in rows.items():
+            assert row["probes"] > 0, name
+            assert row["violations"] == 0, name
+        assert doc["refutations"] == []
+
+    def test_margins_stay_clear_of_every_bound(self, doc):
+        assert doc["margins"], "campaign recorded no margins"
+        for entry in doc["margins"]:
+            assert entry["margin"] > 0, entry
+
+    def test_all_planted_bugs_were_detected_and_shrunk(self, doc):
+        planted = doc["planted"]
+        assert {p["perturbation"] for p in planted} == set(PERTURBATIONS)
+        for check in planted:
+            assert check["detected"], check["perturbation"]
+            assert set(check["expect"]) <= set(check["detected_by"])
+            assert check["refutations"] > 0
+            assert check["min_reproducer_instructions"] <= 10
+
+    def test_the_overall_verdict_is_green(self, doc):
+        assert doc["ok"] is True

@@ -1,0 +1,73 @@
+"""The planted perturbations: install/undo hygiene and real effect."""
+
+import pytest
+
+from repro.refute import (ASSUMPTIONS_BY_NAME, PERTURBATIONS,
+                          perturbation, perturbation_names)
+
+
+class TestRegistry:
+    def test_names_are_stable_and_ordered(self):
+        assert perturbation_names() == (
+            "ib-take-extra-cycle", "batch-capture-extra-count",
+            "stall-charge-dropped")
+
+    def test_every_expectation_names_a_registered_assumption(self):
+        for plant in PERTURBATIONS.values():
+            assert plant.expect, plant.name
+            for name in plant.expect:
+                assert name in ASSUMPTIONS_BY_NAME, \
+                    f"{plant.name} expects unknown assumption {name}"
+
+    def test_none_is_the_noop_plant(self):
+        with perturbation(None) as plant:
+            assert plant is None
+
+    def test_unknown_plant_raises_before_patching(self):
+        from repro.cpu.ebox import EBox
+
+        original = EBox.ib_take
+        with pytest.raises(ValueError, match="unknown perturbation"):
+            with perturbation("no-such-plant"):
+                pass  # pragma: no cover
+        assert EBox.ib_take is original
+
+
+class TestInstallUndo:
+    def test_patch_is_scoped_to_the_context(self):
+        from repro.cpu.ebox import EBox
+
+        original = EBox.ib_take
+        with perturbation("ib-take-extra-cycle"):
+            assert EBox.ib_take is not original
+        assert EBox.ib_take is original
+
+    def test_undo_runs_even_on_error(self):
+        from repro.monitor.histogram import HistogramBoard
+
+        original = HistogramBoard.count_stall
+        with pytest.raises(RuntimeError):
+            with perturbation("stall-charge-dropped"):
+                raise RuntimeError("boom")
+        assert HistogramBoard.count_stall is original
+
+
+class TestEffect:
+    """A plant changes simulated counts, and leaves no trace after."""
+
+    def _cycles(self, plant=None):
+        from repro.refute.assumptions import ProbePoint, simulate_point
+
+        point = ProbePoint(machine="vax780", instructions=64, seed=7,
+                           workload="rte-educational")
+        return simulate_point(point, plant=plant).cycles
+
+    def test_extra_cycle_plant_skews_the_fast_engine(self):
+        clean = self._cycles()
+        planted = self._cycles(plant="ib-take-extra-cycle")
+        assert planted > clean
+
+    def test_clean_rerun_after_a_plant_matches_the_original(self):
+        clean = self._cycles()
+        self._cycles(plant="stall-charge-dropped")
+        assert self._cycles() == clean
