@@ -41,9 +41,12 @@ __version__ = "1.0.0"
 #: is ``repro.api.characterize``.  Lazy so that importing ``repro``
 #: stays cheap and the api -> engine -> obs import chain never cycles
 #: back through this package's own initialisation.
+#: (``workloads`` — the registry listing — is NOT here: the name is
+#: taken by the ``repro.workloads`` subpackage; call
+#: ``repro.api.workloads()``.)
 _FACADE = ("characterize", "run_workload", "hotspots", "disasm",
-           "figure1", "profiles", "ubench", "explore", "explore_points",
-           "validate", "ApiError")
+           "figure1", "profiles", "record_trace", "ubench", "explore",
+           "explore_points", "validate", "ApiError")
 
 __all__ = ["VAX780", "Executive", "MachineParams", "VAX780_PARAMS",
            "COMMERCIAL", "EDUCATIONAL", "MixProfile", "SCIENTIFIC",

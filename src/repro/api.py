@@ -32,6 +32,7 @@ Contract:
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 
@@ -46,16 +47,18 @@ from repro.report.format import (render_figure1, render_section4,
                                  render_table7, render_table8,
                                  render_table9)
 from repro.workloads import engine as _engines
-from repro.workloads.profiles import MixProfile, STANDARD_PROFILES
+from repro.workloads import registry as _registry
 
 __all__ = ["ApiError", "DEFAULT_INSTRUCTIONS", "SMOKE_INSTRUCTIONS",
            "TABLES",
            "CharacterizeResult", "WorkloadResult", "HotspotsResult",
            "DisasmResult", "Figure1Result", "ProfilesResult",
+           "WorkloadsResult", "TraceResult",
            "MachinesResult", "UbenchResult", "ExploreResult",
            "ExplorePointsResult", "ValidateResult", "RefuteResult",
            "characterize", "run_workload", "hotspots", "disasm",
-           "figure1", "profiles", "machines", "ubench", "explore",
+           "figure1", "profiles", "workloads", "record_trace",
+           "machines", "ubench", "explore",
            "explore_points", "explore_spec", "validate", "refute"]
 
 #: The budget the CLI has always defaulted to for measurement commands.
@@ -107,6 +110,71 @@ def _machine(value):
         return validate_machine(value)
     except MachineError as exc:
         raise ApiError(str(exc)) from exc
+
+
+def _workload(value, machine_name: str = None):
+    """Resolve one workload argument to its registered spec.
+
+    Accepts a registered name, a unique name suffix, a ``trace:PATH``
+    reference, a :class:`~repro.workloads.registry.WorkloadSpec`, or —
+    deprecated — a raw :class:`~repro.workloads.profiles.MixProfile`.
+    Unknown workloads and machine-refused workloads raise
+    :class:`ApiError` before anything simulates, listing the registry.
+    """
+    from repro.workloads.profiles import MixProfile
+
+    if isinstance(value, MixProfile):
+        spec = _registry.WORKLOADS.get(value.name)
+        if spec is None or spec.profile is not value:
+            raise ApiError(
+                f"profile {value.name!r} is not a registered workload; "
+                "register it (repro.workloads.registry.register) or "
+                "call the engine directly")
+        warnings.warn(
+            "passing a MixProfile to the facade is deprecated; pass "
+            f"the workload name ({value.name!r}) instead",
+            DeprecationWarning, stacklevel=3)
+        return spec
+    try:
+        spec = _registry.find_workload(value)
+    except _registry.WorkloadError as exc:
+        raise ApiError(str(exc)) from exc
+    except Exception as exc:
+        # A trace:PATH reference that failed to load.
+        raise ApiError(str(exc)) from exc
+    if spec is None:
+        raise ApiError(
+            f"unknown workload {value!r}; choose from "
+            f"{', '.join(_registry.workload_names())} "
+            "(see 'repro workloads')")
+    try:
+        spec.check_machine(machine_name)
+    except _registry.WorkloadError as exc:
+        raise ApiError(str(exc)) from exc
+    return spec
+
+
+def _workload_names(value, machine_name: str = None):
+    """Resolve a ``workloads`` argument to a tuple of registered names.
+
+    ``None`` passes through (callers default to the paper's five);
+    ``"all"`` selects every registered generator workload the machine
+    supports; otherwise each entry resolves via :func:`_workload`.
+    """
+    if value is None:
+        return None
+    if value == "all":
+        return tuple(
+            name for name, spec in _registry.WORKLOADS.items()
+            if spec.trace is None and spec.supported_on(machine_name))
+    if isinstance(value, str):
+        value = [value]
+    names = []
+    for item in value:
+        name = _workload(item, machine_name).name
+        if name not in names:
+            names.append(name)
+    return tuple(names)
 
 
 def _attachment(**kwargs):
@@ -165,7 +233,7 @@ def _budget(instructions, smoke: bool) -> int:
 
 @dataclass(frozen=True)
 class CharacterizeResult(_Result):
-    """The five-workload composite and its rendered tables."""
+    """A workload composite and its rendered tables."""
 
     instructions: int
     seed: int
@@ -173,6 +241,7 @@ class CharacterizeResult(_Result):
     paranoid: bool
     engine: str
     machine: str
+    workloads: tuple         #: the composite's workload names, in order
     cycles: int
     instructions_measured: int
     cycles_per_instruction: float
@@ -183,19 +252,27 @@ class CharacterizeResult(_Result):
 def characterize(instructions: int = None, seed: int = 1984,
                  jobs: int = 1, paranoid: bool = False,
                  table="all", smoke: bool = False,
-                 engine: str = None,
-                 machine: str = None) -> CharacterizeResult:
-    """Run the paper's measurement campaign and compute its tables.
+                 engine: str = None, machine: str = None,
+                 workloads=None) -> CharacterizeResult:
+    """Run a measurement campaign and compute the paper's tables.
+
+    The default campaign is the paper's: the five-workload composite,
+    bit-identical to what this call has always produced.  ``workloads``
+    widens or narrows it — an iterable of registered names (or unique
+    suffixes), or ``"all"`` for every generator workload the chosen
+    machine supports (see ``repro workloads``).
 
     ``table`` selects what to compute: ``"all"``, one key (``"1"``
     ... ``"9"``, ``"s4"``), or an iterable of keys.  Unknown keys raise
-    :class:`ApiError` before the (expensive) composite run, as does an
+    :class:`ApiError` before the (expensive) composite run, as do an
     unknown ``engine`` (scalar, batch, or auto; results are
-    bit-identical, see :mod:`repro.batch`) or an unknown ``machine``
-    (a registered backend, see :mod:`repro.machines`).
+    bit-identical, see :mod:`repro.batch`), an unknown ``machine``
+    (a registered backend, see :mod:`repro.machines`), and an unknown
+    or machine-refused workload.
     """
     engine_name = _engine(engine)
     machine_name = _machine(machine)
+    names = _workload_names(workloads, machine_name)
     if table in ("all", None):
         keys = list(TABLES)
     elif isinstance(table, str):
@@ -212,7 +289,7 @@ def characterize(instructions: int = None, seed: int = 1984,
         measurement = _engines.standard_composite(
             instructions=instructions, seed=seed, jobs=jobs,
             paranoid=paranoid, engine=engine_name,
-            machine=machine_name)
+            machine=machine_name, workloads=names)
         rendered = tuple(
             {"table": key,
              "text": TABLES[key][1](TABLES[key][0](measurement))}
@@ -221,6 +298,8 @@ def characterize(instructions: int = None, seed: int = 1984,
     return CharacterizeResult(
         instructions=instructions, seed=seed, jobs=jobs,
         paranoid=paranoid, engine=engine_name, machine=machine_name,
+        workloads=(names if names is not None
+                   else _registry.paper_workload_names()),
         cycles=measurement.cycles,
         instructions_measured=summary.instructions,
         cycles_per_instruction=summary.cycles_per_instruction,
@@ -234,50 +313,76 @@ def characterize(instructions: int = None, seed: int = 1984,
 class WorkloadResult(_Result):
     """One workload environment's measurement summary."""
 
-    profile: str
+    profile: str             #: the resolved workload name (historical)
     description: str
     instructions: int
     seed: int
     paranoid: bool
     machine: str
+    kind: str                #: paper | generator | trace
     cycles: int
     instructions_measured: int
     cycles_per_instruction: float
     table1_text: str
     measurement: object = _attachment(default=None)
 
+    @property
+    def workload(self) -> str:
+        """The resolved workload name (alias of ``profile``)."""
+        return self.profile
+
 
 def _find_profile(profile):
-    if isinstance(profile, MixProfile):
-        return profile
-    for candidate in STANDARD_PROFILES:
-        if candidate.name == profile or candidate.name.endswith(profile):
-            return candidate
-    return None
+    """Deprecated: resolve a loose spelling to a registered profile."""
+    warnings.warn(
+        "repro.api._find_profile is deprecated; use "
+        "repro.workloads.registry.find_workload",
+        DeprecationWarning, stacklevel=2)
+    spec = _registry.find_workload(profile)
+    return None if spec is None else spec.profile
 
 
-def run_workload(profile, instructions: int = None, seed: int = 1984,
-                 paranoid: bool = False, smoke: bool = False,
-                 machine: str = None) -> WorkloadResult:
-    """Run one workload environment (by name, suffix, or profile)."""
+def run_workload(workload=None, instructions: int = None,
+                 seed: int = 1984, paranoid: bool = False,
+                 smoke: bool = False, machine: str = None,
+                 profile=None) -> WorkloadResult:
+    """Run one registered workload (by name, suffix, or trace:PATH).
+
+    ``profile`` is the parameter's deprecated former name.  For a
+    trace-backed workload the recorded budget and seed are implied
+    when not given explicitly (and enforced when they are — replay is
+    pinned to its recording).
+    """
+    if profile is not None:
+        warnings.warn(
+            "run_workload(profile=...) is deprecated; use "
+            "run_workload(workload=...)", DeprecationWarning,
+            stacklevel=2)
+        if workload is None:
+            workload = profile
     machine_name = _machine(machine)
-    resolved = _find_profile(profile)
-    if resolved is None:
-        raise ApiError(f"unknown profile {profile!r}; "
-                       "see 'repro profiles'")
+    resolved = _workload(workload, machine_name)
+    if resolved.trace is not None:
+        if instructions is None and not smoke:
+            instructions = resolved.trace.instructions
+        seed = resolved.trace.seed if seed == 1984 else seed
     instructions = _budget(instructions, smoke)
     with _span("run-workload", profile=resolved.name,
                instructions=instructions, seed=seed,
                machine=machine_name):
-        measurement = _engines.run_workload(resolved, instructions,
-                                          seed=seed, paranoid=paranoid,
-                                          machine=machine_name)
+        try:
+            measurement = _engines.run_workload(
+                resolved.name, instructions, seed=seed,
+                paranoid=paranoid, machine=machine_name)
+        except _registry.WorkloadError as exc:
+            raise ApiError(str(exc)) from exc
         summary = table8(measurement)
         table1_text = render_table1(table1(measurement))
     return WorkloadResult(
         profile=resolved.name, description=resolved.description,
         instructions=instructions, seed=seed, paranoid=paranoid,
-        machine=machine_name, cycles=measurement.cycles,
+        machine=machine_name, kind=resolved.kind,
+        cycles=measurement.cycles,
         instructions_measured=summary.instructions,
         cycles_per_instruction=summary.cycles_per_instruction,
         table1_text=table1_text, measurement=measurement)
@@ -306,8 +411,8 @@ def hotspots(instructions: int = 20_000, top: int = 20,
     if smoke:
         instructions = min(instructions, SMOKE_INSTRUCTIONS)
     with _span("hotspots", instructions=instructions, top=top):
-        measurement = _engines.run_workload(STANDARD_PROFILES[0],
-                                          instructions, seed=seed)
+        measurement = _engines.run_workload(
+            _registry.DEFAULT_WORKLOAD, instructions, seed=seed)
         histogram = measurement.histogram
         store, _ = reference_map()
         ranked = []
@@ -374,10 +479,113 @@ class ProfilesResult(_Result):
 
 
 def profiles() -> ProfilesResult:
-    """List the standard workload profiles."""
+    """List the paper's five workload profiles.
+
+    Historical listing; :func:`workloads` lists the whole registry.
+    """
     return ProfilesResult(profiles=tuple(
-        {"name": profile.name, "description": profile.description}
-        for profile in STANDARD_PROFILES))
+        {"name": spec.name, "description": spec.description}
+        for spec in _registry.paper_workloads()))
+
+
+@dataclass(frozen=True)
+class WorkloadsResult(_Result):
+    """The registered workloads and their per-machine support."""
+
+    count: int
+    default: str
+    workloads: tuple  #: ({"name", "kind", ..., "supported": {...}}, ...)
+
+
+def workloads() -> WorkloadsResult:
+    """List the workload registry (see :mod:`repro.workloads.registry`).
+
+    Each entry reports the workload's name, kind (paper / generator /
+    trace), generator class, required executor families, and — per
+    registered machine — whether that machine runs it.
+    """
+    from repro.machines import MACHINES
+
+    listing = tuple(
+        {"name": spec.name, "kind": spec.kind,
+         "generator": spec.generator,
+         "description": spec.description,
+         "requires_families": tuple(spec.requires_families),
+         "supported": {machine: spec.supported_on(machine)
+                       for machine in MACHINES}}
+        for spec in _registry.WORKLOADS.values())
+    return WorkloadsResult(count=len(listing),
+                           default=_registry.DEFAULT_WORKLOAD,
+                           workloads=listing)
+
+
+# -- record-trace -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceResult(_Result):
+    """One recorded instruction trace and its self-description."""
+
+    workload: str            #: the name the trace registers under
+    source: str              #: the workload that was recorded
+    path: str
+    machine: str
+    seed: int
+    instructions: int
+    events: int
+    cycles: int
+    file_sha256: str
+    registered: bool
+    handle: object = _attachment(default=None)
+    measurement: object = _attachment(default=None)
+
+
+def record_trace(workload=None, path: str = None,
+                 instructions: int = None, seed: int = 1984,
+                 machine: str = None, name: str = None,
+                 smoke: bool = False,
+                 register: bool = True) -> TraceResult:
+    """Record a workload run to a trace file (and register it).
+
+    The recording run is bit-identical to an ordinary
+    :func:`run_workload` of the source workload (the recorder is a
+    passive boundary hook), so its measurement also primes the engine
+    memo.  With ``register`` (the default) the trace immediately joins
+    the registry under ``name`` (default ``trace-<source>``) and can
+    be run like any other workload.
+    """
+    from repro.workloads.trace import TraceError
+    from repro.workloads.trace import record_trace as _record
+
+    if path is None:
+        raise ApiError("record_trace needs a destination path")
+    machine_name = _machine(machine)
+    spec = _workload(workload, machine_name)
+    instructions = _budget(instructions, smoke)
+    with _span("record-trace", workload=spec.name,
+               instructions=instructions, seed=seed,
+               machine=machine_name):
+        try:
+            handle, measurement = _record(
+                spec.name, path, instructions=instructions, seed=seed,
+                machine=machine_name, name=name)
+        except (TraceError, _registry.WorkloadError) as exc:
+            raise ApiError(str(exc)) from exc
+        _engines.prime_cache(spec.name, instructions, seed,
+                             measurement, machine=machine_name)
+        if register:
+            from repro.workloads.trace import register_trace
+
+            try:
+                handle = register_trace(path, name=handle.name).trace
+            except _registry.WorkloadError as exc:
+                raise ApiError(str(exc)) from exc
+    return TraceResult(
+        workload=handle.name, source=handle.source, path=handle.path,
+        machine=handle.machine, seed=handle.seed,
+        instructions=handle.instructions, events=handle.events,
+        cycles=handle.cycles, file_sha256=handle.file_sha256,
+        registered=register, handle=handle, measurement=measurement)
 
 
 @dataclass(frozen=True)
@@ -500,23 +708,30 @@ def explore_spec(spec: str = "paper-sensitivity", axes=(),
 
     ``axes`` entries may be ``"name=v1,v2"`` strings or Axis objects;
     any axis replaces the named spec's axes (the spec is then called
-    ``custom``).  ``machine`` re-baselines the sweep on a registered
+    ``custom``).  A ``workload=a,b,...`` axis is special: it replaces
+    the sweep's workload *population* rather than varying a per-point
+    override.  ``machine`` re-baselines the sweep on a registered
     backend (a ``machine=...`` axis still varies it point by point).
-    Unknown specs, axes, values or machines raise :class:`ApiError`
-    before anything simulates.
+    Unknown specs, axes, values, workloads or machines raise
+    :class:`ApiError` before anything simulates.
     """
     from dataclasses import replace
 
     from repro.explore import SPECS, SpaceError, parse_axis
+    from repro.explore.space import WORKLOAD_AXIS
 
     machine_name = _machine(machine)
     parsed = []
+    sweep_workloads = None
     for axis in axes:
         if isinstance(axis, str):
             try:
                 axis = parse_axis(axis)
             except SpaceError as exc:
                 raise ApiError(str(exc)) from exc
+        if axis.name == WORKLOAD_AXIS:
+            sweep_workloads = tuple(axis.values)
+            continue
         parsed.append(axis)
     name = "smoke" if smoke else spec
     base = SPECS.get(name)
@@ -526,6 +741,9 @@ def explore_spec(spec: str = "paper-sensitivity", axes=(),
     overrides = {}
     if parsed:
         overrides["axes"] = tuple(parsed)
+        overrides["name"] = "custom"
+    if sweep_workloads is not None:
+        overrides["workloads"] = sweep_workloads
         overrides["name"] = "custom"
     if mode is not None:
         overrides["mode"] = mode
@@ -631,8 +849,12 @@ class ValidateResult(_Result):
 def validate(instructions: int = None, fuzz_cases: int = 0,
              fuzz_instructions: int = 400, seed: int = 1984,
              smoke: bool = False, progress=None, jobs: int = 1,
-             engine: str = None, machine: str = None) -> ValidateResult:
-    """Check the conservation laws on all five workloads, then fuzz.
+             engine: str = None, machine: str = None,
+             workloads=None) -> ValidateResult:
+    """Check the conservation laws on registered workloads, then fuzz.
+
+    ``workloads`` selects which (default: the paper's five; ``"all"``
+    means every generator workload the machine supports).
 
     ``engine`` selects what the fuzzer differences against: ``scalar``
     (the default) runs the fast-path engine against the per-cycle
@@ -652,6 +874,9 @@ def validate(instructions: int = None, fuzz_cases: int = 0,
 
     engine_name = _engine(engine, choices=("scalar", "batch"))
     machine_name = _machine(machine)
+    names = _workload_names(workloads, machine_name)
+    if names is None:
+        names = _registry.paper_workload_names()
     if machine_name != DEFAULT_MACHINE and fuzz_cases:
         raise ApiError(
             f"differential fuzzing validates the {DEFAULT_MACHINE} "
@@ -667,9 +892,9 @@ def validate(instructions: int = None, fuzz_cases: int = 0,
                machine=machine_name):
         reports = tuple(
             check_measurement(_engines.run_workload(
-                profile, instructions, seed=seed,
+                name, instructions, seed=seed,
                 machine=machine_name), machine=machine_name)
-            for profile in STANDARD_PROFILES)
+            for name in names)
         fuzz_results = tuple(
             fuzzer(fuzz_cases, seed=seed,
                    instructions=fuzz_instructions,

@@ -36,7 +36,6 @@ from repro.cpu.machine import VAX780
 from repro.obs import metrics
 from repro.osim.executive import Executive
 from repro.params import VAX780 as STOCK_PARAMS
-from repro.workloads.profiles import STANDARD_PROFILES
 
 #: Measured instructions each cohort advances per lockstep round.
 QUANTUM = 2048
@@ -95,7 +94,14 @@ class BatchRunner:
             raise ValueError(f"quantum must be positive, got {quantum}")
         self.quantum = quantum
         if profiles is None:
-            profiles = STANDARD_PROFILES
+            # Every registered generator workload is a valid lane;
+            # trace-backed workloads replay on their own machine and
+            # cannot be fused.
+            from repro.workloads.registry import WORKLOADS
+
+            profiles = {name: spec.profile
+                        for name, spec in WORKLOADS.items()
+                        if spec.trace is None}
         if not isinstance(profiles, dict):
             profiles = {profile.name: profile for profile in profiles}
         self.profiles = profiles

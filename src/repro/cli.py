@@ -15,7 +15,15 @@ Commands:
   view).
 * ``disasm`` — assemble a VAX MACRO source file and print its listing.
 * ``figure1`` — render the 11/780 block diagram from the machine model.
-* ``profiles`` — list the five standard workload profiles.
+* ``profiles`` — list the paper's five workload profiles (the
+  historical subset of ``workloads``).
+* ``workloads`` — list the full workload registry
+  (:mod:`repro.workloads.registry`): name, generator class, and
+  per-machine support for every registered workload — the paper's
+  five, the synthetic zoo, and any ingested traces.
+* ``record-trace`` — record one workload run to a versioned
+  instruction-trace file; replaying the file is bit-identical to the
+  recording, and the trace registers as a first-class workload.
 * ``machines`` — list the registered machine backends
   (:mod:`repro.machines`): the paper's 11/780 and the MicroVAX 78032
   subset machine, selectable everywhere via ``--machine``.
@@ -134,10 +142,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--paranoid", action="store_true",
         help="sample conservation-invariant checks during the runs "
              "(passive; forces --jobs 1)")
+    characterize.add_argument(
+        "--workloads", default=None, metavar="A,B,...",
+        help="composite over these registered workloads instead of "
+             "the paper's five ('all' = every generator workload the "
+             "machine supports; see 'repro workloads')")
 
     one = sub.add_parser("run-workload", parents=[parent],
                          help="run one workload environment")
-    one.add_argument("profile", help="profile name (see 'profiles')")
+    one.add_argument("workload",
+                     help="workload name (see 'repro workloads'), or "
+                          "trace:PATH for a recorded trace file")
     one.add_argument("--instructions", type=int, default=None,
                      help="measured instructions "
                           "(default 30000; --smoke: 2000)")
@@ -159,9 +174,33 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figure1", parents=[parent],
                    help="render the block diagram")
     sub.add_parser("profiles", parents=[parent],
-                   help="list the workload profiles")
+                   help="list the paper's five workload profiles")
     sub.add_parser("machines", parents=[parent],
                    help="list the registered machine backends")
+    sub.add_parser("workloads", parents=[parent],
+                   help="list the workload registry: name, class, and "
+                        "per-machine support")
+
+    record = sub.add_parser(
+        "record-trace", parents=[parent],
+        help="record one workload run to a replayable trace file and "
+             "register it as a workload")
+    record.add_argument("workload",
+                        help="source workload to record "
+                             "(see 'repro workloads')")
+    record.add_argument("--out", default=None, metavar="PATH",
+                        help="trace file to write "
+                             "(default: <workload>.rprt)")
+    record.add_argument("--instructions", type=int, default=None,
+                        help="measured instructions to record "
+                             "(default 30000; --smoke: 2000)")
+    record.add_argument("--name", default=None, metavar="NAME",
+                        help="registry name for the trace workload "
+                             "(default: trace-<workload>)")
+    record.add_argument("--no-register", dest="register",
+                        action="store_false", default=True,
+                        help="write the file without registering the "
+                             "trace as a workload")
 
     ubench = sub.add_parser(
         "ubench", parents=[parent],
@@ -228,6 +267,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(0 = invariants only)")
     validate.add_argument("--fuzz-instructions", type=int, default=400,
                           help="measured instructions per fuzz case")
+    validate.add_argument(
+        "--workloads", default=None, metavar="A,B,...",
+        help="run the invariant pass over these registered workloads "
+             "instead of the paper's five ('all' = every generator "
+             "workload the machine supports)")
 
     refute = sub.add_parser(
         "refute", parents=[parent],
@@ -311,12 +355,21 @@ def _write_json(path: str, doc: dict) -> None:
     print(f"\nwrote {path}")
 
 
+def _workload_list(value):
+    """Parse a ``--workloads`` flag: comma list, 'all', or None."""
+    if value is None or value == "all":
+        return value
+    return tuple(name.strip() for name in value.split(",")
+                 if name.strip())
+
+
 def _cmd_characterize(args) -> int:
     result = api.characterize(instructions=args.instructions,
                               seed=_seed(args), jobs=_jobs(args),
                               paranoid=args.paranoid, table=args.table,
                               smoke=args.smoke, engine=args.engine,
-                              machine=args.machine)
+                              machine=args.machine,
+                              workloads=_workload_list(args.workloads))
     for entry in result.tables:
         print(entry["text"])
         print()
@@ -326,7 +379,7 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_run_workload(args) -> int:
-    result = api.run_workload(args.profile,
+    result = api.run_workload(args.workload,
                               instructions=args.instructions,
                               seed=_seed(args), paranoid=args.paranoid,
                               smoke=args.smoke, machine=args.machine)
@@ -380,6 +433,46 @@ def _cmd_profiles(args) -> int:
     result = api.profiles()
     for profile in result.profiles:
         print(f"{profile['name']:24s} {profile['description']}")
+    if args.json:
+        _write_json(args.json, result.to_json())
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    result = api.workloads()
+    machines = sorted({machine for entry in result.workloads
+                       for machine in entry["supported"]})
+    header = f"{'workload':24s} {'class':10s} {'kind':10s} " \
+             + " ".join(f"{name:>10s}" for name in machines)
+    print(header)
+    for entry in result.workloads:
+        marker = "*" if entry["name"] == result.default else " "
+        support = " ".join(
+            f"{'yes' if entry['supported'][name] else 'no':>10s}"
+            for name in machines)
+        print(f"{marker}{entry['name']:23s} {entry['generator']:10s} "
+              f"{entry['kind']:10s} {support}")
+    print(f"\n{result.count} workloads; * = default "
+          "(select with 'run-workload NAME')")
+    if args.json:
+        _write_json(args.json, result.to_json())
+    return 0
+
+
+def _cmd_record_trace(args) -> int:
+    out = args.out or f"{args.workload}.rprt"
+    result = api.record_trace(args.workload, path=out,
+                              instructions=args.instructions,
+                              seed=_seed(args), machine=args.machine,
+                              name=args.name, smoke=args.smoke,
+                              register=args.register)
+    print(f"recorded:  {result.source} -> {result.path}")
+    print(f"machine:   {result.machine}  seed: {result.seed}  "
+          f"instructions: {result.instructions}")
+    print(f"events:    {result.events}  cycles: {result.cycles}")
+    print(f"sha256:    {result.file_sha256}")
+    if result.registered:
+        print(f"registered as workload: {result.workload}")
     if args.json:
         _write_json(args.json, result.to_json())
     return 0
@@ -481,6 +574,7 @@ def _cmd_validate(args) -> int:
                           seed=_seed(args), smoke=args.smoke,
                           jobs=_jobs(args),
                           engine=args.engine, machine=args.machine,
+                          workloads=_workload_list(args.workloads),
                           progress=lambda line: print(line,
                                                       file=sys.stderr))
     print(render_validate(list(result.reports),
@@ -600,6 +694,8 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "figure1": _cmd_figure1,
     "profiles": _cmd_profiles,
+    "workloads": _cmd_workloads,
+    "record-trace": _cmd_record_trace,
     "machines": _cmd_machines,
     "ubench": _cmd_ubench,
     "explore": _cmd_explore,

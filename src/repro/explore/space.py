@@ -24,7 +24,8 @@ from repro.machines.registry import (DEFAULT_MACHINE, MachineError,
                                      get_machine, machine_names,
                                      validate_machine)
 from repro.params import MachineParams, VAX780
-from repro.workloads.profiles import STANDARD_PROFILES
+from repro.workloads.registry import (WORKLOADS, find_workload,
+                                      paper_workload_names)
 
 
 class SpaceError(ValueError):
@@ -37,10 +38,15 @@ class SpaceError(ValueError):
 #: the parameter axes then apply as overrides).
 SPECIAL_AXES = ("seed", "instructions", "machine")
 
+#: The workload selection axis: not a per-point override but a sweep
+#: *population* — ``workload=a,b,c`` on the command line replaces the
+#: spec's workload set (the facade pops it into ``workloads=``).
+WORKLOAD_AXIS = "workload"
+
 
 def valid_axes() -> tuple:
     """All legal axis names: MachineParams fields plus the special axes."""
-    return MachineParams.field_names() + SPECIAL_AXES
+    return MachineParams.field_names() + SPECIAL_AXES + (WORKLOAD_AXIS,)
 
 
 def _check_axis_name(name: str) -> None:
@@ -138,7 +144,7 @@ class SweepSpec:
     instructions: int = 20_000
     seed: int = 1984
     workloads: tuple = field(
-        default_factory=lambda: tuple(p.name for p in STANDARD_PROFILES))
+        default_factory=paper_workload_names)
     #: The baseline backend every point starts from (a ``machine`` axis
     #: still overrides it point by point).
     machine: str = DEFAULT_MACHINE
@@ -156,15 +162,27 @@ class SweepSpec:
                 f"unknown mode {self.mode!r}; use 'ofat' or 'cartesian'")
         seen = set()
         for axis in self.axes:
+            if axis.name == WORKLOAD_AXIS:
+                raise SpaceError(
+                    "the workload axis selects the sweep's workload "
+                    "population, not a per-point override; pass "
+                    "workloads=(...) instead")
             if axis.name in seen:
                 raise SpaceError(f"duplicate axis {axis.name!r}")
             seen.add(axis.name)
-        known = {p.name for p in STANDARD_PROFILES}
         for workload in self.workloads:
-            if workload not in known:
+            spec = WORKLOADS.get(workload)
+            if spec is None:
                 raise SpaceError(
                     f"unknown workload {workload!r}; valid workloads: "
-                    f"{', '.join(sorted(known))}")
+                    f"{', '.join(WORKLOADS)}")
+            if spec.trace is not None:
+                # Pool workers resolve names against the import-time
+                # registry, where a runtime-ingested trace does not
+                # exist — and a replay is pinned to one budget anyway.
+                raise SpaceError(
+                    f"trace workload {workload!r} cannot be swept; "
+                    "sweep its source generator workload instead")
         if not self.workloads:
             raise SpaceError("spec selects no workloads")
         # Enumerate eagerly so a bad point fails at construction.
@@ -204,6 +222,22 @@ def parse_axis(text: str) -> Axis:
     if not sep or not values_text.strip():
         raise SpaceError(
             f"axis {text!r} has no values; expected name=v1,v2,...")
+    if name == WORKLOAD_AXIS:
+        values = []
+        for part in values_text.split(","):
+            part = part.strip()
+            spec = find_workload(part)
+            if spec is None:
+                raise SpaceError(
+                    f"axis 'workload': {part!r} is not a registered "
+                    f"workload; choose from {', '.join(WORKLOADS)}")
+            if spec.trace is not None:
+                raise SpaceError(
+                    f"axis 'workload': trace workload {spec.name!r} "
+                    "cannot be swept; sweep its source generator "
+                    "workload instead")
+            values.append(spec.name)
+        return Axis(name, tuple(values))
     if name == "machine":
         values = []
         for part in values_text.split(","):

@@ -211,7 +211,9 @@ class ResultStore:
         recorded inside each record (records predating those fields
         land in the ``"schema=? code=?"`` bucket); ``machines`` buckets
         them by backend (records predating the machine field count as
-        ``vax780``, the only backend that existed); ``quarantined``
+        ``vax780``, the only backend that existed); ``workloads`` buckets
+        them by workload name (composite-level serve records count as
+        ``composite``); ``quarantined``
         counts entries :meth:`get` moved aside as unreadable.  Reads
         every record, so this is a reporting call (``repro explore
         --json``, the serve ``/metrics`` endpoint), not a hot-path one.
@@ -221,6 +223,7 @@ class ResultStore:
         quarantined = 0
         versions: dict = {}
         machines: dict = {}
+        workloads: dict = {}
         objects = self.root / "objects"
         if objects.is_dir():
             for path in sorted(objects.glob("*/*")):
@@ -241,9 +244,20 @@ class ResultStore:
                 except json.JSONDecodeError:
                     label = "unreadable"
                     machine = "unreadable"
+                    workload = "unreadable"
                 else:
                     label = (f"schema={record.get('schema', '?')} "
                              f"code={record.get('code', '?')}")
+                    workload = record.get("workload")
+                    if workload is None:
+                        # Serve records name it inside the canonical
+                        # params ("workload", or "profile" before
+                        # SERVE_SCHEMA 3).
+                        params = record.get("params")
+                        if isinstance(params, dict):
+                            workload = params.get("workload") \
+                                or params.get("profile")
+                    workload = workload or "composite"
                     machine = record.get("machine")
                     if machine is None:
                         # Serve records carry it inside the canonical
@@ -255,6 +269,7 @@ class ResultStore:
                         machine = machine or "vax780"
                 versions[label] = versions.get(label, 0) + 1
                 machines[machine] = machines.get(machine, 0) + 1
+                workloads[workload] = workloads.get(workload, 0) + 1
         return {"entries": entries, "bytes": size,
                 "quarantined": quarantined, "versions": versions,
-                "machines": machines}
+                "machines": machines, "workloads": workloads}

@@ -256,14 +256,21 @@ def _reduction(measurement):
 
 
 def _profile(profile):
-    from repro.workloads.profiles import STANDARD_PROFILES
+    from repro.workloads.registry import WorkloadError, get_workload
 
     if not isinstance(profile, str):
         return profile
-    for candidate in STANDARD_PROFILES:
-        if candidate.name == profile:
-            return candidate
-    raise AnalyticalError(f"unknown workload profile {profile!r}")
+    try:
+        spec = get_workload(profile)
+    except WorkloadError:
+        raise AnalyticalError(
+            f"unknown workload profile {profile!r}") from None
+    if spec.trace is not None:
+        raise AnalyticalError(
+            f"workload {profile!r} is trace-backed; the analytical "
+            "tier calibrates generator profiles only (its anchor runs "
+            "need budgets the recording does not carry)")
+    return spec.profile
 
 
 def calibrate(profile, machine: str = None,
@@ -277,6 +284,7 @@ def calibrate(profile, machine: str = None,
     else at those budgets — are free after the first.
     """
     from repro.workloads import engine as _engines
+    from repro.workloads.registry import WORKLOADS
 
     profile = _profile(profile)
     machine = get_machine(machine).name
@@ -285,7 +293,13 @@ def calibrate(profile, machine: str = None,
         raise AnalyticalError(
             f"calibration needs at least two distinct positive anchor "
             f"budgets, got {anchors!r}")
-    reds = [_reduction(_engines.run_workload(profile, n, seed=seed,
+    # Registered profiles run by name (the registry is the front door
+    # now); ad-hoc MixProfiles — fuzz variants, explore perturbations —
+    # still pass through as objects.
+    spec = WORKLOADS.get(profile.name)
+    workload = profile.name if spec is not None \
+        and spec.profile is profile else profile
+    reds = [_reduction(_engines.run_workload(workload, n, seed=seed,
                                              machine=machine))
             for n in anchors]
     keys = sorted({key for red in reds for key in red.cells

@@ -166,11 +166,10 @@ def simulate_point(point: ProbePoint, plant: str = None):
     from repro.machines.registry import get_machine
     from repro.osim.executive import Executive
     from repro.refute.perturb import perturbation
-    from repro.workloads.profiles import STANDARD_PROFILES
+    from repro.workloads.registry import get_workload
 
     spec = get_machine(point.machine)
-    profile = next(p for p in STANDARD_PROFILES
-                   if p.name == point.workload)
+    profile = get_workload(point.workload).profile
     with perturbation(plant):
         machine = spec.build(effective_params(point))
         executive = Executive(machine, spec.adapt_profile(profile),
@@ -423,10 +422,11 @@ def _profile_overrides(profile) -> dict:
     """The fuzz profile's deltas against its standard base profile."""
     from dataclasses import fields as dc_fields
 
-    from repro.workloads.profiles import STANDARD_PROFILES
+    from repro.workloads.registry import WORKLOADS
 
-    base = next((p for p in STANDARD_PROFILES
-                 if profile.name.endswith(p.name)), None)
+    base = next((spec.profile for spec in WORKLOADS.values()
+                 if spec.trace is None
+                 and profile.name.endswith(spec.name)), None)
     if base is None:
         return {}
     return {spec.name: _json_value(getattr(profile, spec.name))

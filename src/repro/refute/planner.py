@@ -301,11 +301,29 @@ def run_campaign(spec: CampaignSpec, seed: int = None, jobs: int = 1,
                  progress=None) -> CampaignResult:
     """Run one refutation campaign and return every probe and verdict."""
     from repro.workloads.parallel import run_tasks
+    from repro.workloads.registry import (WorkloadError, get_workload,
+                                          workload_names)
 
     if plant is not None and plant not in PERTURBATIONS:
         raise RefuteError(
             f"unknown perturbation {plant!r}; registered plants: "
             f"{', '.join(PERTURBATIONS)}")
+    # Every workload the campaign names must resolve up front — a typo
+    # in a spec should fail here, not hours into the probe fan-out.
+    for workload in spec.workloads:
+        try:
+            wspec = get_workload(workload)
+        except WorkloadError:
+            raise RefuteError(
+                f"campaign {spec.name!r} names unknown workload "
+                f"{workload!r}; registered: "
+                f"{', '.join(workload_names())}") from None
+        if wspec.trace is not None:
+            raise RefuteError(
+                f"campaign {spec.name!r} names trace-backed workload "
+                f"{workload!r}; campaigns probe generator workloads "
+                "(probe points vary budgets and params a recording "
+                "cannot serve)")
     seed = spec.seed if seed is None else seed
     probes: list = []
     stats = {"simulations": 0, "cached": 0}

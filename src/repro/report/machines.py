@@ -42,7 +42,7 @@ def machines_report(instructions: int = 60_000,
     """The cross-machine comparison document (see module docstring)."""
     from repro.analysis.reduction import Reduction
     from repro.workloads import engine as _engines
-    from repro.workloads.profiles import STANDARD_PROFILES
+    from repro.workloads.registry import paper_workloads
 
     if machines is None:
         machines = machine_names()
@@ -62,13 +62,15 @@ def machines_report(instructions: int = 60_000,
         workloads = {}
         total_cycles = 0
         total_instructions = 0
-        for profile in STANDARD_PROFILES:
+        for wspec in paper_workloads():
+            profile = wspec.profile
             if progress is not None:
                 progress(f"machines: {name}/{profile.name}")
             red = Reduction(_engines.run_workload(
-                profile, instructions, seed=seed,
+                profile.name, instructions, seed=seed,
                 machine=name).histogram)
-            mix = calibrate(profile, name, anchors=anchors, seed=seed)
+            mix = calibrate(profile.name, name, anchors=anchors,
+                            seed=seed)
             check = check_estimate(mix, instructions, seed=seed)
             worst = max(worst, check["rel_err"])
             cpi = red.cycles_per_instruction()

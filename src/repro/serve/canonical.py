@@ -34,7 +34,12 @@ from repro.explore.store import code_version
 #: part of every request key.
 #: 2: every request carries the machine backend name (default vax780),
 #:    so results from different machines can never share a key.
-SERVE_SCHEMA = 2
+#: 3: workloads resolve through the workload registry — run-workload
+#:    canonicalizes to a ``workload`` name (``profile`` is a deprecated
+#:    alias), and characterize/validate carry their resolved workload
+#:    name lists — so requests over different workload sets can never
+#:    share a key.
+SERVE_SCHEMA = 3
 
 
 def _expect(request, name, value, kinds, none_ok=False):
@@ -112,6 +117,7 @@ class CharacterizeRequest(ServeRequest):
     smoke: bool = False
     engine: object = None
     machine: object = None
+    workloads: object = None
 
     def canonical(self) -> dict:
         _expect(self, "instructions", self.instructions, int,
@@ -122,6 +128,8 @@ class CharacterizeRequest(ServeRequest):
         _expect(self, "smoke", self.smoke, bool)
         _expect(self, "machine", self.machine, str, none_ok=True)
         engine = _engine(self.engine)
+        machine = _machine(self.machine)
+        names = _workload_names(self.workloads, machine)
         if self.table in ("all", None):
             keys = list(api.TABLES)
         elif isinstance(self.table, str):
@@ -136,11 +144,13 @@ class CharacterizeRequest(ServeRequest):
         return {"instructions": _budget(self.instructions, self.smoke),
                 "seed": self.seed, "jobs": self.jobs,
                 "paranoid": self.paranoid, "table": keys,
-                "engine": engine, "machine": _machine(self.machine)}
+                "engine": engine, "machine": machine,
+                "workloads": list(names)}
 
     def exec_kwargs(self) -> dict:
         canonical = self.canonical()
         canonical["table"] = tuple(canonical["table"])
+        canonical["workloads"] = tuple(canonical["workloads"])
         return canonical
 
     def fusion_group(self):
@@ -164,29 +174,50 @@ class CharacterizeRequest(ServeRequest):
 @dataclass(frozen=True)
 class RunWorkloadRequest(ServeRequest):
     command = "run-workload"
-    profile: str = None
+    workload: str = None
     instructions: object = None
     seed: int = 1984
     paranoid: bool = False
     smoke: bool = False
     machine: object = None
+    #: Deprecated alias of ``workload`` (pre-registry payloads).
+    profile: str = None
 
     def canonical(self) -> dict:
-        _expect(self, "profile", self.profile, str)
+        _expect(self, "workload", self.workload, str, none_ok=True)
+        _expect(self, "profile", self.profile, str, none_ok=True)
         _expect(self, "instructions", self.instructions, int,
                 none_ok=True)
         _expect(self, "seed", self.seed, int)
         _expect(self, "paranoid", self.paranoid, bool)
         _expect(self, "smoke", self.smoke, bool)
         _expect(self, "machine", self.machine, str, none_ok=True)
-        resolved = api._find_profile(self.profile)
-        if resolved is None:
-            raise api.ApiError(f"unknown profile {self.profile!r}; "
-                               "see 'repro profiles'")
-        return {"profile": resolved.name,
-                "instructions": _budget(self.instructions, self.smoke),
-                "seed": self.seed, "paranoid": self.paranoid,
-                "machine": _machine(self.machine)}
+        wanted = self.workload if self.workload is not None \
+            else self.profile
+        if wanted is None:
+            raise api.ApiError(
+                f"{self.command}: field 'workload' is required")
+        if self.workload is not None and self.profile is not None \
+                and self.workload != self.profile:
+            raise api.ApiError(
+                f"{self.command}: 'workload' and 'profile' (its "
+                f"deprecated alias) disagree: {self.workload!r} vs "
+                f"{self.profile!r}")
+        machine = _machine(self.machine)
+        resolved = _resolve_workload(wanted, machine)
+        instructions = self.instructions
+        seed = self.seed
+        if resolved.trace is not None:
+            # Replay is pinned to its recording: an omitted budget or
+            # default seed canonicalizes to the recorded values.
+            if instructions is None and not self.smoke:
+                instructions = resolved.trace.instructions
+            if seed == 1984:
+                seed = resolved.trace.seed
+        return {"workload": resolved.name,
+                "instructions": _budget(instructions, self.smoke),
+                "seed": seed, "paranoid": self.paranoid,
+                "machine": machine}
 
     def exec_kwargs(self) -> dict:
         return self.canonical()
@@ -301,6 +332,7 @@ class ValidateRequest(ServeRequest):
     smoke: bool = False
     engine: object = None
     machine: object = None
+    workloads: object = None
 
     def canonical(self) -> dict:
         from repro.machines import DEFAULT_MACHINE
@@ -314,6 +346,7 @@ class ValidateRequest(ServeRequest):
         _expect(self, "machine", self.machine, str, none_ok=True)
         engine = _engine(self.engine, choices=("scalar", "batch"))
         machine = _machine(self.machine)
+        names = _workload_names(self.workloads, machine)
         if machine != DEFAULT_MACHINE and self.fuzz_cases:
             raise api.ApiError(
                 f"differential fuzzing validates the {DEFAULT_MACHINE} "
@@ -330,10 +363,13 @@ class ValidateRequest(ServeRequest):
                 "fuzz_cases": self.fuzz_cases,
                 "fuzz_instructions": fuzz_instructions,
                 "seed": self.seed, "smoke": self.smoke,
-                "engine": engine, "machine": machine}
+                "engine": engine, "machine": machine,
+                "workloads": list(names)}
 
     def exec_kwargs(self) -> dict:
-        return self.canonical()
+        canonical = self.canonical()
+        canonical["workloads"] = tuple(canonical["workloads"])
+        return canonical
 
 
 #: command name -> request class, the service's public command surface.
@@ -366,6 +402,60 @@ def _machine(value) -> str:
         return validate_machine(value)
     except MachineError as exc:
         raise api.ApiError(str(exc)) from exc
+
+
+def _resolve_workload(value, machine: str):
+    """Resolve one workload spelling to its registered spec, strictly.
+
+    ``trace:PATH`` references are rejected: they would read (and
+    register) server-local files on behalf of a remote client.  A
+    trace already registered in the server process resolves by name
+    like any other workload.
+    """
+    if not isinstance(value, str):
+        raise api.ApiError(
+            f"workload names must be strings, got {value!r}")
+    if value.startswith("trace:"):
+        raise api.ApiError(
+            "trace:PATH references are not accepted over the job "
+            "server; register the trace in the server process and "
+            "submit its workload name")
+    return api._workload(value, machine)
+
+
+def _workload_names(value, machine: str) -> tuple:
+    """Resolve a composite's ``workloads`` field to registered names.
+
+    ``None`` canonicalizes to the paper's five (so an explicit
+    spelling of the default collapses to the same request key);
+    ``"all"`` to every generator workload the machine supports.
+    Trace-backed workloads are rejected — a replay is pinned to one
+    budget and cannot join an arbitrary composite.
+    """
+    from repro.workloads.registry import paper_workload_names
+
+    if value is None:
+        return paper_workload_names()
+    if value == "all":
+        return api._workload_names("all", machine)
+    if isinstance(value, str):
+        value = [value]
+    if not isinstance(value, (list, tuple)):
+        raise api.ApiError(
+            "field 'workloads' must be a list of workload names, "
+            f"a single name, or 'all'; got {value!r}")
+    names = []
+    for item in value:
+        spec = _resolve_workload(item, machine)
+        if spec.trace is not None:
+            raise api.ApiError(
+                f"trace workload {spec.name!r} cannot join a "
+                "composite; run it via run-workload")
+        if spec.name not in names:
+            names.append(spec.name)
+    if not names:
+        raise api.ApiError("field 'workloads' selects no workloads")
+    return tuple(names)
 
 
 def parse_request(doc, default_engine: str = None,

@@ -37,7 +37,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro import obs
 from repro.obs import metrics
-from repro.workloads.profiles import STANDARD_PROFILES
+from repro.workloads.registry import paper_workload_names
 
 #: Sentinel for a task slot that has not produced a result yet.
 _UNSET = object()
@@ -45,7 +45,7 @@ _UNSET = object()
 
 def default_jobs() -> int:
     """A sensible worker count: one per workload, capped by the host."""
-    return max(1, min(len(STANDARD_PROFILES), os.cpu_count() or 1))
+    return max(1, min(len(paper_workload_names()), os.cpu_count() or 1))
 
 
 class _Instrumented:
@@ -145,23 +145,24 @@ def run_tasks(worker, tasks, jobs: int = None, retries: int = 1) -> list:
 
 def run_standard_batch(instructions: int, seed: int = 1984,
                        profiles=None) -> dict:
-    """Run the standard experiments as one lockstep batch.
+    """Run workload experiments as one lockstep batch.
 
     The alternative to the process pool on hosts without spare cores:
-    the selected workloads (default: all five) become lanes of a single
-    :class:`repro.batch.BatchRunner`, advancing in lockstep and
-    accumulating their histograms in one struct-of-arrays sink.
+    the selected workloads (default: the paper's five) become lanes of
+    a single :class:`repro.batch.BatchRunner`, advancing in lockstep
+    and accumulating their histograms in one struct-of-arrays sink.
     Results are bit-identical to the serial path — same boot, same
     measured loop, same capture — so callers memoise them under the
     same per-workload keys.
     """
     from repro.batch import LaneSpec, run_lanes
+    from repro.workloads.registry import paper_workloads
 
     if profiles is None:
-        profiles = STANDARD_PROFILES
+        profiles = [spec.profile for spec in paper_workloads()]
     lanes = [LaneSpec(profile.name, instructions, seed)
              for profile in profiles]
-    results = run_lanes(lanes)
+    results = run_lanes(lanes, profiles=profiles)
     return {profile.name: result.measurement
             for profile, result in zip(profiles, results)}
 
@@ -171,21 +172,24 @@ def _run_one(task) -> "Measurement":
     name, instructions, seed, machine = task
     from repro.workloads import engine
 
-    profile = next(p for p in STANDARD_PROFILES if p.name == name)
-    return engine.run_workload(profile, instructions, seed,
+    return engine.run_workload(name, instructions, seed,
                                machine=machine)
 
 
 def run_standard_parallel(instructions: int, seed: int = 1984,
-                          jobs: int = None,
-                          machine: str = "vax780") -> dict:
-    """Run all five standard experiments across worker processes.
+                          jobs: int = None, machine: str = "vax780",
+                          workloads=None) -> dict:
+    """Run registered workload experiments across worker processes.
 
-    Returns name -> Measurement in the paper's profile order, exactly as
-    :func:`repro.workloads.engine.run_standard_experiments` does.
+    ``workloads`` is an iterable of registered names (default: the
+    paper's five).  Dynamically registered workloads (ingested traces)
+    cannot cross the process boundary — workers resolve names against
+    the import-time registry — so the engine routes them to the serial
+    path instead.  Returns name -> Measurement in the given order,
+    exactly as :func:`repro.workloads.engine.run_many` does.
     """
-    tasks = [(profile.name, instructions, seed, machine)
-             for profile in STANDARD_PROFILES]
+    names = tuple(workloads) if workloads is not None \
+        else paper_workload_names()
+    tasks = [(name, instructions, seed, machine) for name in names]
     results = run_tasks(_run_one, tasks, jobs=jobs)
-    return {profile.name: measurement
-            for profile, measurement in zip(STANDARD_PROFILES, results)}
+    return dict(zip(names, results))

@@ -128,7 +128,8 @@ class TestStats:
     def test_empty_store(self, tmp_path):
         stats = ResultStore(tmp_path / "store").stats()
         assert stats == {"entries": 0, "bytes": 0, "quarantined": 0,
-                         "versions": {}, "machines": {}}
+                         "versions": {}, "machines": {},
+                         "workloads": {}}
 
     def test_counts_bytes_and_version_buckets(self, tmp_path):
         store = ResultStore(tmp_path / "store")

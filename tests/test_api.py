@@ -61,7 +61,7 @@ class TestRunWorkload:
         assert by_suffix.cycles == by_object.cycles
 
     def test_unknown_profile(self):
-        with pytest.raises(api.ApiError, match="unknown profile"):
+        with pytest.raises(api.ApiError, match="unknown workload"):
             api.run_workload("nonexistent")
 
 

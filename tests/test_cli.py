@@ -199,3 +199,58 @@ class TestCLI:
         doc = json.loads(out_json.read_text())
         assert doc["meta"]["engine"] == "batch"
         assert doc["stats"]["engine"] == "batch"
+
+
+class TestWorkloadZooCLI:
+    def test_workloads_lists_the_registry(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "timesharing-research" in out
+        assert "compiler-build" in out
+        assert "vax780" in out and "uvax78032" in out
+
+    def test_workloads_json(self, tmp_path, capsys):
+        out_path = tmp_path / "workloads.json"
+        assert main(["workloads", "--json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["count"] >= 12
+        names = [entry["name"] for entry in doc["workloads"]]
+        assert "transaction-decimal" in names
+
+    def test_record_trace_round_trip(self, tmp_path, capsys):
+        from repro.workloads.registry import WORKLOADS, unregister
+
+        trace_path = tmp_path / "commercial.rprt"
+        try:
+            assert main(["record-trace", "rte-commercial", "--smoke",
+                         "--seed", "7", "--out",
+                         str(trace_path)]) == 0
+            out = capsys.readouterr().out
+            assert "registered as workload: trace-rte-commercial" \
+                in out
+            assert trace_path.exists()
+            assert main(["run-workload", f"trace:{trace_path}",
+                         "--smoke", "--seed", "7"]) == 0
+            out = capsys.readouterr().out
+            assert "trace-rte-commercial" in out
+        finally:
+            for name in [n for n, s in WORKLOADS.items()
+                         if s.trace is not None]:
+                unregister(name)
+
+    def test_characterize_workload_subset(self, capsys):
+        assert main(["characterize", "--smoke", "--table", "8",
+                     "--workloads", "compiler-build,queue-kernel"]) == 0
+        assert "TABLE 8" in capsys.readouterr().out
+
+    def test_run_workload_zoo_member(self, capsys):
+        assert main(["run-workload", "tb-thrash", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "tb-thrash" in out
+
+    def test_unknown_workload_exits_2_and_names_the_roster(self,
+                                                           capsys):
+        assert main(["run-workload", "no-such-load"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-load" in err
+        assert "compiler-build" in err

@@ -48,3 +48,54 @@ class TestDeprecationShims:
             measurement = experiments.run_workload(
                 STANDARD_PROFILES[0], BUDGET, 1984)
         assert measurement.cycles > 0
+
+
+class TestProfileThreadingDeprecation:
+    """PR-10 shims: threading raw MixProfiles where names now belong."""
+
+    def test_engine_warns_for_registered_profile_objects(self):
+        with pytest.warns(DeprecationWarning,
+                          match="pass the workload name"):
+            by_object = engine.run_workload(STANDARD_PROFILES[1],
+                                            BUDGET)
+        by_name = engine.run_workload(STANDARD_PROFILES[1].name, BUDGET)
+        assert by_object is by_name    # same memo entry, bit-identical
+
+    def test_engine_stays_silent_for_ad_hoc_profiles(self, recwarn):
+        """Fuzzers and explore variants pass perturbed profiles that
+        are deliberately NOT registered; they must not warn."""
+        import warnings
+        from dataclasses import replace
+
+        ad_hoc = replace(STANDARD_PROFILES[0], name="adhoc-variant",
+                         processes=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            measurement = engine.run_workload(ad_hoc, 400)
+        assert measurement.cycles > 0
+
+    def test_api_profile_keyword_warns_and_agrees(self):
+        from repro import api
+
+        with pytest.warns(DeprecationWarning, match="workload"):
+            old = api.run_workload(
+                profile=STANDARD_PROFILES[0].name, smoke=True)
+        new = api.run_workload(STANDARD_PROFILES[0].name, smoke=True)
+        assert old.cycles == new.cycles
+        assert old.profile == new.profile
+
+    def test_api_find_profile_shim_warns_and_resolves(self):
+        from repro import api
+
+        with pytest.warns(DeprecationWarning, match="find_workload"):
+            profile = api._find_profile("research")
+        assert profile.name == "timesharing-research"
+
+    def test_api_rejects_unregistered_profile_objects(self):
+        from dataclasses import replace
+
+        from repro import api
+
+        ad_hoc = replace(STANDARD_PROFILES[0], name="adhoc-api")
+        with pytest.raises(api.ApiError, match="not a registered"):
+            api.run_workload(ad_hoc, smoke=True)
